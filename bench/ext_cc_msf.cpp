@@ -1,0 +1,110 @@
+// Experiment X1 — the paper's future-work extensions on the same framework:
+// connected components (four engines) and minimum spanning forest (Kruskal /
+// Prim / parallel Borůvka), timed across families with agreement checks.
+//
+// Usage: ext_cc_msf [--n=32768] [--p=4] [--reps=2] [--seed=...] [--csv]
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util/cli.hpp"
+#include "bench_util/stats.hpp"
+#include "bench_util/table.hpp"
+#include "cc/connected_components.hpp"
+#include "gen/registry.hpp"
+#include "msf/boruvka.hpp"
+#include "msf/kruskal.hpp"
+#include "msf/prim.hpp"
+#include "support/assert.hpp"
+
+using namespace smpst;
+
+int main(int argc, char** argv) try {
+  const bench::Cli cli(argc, argv);
+  const auto n = static_cast<VertexId>(cli.get_int("n", 1 << 15));
+  const auto p = static_cast<std::size_t>(cli.get_int("p", 4));
+  const auto reps = static_cast<std::size_t>(cli.get_int("reps", 2));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 0x5eed));
+  const bool csv = cli.get_bool("csv", false);
+  cli.reject_unknown();
+
+  std::cout << "== X1a: connected components engines, p=" << p << " ==\n";
+  bench::Table cc_table({"family", "components", "dsu_wall", "bfs_wall",
+                         "sv_wall", "lp_wall", "rem_wall", "rmate_wall"});
+  for (const char* family :
+       {"random-1.5n", "torus-rowmajor", "ad3", "geo-hier", "2d60"}) {
+    const Graph g = gen::make_family(family, n, seed);
+    cc::CcResult truth;
+    const auto dsu =
+        bench::time_repeated([&] { truth = cc::cc_union_find(g); }, reps);
+    cc::CcResult r;
+    const auto bfs = bench::time_repeated([&] { r = cc::cc_bfs(g); }, reps);
+    SMPST_CHECK(cc::same_partition(r.label, truth.label), "bfs cc mismatch");
+    cc::ParallelCcOptions popts;
+    popts.num_threads = p;
+    const auto sv = bench::time_repeated(
+        [&] { r = cc::cc_shiloach_vishkin(g, popts); }, reps);
+    SMPST_CHECK(cc::same_partition(r.label, truth.label), "sv cc mismatch");
+    const auto lp = bench::time_repeated(
+        [&] { r = cc::cc_label_propagation(g, popts); }, reps);
+    SMPST_CHECK(cc::same_partition(r.label, truth.label), "lp cc mismatch");
+    const auto rem = bench::time_repeated(
+        [&] { r = cc::cc_rem_union(g, popts); }, reps);
+    SMPST_CHECK(cc::same_partition(r.label, truth.label), "rem cc mismatch");
+    const auto rmate = bench::time_repeated(
+        [&] { r = cc::cc_random_mate(g, popts); }, reps);
+    SMPST_CHECK(cc::same_partition(r.label, truth.label), "rmate cc mismatch");
+    cc_table.add_row({family, std::to_string(truth.count),
+                      bench::fmt_seconds(dsu.min_s),
+                      bench::fmt_seconds(bfs.min_s),
+                      bench::fmt_seconds(sv.min_s),
+                      bench::fmt_seconds(lp.min_s),
+                      bench::fmt_seconds(rem.min_s),
+                      bench::fmt_seconds(rmate.min_s)});
+  }
+  if (csv) {
+    cc_table.print_csv(std::cout);
+  } else {
+    cc_table.print(std::cout);
+  }
+
+  std::cout << "\n== X1b: minimum spanning forest, p=" << p << " ==\n";
+  bench::Table msf_table({"family", "msf_edges", "kruskal_wall", "prim_wall",
+                          "boruvka_wall", "boruvka_rounds"});
+  for (const char* family :
+       {"random-1.5n", "torus-rowmajor", "ad3", "geo-flat"}) {
+    const Graph g = gen::make_family(family, n, seed);
+    const auto wg = msf::with_random_weights(g, seed);
+
+    std::vector<msf::WeightedEdge> k;
+    const auto kt = bench::time_repeated([&] { k = msf::kruskal(wg); }, reps);
+    std::vector<msf::WeightedEdge> pr;
+    const auto pt = bench::time_repeated([&] { pr = msf::prim(wg); }, reps);
+    msf::BoruvkaStats bstats;
+    msf::BoruvkaOptions bopts;
+    bopts.num_threads = p;
+    bopts.stats = &bstats;
+    std::vector<msf::WeightedEdge> b;
+    const auto bt =
+        bench::time_repeated([&] { b = msf::boruvka(wg, bopts); }, reps);
+
+    SMPST_CHECK(k.size() == pr.size() && k.size() == b.size(),
+                "msf edge counts disagree");
+    SMPST_CHECK(std::abs(msf::total_weight(k) - msf::total_weight(b)) < 1e-9,
+                "msf weights disagree");
+
+    msf_table.add_row({family, std::to_string(k.size()),
+                       bench::fmt_seconds(kt.min_s),
+                       bench::fmt_seconds(pt.min_s),
+                       bench::fmt_seconds(bt.min_s),
+                       bench::fmt_count(bstats.rounds)});
+  }
+  if (csv) {
+    msf_table.print_csv(std::cout);
+  } else {
+    msf_table.print(std::cout);
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "ext_cc_msf: " << e.what() << "\n";
+  return 1;
+}

@@ -1,0 +1,91 @@
+// Fig. 3 reproduction (experiment E1): scalability of the SMP spanning tree
+// algorithm at p = 8 versus the sequential baseline on random graphs with
+// m = 1.5n, sweeping the problem size. The paper reports parallel speedups
+// between 4.5 and 5.5 across the sweep.
+//
+// Columns: measured wall times on this host (correctness + trend evidence)
+// and the Sun E4500 virtual-SMP simulation carrying the speedup comparison
+// (see DESIGN.md §5 for why a 1-core container cannot show wall speedup).
+//
+// Usage: fig3_scalability [--sizes=65536,131072,262144] [--p=8] [--reps=3]
+//        [--seed=...] [--csv] [--full]  (--full uses the paper's 1M..4M)
+#include <iostream>
+
+#include "bench_util/cli.hpp"
+#include "bench_util/stats.hpp"
+#include "bench_util/table.hpp"
+#include "core/bader_cong.hpp"
+#include "core/bfs.hpp"
+#include "core/validate.hpp"
+#include "gen/random_graph.hpp"
+#include "model/simulator.hpp"
+#include "model/virtual_smp.hpp"
+#include "sched/thread_pool.hpp"
+#include "support/assert.hpp"
+
+using namespace smpst;
+
+int main(int argc, char** argv) try {
+  const bench::Cli cli(argc, argv);
+  const bool full = cli.get_bool("full", false);
+  std::vector<std::int64_t> default_sizes =
+      full ? std::vector<std::int64_t>{1 << 20, 2 << 20, 4 << 20}
+           : std::vector<std::int64_t>{1 << 15, 1 << 16, 1 << 17, 1 << 18};
+  const auto sizes = cli.get_int_list("sizes", default_sizes);
+  const auto p = static_cast<std::size_t>(cli.get_int("p", 8));
+  const auto reps = static_cast<std::size_t>(cli.get_int("reps", 3));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 0x5eed));
+  const bool csv = cli.get_bool("csv", false);
+  cli.reject_unknown();
+
+  std::cout << "== Fig. 3: scalability on random graphs, m = 1.5n, p = " << p
+            << " ==\n"
+            << "paper: speedup between 4.5 and 5.5 across the size sweep\n";
+
+  bench::Table table({"n", "m", "seq_wall", "par_wall", "seq_e4500",
+                      "par_e4500", "speedup_e4500"});
+  const auto machine = model::sun_e4500();
+  ThreadPool pool(p);
+
+  for (const std::int64_t size : sizes) {
+    const auto n = static_cast<VertexId>(size);
+    const auto m = static_cast<EdgeId>(1.5 * static_cast<double>(n));
+    const Graph g = gen::random_graph(n, m, seed);
+
+    SpanningForest seq_forest;
+    const auto seq =
+        bench::time_repeated([&] { seq_forest = bfs_spanning_tree(g); }, reps);
+    SMPST_CHECK(validate_spanning_forest(g, seq_forest).ok,
+                "sequential forest invalid");
+
+    BaderCongOptions opts;
+    opts.seed = seed;
+    SpanningForest par_forest;
+    const auto par = bench::time_repeated(
+        [&] { par_forest = bader_cong_spanning_tree(g, pool, opts); }, reps);
+    SMPST_CHECK(validate_spanning_forest(g, par_forest).ok,
+                "parallel forest invalid");
+
+    model::VirtualRunOptions vopts;
+    vopts.processors = p;
+    vopts.seed = seed;
+    const auto vrun = model::virtual_traversal(g, vopts);
+    const double seq_sim = model::simulate_bfs_seconds(n, m, machine);
+    const double par_sim = vrun.seconds_on(machine);
+
+    table.add_row({std::to_string(n), std::to_string(m),
+                   bench::fmt_seconds(seq.min_s), bench::fmt_seconds(par.min_s),
+                   bench::fmt_seconds(seq_sim), bench::fmt_seconds(par_sim),
+                   bench::fmt_double(seq_sim / par_sim)});
+  }
+
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "fig3_scalability: " << e.what() << "\n";
+  return 1;
+}

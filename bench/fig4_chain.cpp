@@ -1,0 +1,29 @@
+// Fig. 4 panels 9-10 (experiment E10): the degenerate chain — the paper's
+// pathological case — with sequential and with random vertex labels. This is
+// the input family where the traversal's queues hold at most one vertex, so
+// work stealing thrashes and the starvation detector's raison d'être shows;
+// SV's labelling sensitivity is also at its most extreme here.
+//
+// Usage: fig4_chain [--n=65536] [--threads=1,2,4,8] [--reps=3] [--seed=...]
+//        [--csv] [--no-sv] [--sv-lock]
+#include <iostream>
+
+#include "bench_util/runner.hpp"
+
+int main(int argc, char** argv) try {
+  const smpst::bench::Cli cli(argc, argv);
+  auto cfg = smpst::bench::panel_from_cli(cli, "chain-seq", 1 << 16);
+  cli.reject_unknown();
+
+  std::cout << "== Fig. 4 panel 9: degenerate chain, sequential labels ==\n";
+  cfg.family = "chain-seq";
+  smpst::bench::run_panel(cfg, std::cout);
+
+  std::cout << "\n== Fig. 4 panel 10: degenerate chain, random labels ==\n";
+  cfg.family = "chain-random";
+  smpst::bench::run_panel(cfg, std::cout);
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "fig4_chain: " << e.what() << "\n";
+  return 1;
+}

@@ -1,0 +1,27 @@
+// Fig. 4 panels 7-8 (experiments E8, E9): geographic Internet-topology
+// graphs after Calvert-Doar-Zegura, in flat (Waxman) and hierarchical
+// (backbone / domain / subdomain) modes.
+//
+// Usage: fig4_geographic [--n=65536] [--threads=1,2,4,8] [--reps=3]
+//        [--seed=...] [--csv] [--no-sv] [--sv-lock]
+#include <iostream>
+
+#include "bench_util/runner.hpp"
+
+int main(int argc, char** argv) try {
+  const smpst::bench::Cli cli(argc, argv);
+  auto cfg = smpst::bench::panel_from_cli(cli, "geo-flat", 1 << 16);
+  cli.reject_unknown();
+
+  std::cout << "== Fig. 4 panel 7: geographic graph, flat mode ==\n";
+  cfg.family = "geo-flat";
+  smpst::bench::run_panel(cfg, std::cout);
+
+  std::cout << "\n== Fig. 4 panel 8: geographic graph, hierarchical mode ==\n";
+  cfg.family = "geo-hier";
+  smpst::bench::run_panel(cfg, std::cout);
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "fig4_geographic: " << e.what() << "\n";
+  return 1;
+}

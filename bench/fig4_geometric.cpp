@@ -1,0 +1,22 @@
+// Fig. 4 panel 6 (experiment E7): the geometric AD3 instance — n points in
+// the unit square, each joined to its 3 nearest neighbours (Greiner / Hsu et
+// al. / Krishnamurthy et al. / Goddard et al.'s "tertiary" graph).
+//
+// Usage: fig4_geometric [--n=65536] [--threads=1,2,4,8] [--reps=3]
+//        [--seed=...] [--csv] [--no-sv] [--sv-lock]
+#include <iostream>
+
+#include "bench_util/runner.hpp"
+
+int main(int argc, char** argv) try {
+  const smpst::bench::Cli cli(argc, argv);
+  auto cfg = smpst::bench::panel_from_cli(cli, "ad3", 1 << 16);
+  cli.reject_unknown();
+
+  std::cout << "== Fig. 4 panel 6: geometric k-NN graph AD3 (k = 3) ==\n";
+  smpst::bench::run_panel(cfg, std::cout);
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "fig4_geometric: " << e.what() << "\n";
+  return 1;
+}

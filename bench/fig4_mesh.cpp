@@ -1,0 +1,27 @@
+// Fig. 4 panels 4-5 (experiments E5, E6): the irregular probabilistic meshes
+// 2D60 (60% of 2D lattice edges) and 3D40 (40% of 3D lattice edges) used
+// throughout the connected-components literature the paper compares with.
+//
+// Usage: fig4_mesh [--n=65536] [--threads=1,2,4,8] [--reps=3] [--seed=...]
+//        [--csv] [--no-sv] [--sv-lock]
+#include <iostream>
+
+#include "bench_util/runner.hpp"
+
+int main(int argc, char** argv) try {
+  const smpst::bench::Cli cli(argc, argv);
+  auto cfg = smpst::bench::panel_from_cli(cli, "2d60", 1 << 16);
+  cli.reject_unknown();
+
+  std::cout << "== Fig. 4 panel 4: 2D60 mesh ==\n";
+  cfg.family = "2d60";
+  smpst::bench::run_panel(cfg, std::cout);
+
+  std::cout << "\n== Fig. 4 panel 5: 3D40 mesh ==\n";
+  cfg.family = "3d40";
+  smpst::bench::run_panel(cfg, std::cout);
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "fig4_mesh: " << e.what() << "\n";
+  return 1;
+}

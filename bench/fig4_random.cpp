@@ -1,0 +1,22 @@
+// Fig. 4 panel 3 (experiment E4): uniform random graph with m = n log2 n
+// edges (the paper's 1M-vertex / 20M-edge instance), runtime vs processor
+// count against the sequential baseline.
+//
+// Usage: fig4_random [--n=65536] [--threads=1,2,4,8] [--reps=3] [--seed=...]
+//        [--csv] [--no-sv] [--sv-lock]
+#include <iostream>
+
+#include "bench_util/runner.hpp"
+
+int main(int argc, char** argv) try {
+  const smpst::bench::Cli cli(argc, argv);
+  auto cfg = smpst::bench::panel_from_cli(cli, "random-nlogn", 1 << 16);
+  cli.reject_unknown();
+
+  std::cout << "== Fig. 4 panel 3: random graph, m = n log2 n ==\n";
+  smpst::bench::run_panel(cfg, std::cout);
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "fig4_random: " << e.what() << "\n";
+  return 1;
+}

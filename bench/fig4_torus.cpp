@@ -1,0 +1,31 @@
+// Fig. 4 panels 1-2 (experiments E2, E3): 2D torus with row-major and with
+// random vertex labels, runtime vs processor count, against the sequential
+// baseline. The paper's headline observations reproduced here:
+//   * the traversal algorithm beats sequential BFS for p > 2 and is
+//     insensitive to the labelling;
+//   * SV runs faster with more processors but often stays slower than
+//     sequential, and its iteration count jumps under random labels.
+//
+// Usage: fig4_torus [--n=65536] [--threads=1,2,4,8] [--reps=3] [--seed=...]
+//        [--csv] [--no-sv] [--sv-lock]
+#include <iostream>
+
+#include "bench_util/runner.hpp"
+
+int main(int argc, char** argv) try {
+  const smpst::bench::Cli cli(argc, argv);
+  auto cfg = smpst::bench::panel_from_cli(cli, "torus-rowmajor", 1 << 16);
+  cli.reject_unknown();
+
+  std::cout << "== Fig. 4 panel 1: torus, row-major labels ==\n";
+  cfg.family = "torus-rowmajor";
+  smpst::bench::run_panel(cfg, std::cout);
+
+  std::cout << "\n== Fig. 4 panel 2: torus, random labels ==\n";
+  cfg.family = "torus-random";
+  smpst::bench::run_panel(cfg, std::cout);
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "fig4_torus: " << e.what() << "\n";
+  return 1;
+}

@@ -1,0 +1,126 @@
+// Google-benchmark micro-benchmarks of the runtime substrate: PRNG
+// throughput, spinlock round trips, queue operations (SplitQueue vs
+// Chase-Lev), barrier episodes, and CSR traversal — the constants behind the
+// Helman-JáJá machine parameters.
+#include <benchmark/benchmark.h>
+
+#include "core/bfs.hpp"
+#include "sched/parallel_for.hpp"
+#include "sched/prefix_sum.hpp"
+#include "sched/thread_pool.hpp"
+#include "gen/random_graph.hpp"
+#include "sched/barrier.hpp"
+#include "sched/spinlock.hpp"
+#include "sched/work_queue.hpp"
+#include "support/prng.hpp"
+
+namespace {
+
+using namespace smpst;
+
+void BM_Xoshiro(benchmark::State& state) {
+  Xoshiro256 rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next());
+  }
+}
+BENCHMARK(BM_Xoshiro);
+
+void BM_XoshiroBounded(benchmark::State& state) {
+  Xoshiro256 rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_bounded(12345));
+  }
+}
+BENCHMARK(BM_XoshiroBounded);
+
+void BM_SpinLockUncontended(benchmark::State& state) {
+  SpinLock lock;
+  for (auto _ : state) {
+    lock.lock();
+    lock.unlock();
+  }
+}
+BENCHMARK(BM_SpinLockUncontended);
+
+void BM_SplitQueuePushPop(benchmark::State& state) {
+  SplitQueue<VertexId> q;
+  VertexId v = 0;
+  for (auto _ : state) {
+    q.push(1);
+    benchmark::DoNotOptimize(q.pop(v));
+  }
+}
+BENCHMARK(BM_SplitQueuePushPop);
+
+void BM_ChaseLevPushPop(benchmark::State& state) {
+  ChaseLevDeque<VertexId> q;
+  VertexId v = 0;
+  for (auto _ : state) {
+    q.push(1);
+    benchmark::DoNotOptimize(q.pop(v));
+  }
+}
+BENCHMARK(BM_ChaseLevPushPop);
+
+void BM_SplitQueueStealHalf(benchmark::State& state) {
+  SplitQueue<VertexId> q;
+  std::vector<VertexId> loot;
+  for (auto _ : state) {
+    state.PauseTiming();
+    q.clear();
+    for (VertexId i = 0; i < 64; ++i) q.push(i);
+    loot.clear();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(q.steal(loot, 32));
+  }
+}
+BENCHMARK(BM_SplitQueueStealHalf);
+
+void BM_BarrierSingleParty(benchmark::State& state) {
+  SpinBarrier barrier(1);
+  for (auto _ : state) {
+    barrier.arrive_and_wait();
+  }
+}
+BENCHMARK(BM_BarrierSingleParty);
+
+void BM_ParallelForStatic(benchmark::State& state) {
+  static ThreadPool pool(4);
+  std::vector<std::uint64_t> data(1 << 16);
+  for (auto _ : state) {
+    parallel_for_static(pool, 0, data.size(),
+                        [&](std::size_t i) { data[i] = i * 3; });
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_ParallelForStatic);
+
+void BM_PrefixSum(benchmark::State& state) {
+  static ThreadPool pool(4);
+  std::vector<std::uint64_t> data(1 << 16, 1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::fill(data.begin(), data.end(), 1);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(parallel_exclusive_scan(pool, data));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_PrefixSum);
+
+void BM_CsrBfs(benchmark::State& state) {
+  const auto n = static_cast<VertexId>(state.range(0));
+  const Graph g =
+      gen::random_graph(n, static_cast<EdgeId>(1.5 * n), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bfs_spanning_tree(g));
+  }
+  state.SetItemsProcessed(state.iterations() * (n + 2 * g.num_edges()));
+}
+BENCHMARK(BM_CsrBfs)->Arg(1 << 12)->Arg(1 << 15);
+
+}  // namespace

@@ -1,0 +1,71 @@
+// Experiment E14 — the paper's load-balancing claim: "the expected number of
+// vertices processed per processor is O(n/p) with the work-stealing
+// technique; we find that this technique keeps all processors equally busy".
+//
+// The deterministic virtual-SMP replay reports, for each family at p
+// processors: per-processor min/max vertices, the imbalance factor
+// (max/mean; 1.0 = perfect), steal traffic, and the chain's expected
+// counter-example behaviour.
+//
+// Usage: table_load_balance [--n=65536] [--p=8] [--seed=...] [--csv]
+#include <iostream>
+
+#include "bench_util/cli.hpp"
+#include "bench_util/table.hpp"
+#include "gen/registry.hpp"
+#include "model/virtual_smp.hpp"
+
+using namespace smpst;
+
+int main(int argc, char** argv) try {
+  const bench::Cli cli(argc, argv);
+  const auto n = static_cast<VertexId>(cli.get_int("n", 1 << 16));
+  const auto p = static_cast<std::size_t>(cli.get_int("p", 8));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 0x5eed));
+  const bool csv = cli.get_bool("csv", false);
+  cli.reject_unknown();
+
+  std::cout << "== E14: work-stealing load balance (virtual SMP, p=" << p
+            << ") ==\n"
+            << "paper: ~n/p vertices per processor on almost all graphs; the "
+               "high-diameter chain is the stated pathological case\n";
+
+  bench::Table table({"family", "verts_min", "verts_max", "imbalance",
+                      "steals_ok", "items_stolen", "probe_fails"});
+
+  for (const char* family :
+       {"torus-rowmajor", "random-nlogn", "random-1.5n", "2d60", "3d40", "ad3",
+        "geo-flat", "geo-hier", "rmat", "chain-seq"}) {
+    const Graph g = gen::make_family(family, n, seed);
+    model::VirtualRunOptions opts;
+    opts.processors = p;
+    opts.seed = seed;
+    const auto run = model::virtual_traversal(g, opts);
+
+    std::uint64_t vmin = ~0ULL;
+    std::uint64_t vmax = 0;
+    std::uint64_t steals = 0;
+    std::uint64_t stolen = 0;
+    std::uint64_t attempts = 0;
+    for (const auto& t : run.per_thread) {
+      vmin = std::min(vmin, t.vertices_processed);
+      vmax = std::max(vmax, t.vertices_processed);
+      steals += t.steals_succeeded;
+      stolen += t.items_stolen;
+      attempts += t.steal_attempts;
+    }
+    table.add_row({family, bench::fmt_count(vmin), bench::fmt_count(vmax),
+                   bench::fmt_double(run.load_imbalance()),
+                   bench::fmt_count(steals), bench::fmt_count(stolen),
+                   bench::fmt_count(attempts - steals)});
+  }
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "table_load_balance: " << e.what() << "\n";
+  return 1;
+}

@@ -1,0 +1,74 @@
+// Experiment E11 — the paper's prose claim about benign colouring races:
+// "the number of vertices that appear in multiple processors' queues at the
+//  same time are a miniscule percentage (for example, less than ten vertices
+//  for a graph with millions of vertices)".
+//
+// For every family we run the real multithreaded traversal several times and
+// report duplicate expansions (vertices processed more than once) next to n.
+//
+// Usage: table_races [--n=65536] [--p=8] [--runs=5] [--seed=...] [--csv]
+#include <iostream>
+
+#include "bench_util/cli.hpp"
+#include "bench_util/table.hpp"
+#include "core/bader_cong.hpp"
+#include "core/validate.hpp"
+#include "gen/registry.hpp"
+#include "sched/thread_pool.hpp"
+#include "support/assert.hpp"
+
+using namespace smpst;
+
+int main(int argc, char** argv) try {
+  const bench::Cli cli(argc, argv);
+  const auto n = static_cast<VertexId>(cli.get_int("n", 1 << 16));
+  const auto p = static_cast<std::size_t>(cli.get_int("p", 8));
+  const auto runs = static_cast<std::size_t>(cli.get_int("runs", 5));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 0x5eed));
+  const bool csv = cli.get_bool("csv", false);
+  cli.reject_unknown();
+
+  std::cout << "== E11: duplicate expansions from benign colouring races, p="
+            << p << " ==\n"
+            << "paper: < 10 duplicates for graphs with millions of vertices\n";
+
+  bench::Table table(
+      {"family", "n", "dup_min", "dup_max", "dup_mean", "dup_ppm"});
+  ThreadPool pool(p);
+
+  for (const char* family :
+       {"torus-rowmajor", "random-nlogn", "random-1.5n", "2d60", "3d40", "ad3",
+        "geo-flat", "geo-hier", "chain-seq", "rmat"}) {
+    const Graph g = gen::make_family(family, n, seed);
+    std::uint64_t min_d = ~0ULL;
+    std::uint64_t max_d = 0;
+    std::uint64_t sum_d = 0;
+    for (std::size_t r = 0; r < runs; ++r) {
+      TraversalStats stats;
+      BaderCongOptions opts;
+      opts.seed = seed + r;
+      opts.enable_fallback = false;  // measure the raw traversal
+      opts.stats = &stats;
+      const auto f = bader_cong_spanning_tree(g, pool, opts);
+      SMPST_CHECK(validate_spanning_forest(g, f).ok, "invalid forest");
+      min_d = std::min(min_d, stats.duplicate_expansions);
+      max_d = std::max(max_d, stats.duplicate_expansions);
+      sum_d += stats.duplicate_expansions;
+    }
+    const double mean =
+        static_cast<double>(sum_d) / static_cast<double>(runs);
+    table.add_row({family, std::to_string(g.num_vertices()),
+                   bench::fmt_count(min_d), bench::fmt_count(max_d),
+                   bench::fmt_double(mean, 1),
+                   bench::fmt_double(1e6 * mean / g.num_vertices(), 1)});
+  }
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "table_races: " << e.what() << "\n";
+  return 1;
+}

@@ -1,0 +1,122 @@
+// Experiments E12 + A3 — Shiloach-Vishkin's labelling sensitivity and the
+// lock-vs-election grafting ablation.
+//
+// The paper: "SV is sensitive to the labeling of vertices ... the number of
+// iterations needed will be from one to log n", and "the locking approach
+// intuitively is slow and not scalable, and our test results agree".
+//
+// For torus and chain instances under identity / random / reverse / BFS
+// labelings we report SV's iteration count, shortcut passes, and wall time
+// for both grafting schemes, plus the Bader-Cong traversal time on the same
+// relabelled graph to show its labelling insensitivity.
+//
+// Usage: table_sv_labeling [--n=16384] [--p=4] [--reps=2] [--seed=...] [--csv]
+#include <cmath>
+#include <iostream>
+
+#include "bench_util/cli.hpp"
+#include "bench_util/stats.hpp"
+#include "bench_util/table.hpp"
+#include "core/bader_cong.hpp"
+#include "core/shiloach_vishkin.hpp"
+#include "core/validate.hpp"
+#include "gen/simple.hpp"
+#include "gen/torus.hpp"
+#include "graph/relabel.hpp"
+#include "sched/thread_pool.hpp"
+#include "support/assert.hpp"
+
+using namespace smpst;
+
+int main(int argc, char** argv) try {
+  const bench::Cli cli(argc, argv);
+  const auto n = static_cast<VertexId>(cli.get_int("n", 1 << 14));
+  const auto p = static_cast<std::size_t>(cli.get_int("p", 4));
+  const auto reps = static_cast<std::size_t>(cli.get_int("reps", 2));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 0x5eed));
+  const bool csv = cli.get_bool("csv", false);
+  cli.reject_unknown();
+
+  std::cout << "== E12/A3: SV labelling sensitivity and grafting scheme, p="
+            << p << " ==\n"
+            << "paper: iterations range 1..log n with labelling; locking is "
+               "slower than election\n";
+
+  bench::Table table({"graph", "labeling", "sv_iters", "sv_passes",
+                      "sv_elect_wall", "sv_lock_wall", "bc_wall"});
+  ThreadPool pool(p);
+
+  struct Labeling {
+    const char* name;
+    Permutation (*make)(const Graph&, std::uint64_t);
+  };
+  const Labeling labelings[] = {
+      {"identity",
+       [](const Graph& g, std::uint64_t) {
+         return identity_permutation(g.num_vertices());
+       }},
+      {"random",
+       [](const Graph& g, std::uint64_t s) {
+         return random_permutation(g.num_vertices(), s);
+       }},
+      {"reverse",
+       [](const Graph& g, std::uint64_t) {
+         return reverse_permutation(g.num_vertices());
+       }},
+      {"bfs-order",
+       [](const Graph& g, std::uint64_t) { return bfs_permutation(g, 0); }},
+  };
+
+  struct Instance {
+    const char* name;
+    Graph graph;
+  };
+  const VertexId side = static_cast<VertexId>(
+      std::max(2.0, std::floor(std::sqrt(static_cast<double>(n)))));
+  Instance instances[] = {
+      {"torus", gen::torus2d(side, side)},
+      {"chain", gen::chain(n)},
+  };
+
+  for (const auto& inst : instances) {
+    for (const auto& lab : labelings) {
+      const Graph g =
+          apply_permutation(inst.graph, lab.make(inst.graph, seed));
+
+      SvStats stats;
+      SvOptions sv;
+      sv.stats = &stats;
+      SpanningForest forest;
+      const auto elect = bench::time_repeated(
+          [&] { forest = sv_spanning_tree(g, pool, sv); }, reps);
+      SMPST_CHECK(validate_spanning_forest(g, forest).ok, "sv invalid");
+
+      SvOptions svl;
+      svl.use_locks = true;
+      const auto lock = bench::time_repeated(
+          [&] { forest = sv_spanning_tree(g, pool, svl); }, reps);
+      SMPST_CHECK(validate_spanning_forest(g, forest).ok, "sv-lock invalid");
+
+      BaderCongOptions bc;
+      bc.seed = seed;
+      const auto bct = bench::time_repeated(
+          [&] { forest = bader_cong_spanning_tree(g, pool, bc); }, reps);
+      SMPST_CHECK(validate_spanning_forest(g, forest).ok, "bc invalid");
+
+      table.add_row({inst.name, lab.name, bench::fmt_count(stats.iterations),
+                     bench::fmt_count(stats.shortcut_passes),
+                     bench::fmt_seconds(elect.min_s),
+                     bench::fmt_seconds(lock.min_s),
+                     bench::fmt_seconds(bct.min_s)});
+    }
+  }
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "table_sv_labeling: " << e.what() << "\n";
+  return 1;
+}

@@ -1,0 +1,175 @@
+// smpst graph tool — the library's swiss-army CLI. Subcommands:
+//
+//   graph_tool --cmd=generate --family=<name> --n=<N> [--seed=S] --out=<path>
+//       generate any registry family and save it (.bin/.txt/.dimacs)
+//   graph_tool --cmd=stats --in=<path>
+//       degree/component/diameter statistics of a stored graph
+//   graph_tool --cmd=solve --in=<path> [--algo=bader-cong] [--threads=P]
+//              [--out=<forest path>] [--dot=<path>]
+//       spanning forest with any registered algorithm, validated; optional
+//       parent-array dump and DOT rendering
+//   graph_tool --cmd=convert --in=<path> --out=<path>
+//       convert between edge-list text/binary and DIMACS by extension
+//   graph_tool --cmd=list
+//       show registered families and algorithms
+#include <fstream>
+#include <iostream>
+
+#include "bench_util/cli.hpp"
+#include "core/algorithms.hpp"
+#include "gen/registry.hpp"
+#include "graph/builder.hpp"
+#include "graph/formats.hpp"
+#include "graph/io.hpp"
+#include "graph/stats.hpp"
+#include "sched/thread_pool.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace smpst;
+
+bool has_suffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+EdgeList load_any(const std::string& path) {
+  if (has_suffix(path, ".dimacs") || has_suffix(path, ".col") ||
+      has_suffix(path, ".gr")) {
+    std::ifstream is(path);
+    if (!is) throw std::runtime_error("cannot open " + path);
+    return io::read_dimacs(is);
+  }
+  return io::load_edge_list(path);
+}
+
+void save_any(const EdgeList& list, const std::string& path) {
+  if (has_suffix(path, ".dimacs") || has_suffix(path, ".col") ||
+      has_suffix(path, ".gr")) {
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("cannot open " + path);
+    io::write_dimacs(list, os, "written by smpst graph_tool");
+    return;
+  }
+  io::save_edge_list(list, path);
+}
+
+int cmd_list() {
+  std::cout << "graph families:\n";
+  for (const auto& f : gen::families()) {
+    std::cout << "  " << f.name << " — " << f.description << "\n";
+  }
+  std::cout << "\nspanning tree algorithms:\n";
+  for (const auto& a : algorithms()) {
+    std::cout << "  " << a.name << (a.parallel ? " (parallel)" : " (sequential)")
+              << " — " << a.description << "\n";
+  }
+  return 0;
+}
+
+int cmd_generate(const bench::Cli& cli) {
+  const auto family = cli.get_string("family", "random-1.5n");
+  const auto n = static_cast<VertexId>(cli.get_int("n", 1 << 16));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 0x5eed));
+  const auto out = cli.get_string("out", "");
+  if (out.empty()) throw std::invalid_argument("generate requires --out=");
+  const Graph g = gen::make_family(family, n, seed);
+  save_any(io::to_edge_list(g), out);
+  std::cout << "wrote " << family << ": " << g.num_vertices() << " vertices, "
+            << g.num_edges() << " edges -> " << out << "\n";
+  return 0;
+}
+
+int cmd_stats(const bench::Cli& cli) {
+  const auto in = cli.get_string("in", "");
+  if (in.empty()) throw std::invalid_argument("stats requires --in=");
+  const Graph g = GraphBuilder::build(load_any(in));
+  const auto s = compute_stats(g);
+  std::cout << "vertices:            " << s.num_vertices << "\n"
+            << "edges:               " << s.num_edges << "\n"
+            << "components:          " << s.num_components << "\n"
+            << "largest component:   " << s.largest_component << "\n"
+            << "degree min/avg/max:  " << s.min_degree << " / " << s.avg_degree
+            << " / " << s.max_degree << "\n"
+            << "isolated vertices:   " << s.isolated_vertices << "\n"
+            << "degree-2 vertices:   " << s.degree2_vertices << "\n"
+            << "diameter lower bnd:  " << s.diameter_lower_bound << "\n";
+  return 0;
+}
+
+int cmd_solve(const bench::Cli& cli) {
+  const auto in = cli.get_string("in", "");
+  if (in.empty()) throw std::invalid_argument("solve requires --in=");
+  const auto algo = cli.get_string("algo", "bader-cong");
+  const auto threads = static_cast<std::size_t>(cli.get_int("threads", 4));
+  const auto out = cli.get_string("out", "");
+  const auto dot = cli.get_string("dot", "");
+  if (!is_algorithm(algo)) {
+    throw std::invalid_argument("unknown algorithm: " + algo +
+                                " (see --cmd=list)");
+  }
+
+  const Graph g = GraphBuilder::build(load_any(in));
+  ThreadPool pool(threads);
+  WallTimer timer;
+  const SpanningForest forest = run_algorithm(algo, g, pool);
+  const double ms = timer.elapsed_millis();
+  const auto report = validate_spanning_forest(g, forest);
+  if (!report.ok) {
+    std::cerr << "INVALID forest: " << report.error << "\n";
+    return 1;
+  }
+  std::cout << algo << " on " << g.num_vertices() << " vertices: "
+            << forest.num_trees() << " tree(s), " << forest.num_tree_edges()
+            << " edges, " << ms << " ms, valid\n";
+
+  if (!out.empty()) {
+    std::ofstream os(out);
+    if (!os) throw std::runtime_error("cannot open " + out);
+    // One line per vertex: "v parent(v)".
+    for (VertexId v = 0; v < forest.num_vertices(); ++v) {
+      os << v << ' ' << forest.parent[v] << '\n';
+    }
+    std::cout << "parent array -> " << out << "\n";
+  }
+  if (!dot.empty()) {
+    std::ofstream os(dot);
+    if (!os) throw std::runtime_error("cannot open " + dot);
+    io::write_dot(g, os, &forest.parent);
+    std::cout << "DOT rendering -> " << dot << "\n";
+  }
+  return 0;
+}
+
+int cmd_convert(const bench::Cli& cli) {
+  const auto in = cli.get_string("in", "");
+  const auto out = cli.get_string("out", "");
+  if (in.empty() || out.empty()) {
+    throw std::invalid_argument("convert requires --in= and --out=");
+  }
+  const EdgeList list = load_any(in);
+  save_any(list, out);
+  std::cout << "converted " << in << " -> " << out << " ("
+            << list.num_vertices() << " vertices, " << list.num_edges()
+            << " edges)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const smpst::bench::Cli cli(argc, argv);
+  const auto cmd = cli.get_string("cmd", "list");
+  if (cmd == "list") return cmd_list();
+  if (cmd == "generate") return cmd_generate(cli);
+  if (cmd == "stats") return cmd_stats(cli);
+  if (cmd == "solve") return cmd_solve(cli);
+  if (cmd == "convert") return cmd_convert(cli);
+  std::cerr << "unknown --cmd=" << cmd
+            << " (expected list|generate|stats|solve|convert)\n";
+  return 2;
+} catch (const std::exception& e) {
+  std::cerr << "graph_tool: " << e.what() << "\n";
+  return 1;
+}

@@ -1,0 +1,94 @@
+// Internet topology analysis — the paper's geographic-graph scenario
+// ("research on properties of wide-area networks model the structure of the
+// Internet as a geographic graph").
+//
+// Builds a hierarchical CDZ-style topology (backbone / domains /
+// subdomains), then uses the library to answer questions a network engineer
+// would ask:
+//   1. a parallel spanning tree = a loop-free broadcast/flooding overlay;
+//   2. tree depth statistics = worst-case flooding hops;
+//   3. a minimum spanning forest under latency weights = the cheapest
+//      loop-free backbone (the future-work MSF extension in action);
+//   4. robustness: components after random link failures.
+//
+//   $ ./internet_topology [--n=50000] [--threads=4]
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util/cli.hpp"
+#include "cc/connected_components.hpp"
+#include "core/bader_cong.hpp"
+#include "core/validate.hpp"
+#include "gen/geographic.hpp"
+#include "graph/builder.hpp"
+#include "graph/io.hpp"
+#include "graph/stats.hpp"
+#include "msf/boruvka.hpp"
+#include "msf/weighted.hpp"
+#include "support/prng.hpp"
+#include "support/timer.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace smpst;
+  const bench::Cli cli(argc, argv);
+  const auto n = static_cast<VertexId>(cli.get_int("n", 50000));
+  const auto threads = static_cast<std::size_t>(cli.get_int("threads", 4));
+  cli.reject_unknown();
+
+  const Graph net = gen::geographic_hierarchical(n, /*seed=*/99);
+  const auto stats = compute_stats(net);
+  std::cout << "hierarchical internet model: " << stats.num_vertices
+            << " routers, " << stats.num_edges << " links, avg degree "
+            << stats.avg_degree << ", diameter >= "
+            << stats.diameter_lower_bound << "\n\n";
+
+  // 1-2. Broadcast overlay via parallel spanning tree; depth = flood hops.
+  BaderCongOptions opts;
+  opts.num_threads = threads;
+  WallTimer timer;
+  const SpanningForest overlay = bader_cong_spanning_tree(net, opts);
+  const double build_ms = timer.elapsed_millis();
+  if (const auto report = validate_spanning_forest(net, overlay); !report.ok) {
+    std::cerr << "invalid overlay: " << report.error << "\n";
+    return 1;
+  }
+  const auto depths = overlay.depths();
+  const VertexId max_hops = *std::max_element(depths.begin(), depths.end());
+  double mean_hops = 0.0;
+  for (VertexId d : depths) mean_hops += d;
+  mean_hops /= static_cast<double>(depths.size());
+  std::cout << "broadcast overlay built in " << build_ms << " ms ("
+            << threads << " threads): " << overlay.num_tree_edges()
+            << " tree links, flood hops max " << max_hops << " / mean "
+            << mean_hops << "\n";
+
+  // 3. Cheapest loop-free backbone: MSF under geometric latency weights.
+  const auto weighted = msf::with_random_weights(net, /*seed=*/5);
+  WallTimer msf_timer;
+  const auto backbone = msf::boruvka(weighted, {.num_threads = threads});
+  std::cout << "minimum-latency backbone (parallel Boruvka): "
+            << backbone.size() << " links, total weight "
+            << msf::total_weight(backbone) << ", computed in "
+            << msf_timer.elapsed_millis() << " ms\n";
+
+  // 4. Robustness: knock out random links, count fragments.
+  std::cout << "\nlink-failure robustness (components after random failures)\n";
+  Xoshiro256 rng(17);
+  auto list = io::to_edge_list(net);
+  for (const double failure : {0.05, 0.15, 0.30, 0.50}) {
+    std::vector<Edge> surviving;
+    for (const Edge& e : list.edges()) {
+      if (!rng.next_bernoulli(failure)) surviving.push_back(e);
+    }
+    const Graph damaged =
+        GraphBuilder::from_edges(net.num_vertices(), surviving);
+    const SpanningForest f = bader_cong_spanning_tree(damaged, opts);
+    const auto regions = cc::cc_from_forest(f);
+    std::printf("  %4.0f%% links down -> %6u fragments\n", failure * 100,
+                regions.count);
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "internet_topology: " << e.what() << "\n";
+  return 1;
+}

@@ -1,0 +1,64 @@
+// Quickstart: build a graph, compute a spanning tree in parallel, inspect it.
+//
+//   $ ./quickstart [--n=100000] [--threads=4]
+//
+// Walks through the core public API in ~60 lines:
+//   1. generate (or load) a graph,
+//   2. run the Bader-Cong parallel spanning tree,
+//   3. validate the result and look at basic structure,
+//   4. compare against the sequential baseline.
+#include <iostream>
+
+#include "bench_util/cli.hpp"
+#include "core/bader_cong.hpp"
+#include "core/bfs.hpp"
+#include "core/validate.hpp"
+#include "gen/random_graph.hpp"
+#include "support/timer.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace smpst;
+  const bench::Cli cli(argc, argv);
+  const auto n = static_cast<VertexId>(cli.get_int("n", 100000));
+  const auto threads = static_cast<std::size_t>(cli.get_int("threads", 4));
+  cli.reject_unknown();
+
+  // 1. A random sparse graph with 1.5n edges (any smpst::Graph works — see
+  //    graph/io.hpp to load your own edge lists).
+  const Graph g = gen::random_graph(n, static_cast<EdgeId>(1.5 * n), /*seed=*/1);
+  std::cout << "graph: " << g.num_vertices() << " vertices, " << g.num_edges()
+            << " edges, " << g.memory_bytes() / 1024 << " KiB CSR\n";
+
+  // 2. Parallel spanning tree (stub random walk + work-stealing traversal).
+  BaderCongOptions opts;
+  opts.num_threads = threads;
+  WallTimer par_timer;
+  const SpanningForest forest = bader_cong_spanning_tree(g, opts);
+  const double par_s = par_timer.elapsed_seconds();
+
+  // 3. Validate and inspect.
+  const ValidationReport report = validate_spanning_forest(g, forest);
+  if (!report.ok) {
+    std::cerr << "invalid forest: " << report.error << "\n";
+    return 1;
+  }
+  const auto roots = forest.roots();
+  std::cout << "spanning forest: " << forest.num_trees() << " tree(s), "
+            << forest.num_tree_edges() << " edges, first roots:";
+  for (std::size_t i = 0; i < std::min<std::size_t>(8, roots.size()); ++i) {
+    std::cout << ' ' << roots[i];
+  }
+  if (roots.size() > 8) std::cout << " ...";
+  std::cout << "\nparallel time (" << threads << " threads): " << par_s * 1e3
+            << " ms\n";
+
+  // 4. The sequential baseline the paper compares against.
+  WallTimer seq_timer;
+  const SpanningForest seq = bfs_spanning_tree(g);
+  std::cout << "sequential BFS time: " << seq_timer.elapsed_seconds() * 1e3
+            << " ms (tree edges: " << seq.num_tree_edges() << ")\n";
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "quickstart: " << e.what() << "\n";
+  return 1;
+}

@@ -1,0 +1,181 @@
+#include "apps/biconnectivity.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "support/assert.hpp"
+
+namespace smpst::apps {
+
+namespace {
+
+constexpr VertexId kUnvisited = kInvalidVertex;
+
+/// Index of the arc w -> v in the CSR (the twin of an arc v -> w).
+EdgeId twin_arc(const Graph& g, VertexId w, VertexId v) {
+  const auto nbrs = g.neighbors(w);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  SMPST_ASSERT(it != nbrs.end() && *it == v);
+  return g.offsets()[w] + static_cast<EdgeId>(it - nbrs.begin());
+}
+
+struct Frame {
+  VertexId v;
+  EdgeId next_arc;      ///< next CSR arc of v to examine
+  VertexId parent;      ///< DFS parent (kInvalidVertex at roots)
+  EdgeId entry_arc;     ///< arc that discovered v (kNoArc at roots)
+  bool parent_skipped;  ///< the single arc back to the parent was consumed
+  VertexId tree_children = 0;
+};
+
+constexpr EdgeId kNoArc = std::numeric_limits<EdgeId>::max();
+
+}  // namespace
+
+BiconnectivityResult biconnectivity(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  BiconnectivityResult result;
+  result.is_articulation.assign(n, false);
+  result.two_edge_component.assign(n, kInvalidVertex);
+  result.bcc_of_arc.assign(g.num_arcs(), kInvalidVertex);
+  if (n == 0) return result;
+
+  std::vector<VertexId> disc(n, kUnvisited);
+  std::vector<VertexId> low(n, 0);
+  VertexId timer = 0;
+
+  std::vector<Frame> stack;
+  std::vector<EdgeId> edge_stack;  // arcs of the current biconnected chunk
+
+  // Arc source lookup: sources[a] = vertex owning CSR slot a. Built once so
+  // twin labeling at BCC extraction is O(log deg).
+  std::vector<VertexId> arc_source(g.num_arcs());
+  for (VertexId v = 0; v < n; ++v) {
+    for (EdgeId a = g.offsets()[v]; a < g.offsets()[v + 1]; ++a) {
+      arc_source[a] = v;
+    }
+  }
+
+  auto pop_bcc_until = [&](EdgeId entry_arc) {
+    const VertexId id = result.bcc_count++;
+    for (;;) {
+      SMPST_ASSERT(!edge_stack.empty());
+      const EdgeId a = edge_stack.back();
+      edge_stack.pop_back();
+      const VertexId src = arc_source[a];
+      const VertexId dst = g.targets()[a];
+      result.bcc_of_arc[a] = id;
+      result.bcc_of_arc[twin_arc(g, dst, src)] = id;
+      if (a == entry_arc) break;
+    }
+  };
+
+  for (VertexId root = 0; root < n; ++root) {
+    if (disc[root] != kUnvisited) continue;
+    disc[root] = low[root] = timer++;
+    stack.push_back({root, g.offsets()[root], kInvalidVertex, kNoArc, false});
+
+    while (!stack.empty()) {
+      Frame& top = stack.back();
+      const VertexId v = top.v;
+      bool descended = false;
+
+      while (top.next_arc < g.offsets()[v + 1]) {
+        const EdgeId a = top.next_arc++;
+        const VertexId w = g.targets()[a];
+        if (w == top.parent && !top.parent_skipped) {
+          top.parent_skipped = true;  // simple graph: exactly one parent arc
+          continue;
+        }
+        if (disc[w] == kUnvisited) {
+          disc[w] = low[w] = timer++;
+          ++top.tree_children;
+          edge_stack.push_back(a);
+          stack.push_back({w, g.offsets()[w], v, a, false});
+          descended = true;
+          break;
+        }
+        if (disc[w] < disc[v]) {
+          // Back edge to an ancestor.
+          edge_stack.push_back(a);
+          low[v] = std::min(low[v], disc[w]);
+        }
+        // disc[w] > disc[v]: the other direction of an edge already on the
+        // stack; nothing to do.
+      }
+      if (descended) continue;
+
+      // v is finished: propagate lowpoint and classify.
+      const Frame finished = stack.back();
+      stack.pop_back();
+      if (!stack.empty()) {
+        Frame& par = stack.back();
+        low[par.v] = std::min(low[par.v], low[v]);
+        if (low[v] > disc[par.v]) {
+          const VertexId a = std::min(par.v, v);
+          const VertexId b = std::max(par.v, v);
+          result.bridges.push_back(Edge{a, b});
+        }
+        if (low[v] >= disc[par.v]) {
+          // par.v separates v's subtree: one biconnected component ends at
+          // the tree arc that discovered v.
+          pop_bcc_until(finished.entry_arc);
+          if (par.parent != kInvalidVertex) {
+            result.is_articulation[par.v] = true;
+          }
+        }
+      }
+      if (finished.parent == kInvalidVertex) {
+        // DFS root: articulation iff it has two or more tree children.
+        result.is_articulation[v] = finished.tree_children >= 2;
+        SMPST_ASSERT(edge_stack.empty());
+      }
+    }
+  }
+
+  std::sort(result.bridges.begin(), result.bridges.end());
+
+  // 2-edge-connected components: connectivity after deleting the bridges.
+  std::unordered_set<std::uint64_t> bridge_keys;
+  bridge_keys.reserve(result.bridges.size() * 2);
+  for (const Edge& e : result.bridges) {
+    bridge_keys.insert((static_cast<std::uint64_t>(e.u) << 32) | e.v);
+  }
+  auto is_bridge = [&](VertexId a, VertexId b) {
+    if (a > b) std::swap(a, b);
+    return bridge_keys.count((static_cast<std::uint64_t>(a) << 32) | b) > 0;
+  };
+  std::vector<VertexId> queue;
+  for (VertexId s = 0; s < n; ++s) {
+    if (result.two_edge_component[s] != kInvalidVertex) continue;
+    const VertexId id = result.two_edge_component_count++;
+    queue.assign(1, s);
+    result.two_edge_component[s] = id;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const VertexId v = queue[head];
+      for (VertexId w : g.neighbors(v)) {
+        if (result.two_edge_component[w] == kInvalidVertex &&
+            !is_bridge(v, w)) {
+          result.two_edge_component[w] = id;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<Edge> find_bridges(const Graph& g) {
+  return biconnectivity(g).bridges;
+}
+
+std::vector<VertexId> find_articulation_points(const Graph& g) {
+  const auto result = biconnectivity(g);
+  std::vector<VertexId> points;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (result.is_articulation[v]) points.push_back(v);
+  }
+  return points;
+}
+
+}  // namespace smpst::apps

@@ -1,0 +1,47 @@
+// Bridges, articulation points, and 2-edge-/biconnected components — the
+// downstream algorithms the paper names as consumers of spanning trees
+// ("finding a spanning tree of a graph is an important building block for
+// many graph algorithms, for example, biconnected components and ear
+// decomposition").
+//
+// The implementation is the classic DFS lowpoint method (iterative, so
+// million-vertex chains are safe). The spanning tree connection is explicit
+// in ear decomposition (ear_decomposition.hpp), which consumes any spanning
+// forest produced by this library.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace smpst::apps {
+
+struct BiconnectivityResult {
+  /// Bridge edges (canonical u < v): removing one disconnects its endpoints.
+  std::vector<Edge> bridges;
+
+  /// True for vertices whose removal increases the component count.
+  std::vector<bool> is_articulation;
+
+  /// 2-edge-connected component label per vertex (dense, [0, count)):
+  /// vertices connected after deleting all bridges.
+  std::vector<VertexId> two_edge_component;
+  VertexId two_edge_component_count = 0;
+
+  /// Biconnected component id per *directed arc position* of the CSR (same
+  /// indexing as Graph::targets()); arcs of the same undirected edge share
+  /// the id. kInvalidVertex for nothing (never produced for real edges).
+  std::vector<VertexId> bcc_of_arc;
+  VertexId bcc_count = 0;
+};
+
+/// Full biconnectivity analysis of g. O(n + m).
+BiconnectivityResult biconnectivity(const Graph& g);
+
+/// Convenience: just the bridges.
+std::vector<Edge> find_bridges(const Graph& g);
+
+/// Convenience: just the articulation points (as vertex ids).
+std::vector<VertexId> find_articulation_points(const Graph& g);
+
+}  // namespace smpst::apps

@@ -1,0 +1,113 @@
+#include "apps/ear_decomposition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/assert.hpp"
+
+namespace smpst::apps {
+
+namespace {
+
+/// Skip-list disjoint set over the tree: find(v) returns the deepest vertex
+/// on v's root path whose parent edge is still unlabelled (or an ancestor at
+/// or above the stopping depth). Labelling an edge splices its child out, so
+/// each tree edge is visited exactly once across all ears.
+class AncestorJumper {
+ public:
+  explicit AncestorJumper(VertexId n) : jump_(n) {
+    std::iota(jump_.begin(), jump_.end(), VertexId{0});
+  }
+
+  VertexId find(VertexId v) {
+    while (jump_[v] != v) {
+      jump_[v] = jump_[jump_[v]];
+      v = jump_[v];
+    }
+    return v;
+  }
+
+  /// Marks v's parent edge consumed: future finds skip to `parent`.
+  void consume(VertexId v, VertexId parent) { jump_[v] = parent; }
+
+ private:
+  std::vector<VertexId> jump_;
+};
+
+}  // namespace
+
+EarDecomposition ear_decomposition(const Graph& g,
+                                   const SpanningForest& forest) {
+  const VertexId n = g.num_vertices();
+  SMPST_CHECK(forest.parent.size() == n,
+              "ear_decomposition: forest does not match graph");
+  const RootedForest rf(forest);
+
+  EarDecomposition result;
+  result.ear_of_tree_edge.assign(n, kInvalidVertex);
+
+  // Non-tree edges with their LCA depth.
+  struct Seed {
+    Edge e;
+    VertexId lca;
+    VertexId lca_depth;
+  };
+  std::vector<Seed> seeds;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : g.neighbors(u)) {
+      if (u >= v) continue;
+      const bool tree_edge =
+          forest.parent[u] == v || forest.parent[v] == u;
+      if (tree_edge) continue;
+      const VertexId a = rf.lca(u, v);
+      SMPST_CHECK(a != kInvalidVertex,
+                  "graph edge spans two trees: invalid spanning forest");
+      seeds.push_back({Edge{u, v}, a, rf.depth(a)});
+    }
+  }
+  std::stable_sort(seeds.begin(), seeds.end(),
+                   [](const Seed& x, const Seed& y) {
+                     return x.lca_depth < y.lca_depth;
+                   });
+
+  // Label every tree edge with the first (shallowest-LCA) covering ear.
+  AncestorJumper jumper(n);
+  result.ear_seed.reserve(seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    const auto ear = static_cast<VertexId>(i);
+    result.ear_seed.push_back(seeds[i].e);
+    for (VertexId endpoint : {seeds[i].e.u, seeds[i].e.v}) {
+      VertexId cur = jumper.find(endpoint);
+      while (rf.depth(cur) > seeds[i].lca_depth) {
+        result.ear_of_tree_edge[cur] = ear;
+        jumper.consume(cur, rf.parent(cur));
+        cur = jumper.find(cur);
+      }
+    }
+  }
+
+  // Members CSR (tree edges per ear, keyed by child vertex).
+  result.ear_offsets.assign(seeds.size() + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    if (forest.parent[v] == v) continue;
+    if (result.ear_of_tree_edge[v] == kInvalidVertex) {
+      ++result.uncovered_tree_edges;
+    } else {
+      ++result.ear_offsets[result.ear_of_tree_edge[v] + 1];
+    }
+  }
+  for (std::size_t i = 1; i < result.ear_offsets.size(); ++i) {
+    result.ear_offsets[i] += result.ear_offsets[i - 1];
+  }
+  result.ear_members.resize(result.ear_offsets.back());
+  std::vector<EdgeId> cursor(result.ear_offsets.begin(),
+                             result.ear_offsets.end() - 1);
+  for (VertexId v = 0; v < n; ++v) {
+    if (forest.parent[v] == v) continue;
+    const VertexId ear = result.ear_of_tree_edge[v];
+    if (ear != kInvalidVertex) result.ear_members[cursor[ear]++] = v;
+  }
+  return result;
+}
+
+}  // namespace smpst::apps

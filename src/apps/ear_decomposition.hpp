@@ -1,0 +1,52 @@
+// Ear decomposition on top of a spanning tree — the second application the
+// paper's introduction names, and the one that consumes a spanning forest
+// directly: every non-tree edge closes exactly one fundamental cycle, and
+// ordering those cycles yields the ears.
+//
+// Construction (the standard spanning-tree-based scheme): root the tree,
+// number the non-tree edges 0..k-1 by the depth of the LCA of their
+// endpoints (shallower first; ties by edge order). Each tree edge belongs to
+// the smallest-numbered non-tree edge whose fundamental cycle covers it; ear
+// i is then non-tree edge i plus the tree edges labelled i. Ear 0 is a cycle
+// through the root of its component; on a 2-edge-connected graph every later
+// ear is a simple path whose endpoints lie on earlier ears (an open ear
+// decomposition). Tree edges covered by no cycle are exactly the bridges of
+// the graph and are reported separately.
+#pragma once
+
+#include <vector>
+
+#include "apps/tree_algebra.hpp"
+#include "core/spanning_forest.hpp"
+#include "graph/graph.hpp"
+
+namespace smpst::apps {
+
+struct EarDecomposition {
+  /// ear_of_tree_edge[v] = ear index of tree edge {v, parent(v)} for
+  /// non-root v, or kInvalidVertex if the edge is a bridge (covered by no
+  /// non-tree cycle). Indexed by the child endpoint v.
+  std::vector<VertexId> ear_of_tree_edge;
+
+  /// The non-tree edge that seeds each ear, in ear order.
+  std::vector<Edge> ear_seed;
+
+  /// Tree edges (as child vertex ids) per ear, concatenated CSR-style.
+  std::vector<EdgeId> ear_offsets;
+  std::vector<VertexId> ear_members;
+
+  [[nodiscard]] VertexId num_ears() const noexcept {
+    return static_cast<VertexId>(ear_seed.size());
+  }
+
+  /// Number of tree edges not covered by any ear (== number of bridges that
+  /// are tree edges; on a 2-edge-connected input this is 0).
+  VertexId uncovered_tree_edges = 0;
+};
+
+/// Decomposes g along `forest` (any valid spanning forest of g, e.g. from
+/// bader_cong_spanning_tree). O((n + m) log n) via binary-lifting LCA.
+EarDecomposition ear_decomposition(const Graph& g,
+                                   const SpanningForest& forest);
+
+}  // namespace smpst::apps

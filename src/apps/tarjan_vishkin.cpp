@@ -1,0 +1,120 @@
+#include "apps/tarjan_vishkin.hpp"
+
+#include <algorithm>
+
+#include "apps/tree_algebra.hpp"
+#include "graph/builder.hpp"
+#include "support/assert.hpp"
+
+namespace smpst::apps {
+
+std::vector<Edge> ParallelBccResult::bridges() const {
+  std::vector<VertexId> size(bcc_count, 0);
+  for (VertexId label : bcc_of_edge) ++size[label];
+  std::vector<Edge> result;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (size[bcc_of_edge[i]] == 1) result.push_back(edges[i]);
+  }
+  return result;
+}
+
+ParallelBccResult tarjan_vishkin_bcc(const Graph& g,
+                                     const SpanningForest& forest,
+                                     const cc::ParallelCcOptions& cc_options) {
+  const VertexId n = g.num_vertices();
+  SMPST_CHECK(forest.parent.size() == n,
+              "tarjan_vishkin_bcc: forest does not match graph");
+  const RootedForest rf(forest);
+
+  ParallelBccResult result;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : g.neighbors(u)) {
+      if (u < v) result.edges.push_back({u, v});
+    }
+  }
+  result.bcc_of_edge.assign(result.edges.size(), kInvalidVertex);
+  if (result.edges.empty()) return result;
+
+  auto is_tree_edge = [&](const Edge& e) {
+    return forest.parent[e.u] == e.v || forest.parent[e.v] == e.u;
+  };
+
+  // low/high: extreme preorder values reachable from each subtree through a
+  // single non-tree edge. Seed with the vertex's own preorder and its
+  // incident non-tree edges, then fold children into parents in decreasing
+  // preorder order (children always have larger preorder than parents).
+  std::vector<VertexId> low(n);
+  std::vector<VertexId> high(n);
+  for (VertexId v = 0; v < n; ++v) low[v] = high[v] = rf.preorder(v);
+  for (const Edge& e : result.edges) {
+    if (is_tree_edge(e)) continue;
+    low[e.u] = std::min(low[e.u], rf.preorder(e.v));
+    high[e.u] = std::max(high[e.u], rf.preorder(e.v));
+    low[e.v] = std::min(low[e.v], rf.preorder(e.u));
+    high[e.v] = std::max(high[e.v], rf.preorder(e.u));
+  }
+  {
+    // pre_to_vertex lets us sweep in decreasing preorder.
+    std::vector<VertexId> order(n);
+    for (VertexId v = 0; v < n; ++v) order[rf.preorder(v)] = v;
+    for (VertexId i = n; i-- > 0;) {
+      const VertexId v = order[i];
+      const VertexId p = rf.parent(v);
+      if (p != v) {
+        low[p] = std::min(low[p], low[v]);
+        high[p] = std::max(high[p], high[v]);
+      }
+    }
+  }
+
+  // Auxiliary graph over vertex ids (vertex v stands for tree edge
+  // {v, parent(v)}; roots stay isolated).
+  EdgeList aux(n);
+  for (const Edge& e : result.edges) {
+    if (is_tree_edge(e)) continue;
+    const bool u_anc = rf.is_ancestor(e.u, e.v);
+    const bool v_anc = rf.is_ancestor(e.v, e.u);
+    if (!u_anc && !v_anc) aux.add_edge(e.u, e.v);  // Rule A
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId p = rf.parent(v);
+    if (p == v) continue;                // v is a root: no tree edge e_v
+    if (rf.parent(p) == p) continue;     // p is a root: no parent edge e_p
+    // Rule B: does some non-tree edge escape p's subtree from inside v's?
+    if (low[v] < rf.preorder(p) ||
+        high[v] >= rf.preorder(p) + rf.subtree_size(p)) {
+      aux.add_edge(v, p);
+    }
+  }
+
+  const Graph aux_graph = GraphBuilder::build(std::move(aux));
+  const auto aux_cc = cc::cc_shiloach_vishkin(aux_graph, cc_options);
+
+  // Edge labels: tree edge -> its child's aux component; non-tree edge ->
+  // the deeper endpoint's aux component (for related endpoints the deeper
+  // one is inside the cycle; for unrelated ones Rule A made them equal).
+  std::vector<VertexId> raw(result.edges.size());
+  for (std::size_t i = 0; i < result.edges.size(); ++i) {
+    const Edge& e = result.edges[i];
+    if (is_tree_edge(e)) {
+      const VertexId child = forest.parent[e.u] == e.v ? e.u : e.v;
+      raw[i] = aux_cc.label[child];
+    } else {
+      const VertexId deeper =
+          rf.depth(e.u) >= rf.depth(e.v) ? e.u : e.v;
+      raw[i] = aux_cc.label[deeper];
+    }
+  }
+
+  // Densify over the edge labels.
+  std::vector<VertexId> remap(aux_cc.count, kInvalidVertex);
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (remap[raw[i]] == kInvalidVertex) {
+      remap[raw[i]] = result.bcc_count++;
+    }
+    result.bcc_of_edge[i] = remap[raw[i]];
+  }
+  return result;
+}
+
+}  // namespace smpst::apps

@@ -1,0 +1,52 @@
+// Tarjan–Vishkin-style parallel biconnected components.
+//
+// The classic demonstration of the paper's thesis that a spanning tree is
+// the building block for parallel graph algorithms: unlike the sequential
+// lowpoint method (biconnectivity.hpp), which is tied to DFS — "inherently
+// sequential" per Reif, as the paper notes — Tarjan & Vishkin (1985) reduce
+// biconnectivity to connectivity over an auxiliary graph built from ANY
+// rooted spanning tree:
+//
+//   * per-vertex low/high: the extreme preorder numbers reachable from the
+//     vertex's subtree through one non-tree edge,
+//   * auxiliary graph on the tree edges (keyed by child endpoint):
+//       Rule A: a non-tree edge {u, v} with u, v unrelated in the tree joins
+//               tree edges e_u and e_v;
+//       Rule B: a tree edge e_v joins its parent edge e_{p(v)} iff some
+//               non-tree edge escapes p(v)'s subtree from inside v's
+//               (low(v) < pre(p(v)) or high(v) >= pre(p(v)) + size(p(v))).
+//   * connected components of the auxiliary graph == biconnected components.
+//
+// Every ingredient is provided by this library: the tree comes from any
+// spanning tree algorithm (including the paper's), the tree functionals from
+// RootedForest, and the connectivity step runs on the parallel SV engine.
+#pragma once
+
+#include <vector>
+
+#include "cc/connected_components.hpp"
+#include "core/spanning_forest.hpp"
+#include "graph/graph.hpp"
+
+namespace smpst::apps {
+
+struct ParallelBccResult {
+  /// Canonical edges of g (u < v, sorted), the labelling's index space.
+  std::vector<Edge> edges;
+
+  /// Dense biconnected-component label per canonical edge.
+  std::vector<VertexId> bcc_of_edge;
+  VertexId bcc_count = 0;
+
+  /// Bridges fall out for free: BCCs containing exactly one edge.
+  [[nodiscard]] std::vector<Edge> bridges() const;
+};
+
+/// Computes biconnected components from any valid spanning forest of g.
+/// The connectivity step uses the parallel Shiloach–Vishkin engine with
+/// `cc_options` threads.
+ParallelBccResult tarjan_vishkin_bcc(const Graph& g,
+                                     const SpanningForest& forest,
+                                     const cc::ParallelCcOptions& cc_options = {});
+
+}  // namespace smpst::apps

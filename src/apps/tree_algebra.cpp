@@ -1,0 +1,106 @@
+#include "apps/tree_algebra.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace smpst::apps {
+
+RootedForest::RootedForest(const SpanningForest& forest)
+    : parent_(forest.parent) {
+  const VertexId n = num_vertices();
+  depth_.assign(n, 0);
+  subtree_size_.assign(n, 1);
+  preorder_.assign(n, 0);
+  tree_id_.assign(n, kInvalidVertex);
+
+  // Children CSR via counting sort over parents.
+  child_offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    if (parent_[v] == v) {
+      roots_.push_back(v);
+    } else {
+      ++child_offsets_[parent_[v] + 1];
+    }
+  }
+  for (std::size_t i = 1; i < child_offsets_.size(); ++i) {
+    child_offsets_[i] += child_offsets_[i - 1];
+  }
+  children_.resize(n - roots_.size());
+  {
+    std::vector<EdgeId> cursor(child_offsets_.begin(),
+                               child_offsets_.end() - 1);
+    for (VertexId v = 0; v < n; ++v) {
+      if (parent_[v] != v) children_[cursor[parent_[v]]++] = v;
+    }
+  }
+
+  // Iterative DFS per tree: preorder, depth, Euler tour; postorder pass for
+  // subtree sizes.
+  euler_.reserve(n == 0 ? 0 : 2 * static_cast<std::size_t>(n));
+  VertexId next_pre = 0;
+  std::vector<std::pair<VertexId, EdgeId>> stack;  // (vertex, next child idx)
+  for (VertexId root : roots_) {
+    stack.push_back({root, child_offsets_[root]});
+    tree_id_[root] = root;
+    depth_[root] = 0;
+    preorder_[root] = next_pre++;
+    euler_.push_back(root);
+    while (!stack.empty()) {
+      auto& [v, next] = stack.back();
+      if (next < child_offsets_[v + 1]) {
+        const VertexId c = children_[next++];
+        tree_id_[c] = root;
+        depth_[c] = depth_[v] + 1;
+        preorder_[c] = next_pre++;
+        euler_.push_back(c);
+        stack.push_back({c, child_offsets_[c]});
+      } else {
+        const VertexId done = v;
+        stack.pop_back();
+        if (!stack.empty()) {
+          subtree_size_[stack.back().first] += subtree_size_[done];
+          euler_.push_back(stack.back().first);
+        }
+      }
+    }
+  }
+  SMPST_CHECK(next_pre == n, "rooted forest DFS did not cover every vertex "
+                             "(is the parent array cyclic?)");
+
+  // Binary lifting table.
+  VertexId max_depth = 0;
+  for (VertexId d : depth_) max_depth = std::max(max_depth, d);
+  std::size_t levels = 1;
+  while ((VertexId{1} << levels) <= max_depth) ++levels;
+  up_.assign(levels, std::vector<VertexId>(n));
+  for (VertexId v = 0; v < n; ++v) up_[0][v] = parent_[v];
+  for (std::size_t k = 1; k < levels; ++k) {
+    for (VertexId v = 0; v < n; ++v) up_[k][v] = up_[k - 1][up_[k - 1][v]];
+  }
+}
+
+bool RootedForest::is_ancestor(VertexId ancestor, VertexId v) const {
+  return preorder_[ancestor] <= preorder_[v] &&
+         preorder_[v] < preorder_[ancestor] + subtree_size_[ancestor] &&
+         tree_id_[ancestor] == tree_id_[v];
+}
+
+VertexId RootedForest::lca(VertexId u, VertexId v) const {
+  if (tree_id_[u] != tree_id_[v]) return kInvalidVertex;
+  if (is_ancestor(u, v)) return u;
+  if (is_ancestor(v, u)) return v;
+  // Lift u just below the common ancestor.
+  for (std::size_t k = up_.size(); k-- > 0;) {
+    if (!is_ancestor(up_[k][u], v)) u = up_[k][u];
+  }
+  return up_[0][u];
+}
+
+VertexId RootedForest::path_length(VertexId u, VertexId v) const {
+  const VertexId a = lca(u, v);
+  SMPST_CHECK(a != kInvalidVertex, "path_length: vertices in different trees");
+  return depth_[u] + depth_[v] - 2 * depth_[a];
+}
+
+}  // namespace smpst::apps

@@ -1,0 +1,78 @@
+// Rooted-tree algebra over spanning forests — the substrate the paper's
+// intro motivates: spanning trees as the building block for downstream graph
+// algorithms (biconnected components, ear decomposition, planarity testing).
+//
+// RootedForest materializes a SpanningForest's children lists (CSR), Euler
+// tour, preorder numbering, subtree sizes, depths, and binary-lifting LCA —
+// everything the applications in this directory need.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/spanning_forest.hpp"
+#include "graph/types.hpp"
+
+namespace smpst::apps {
+
+class RootedForest {
+ public:
+  /// Materializes the forest; O(n log n) time and space (the log factor is
+  /// the LCA lifting table).
+  explicit RootedForest(const SpanningForest& forest);
+
+  [[nodiscard]] VertexId num_vertices() const noexcept {
+    return static_cast<VertexId>(parent_.size());
+  }
+  [[nodiscard]] const std::vector<VertexId>& roots() const noexcept {
+    return roots_;
+  }
+
+  [[nodiscard]] VertexId parent(VertexId v) const { return parent_[v]; }
+  [[nodiscard]] VertexId depth(VertexId v) const { return depth_[v]; }
+  [[nodiscard]] VertexId subtree_size(VertexId v) const {
+    return subtree_size_[v];
+  }
+
+  /// Children of v, in ascending vertex order.
+  [[nodiscard]] std::span<const VertexId> children(VertexId v) const {
+    return {children_.data() + child_offsets_[v],
+            children_.data() + child_offsets_[v + 1]};
+  }
+
+  /// Preorder (DFS discovery) index of v within the whole forest; vertices
+  /// of one subtree occupy the contiguous range
+  /// [preorder(v), preorder(v) + subtree_size(v)).
+  [[nodiscard]] VertexId preorder(VertexId v) const { return preorder_[v]; }
+
+  /// True if `ancestor` lies on the root path of v (including v itself).
+  [[nodiscard]] bool is_ancestor(VertexId ancestor, VertexId v) const;
+
+  /// Lowest common ancestor; u and v must be in the same tree
+  /// (kInvalidVertex is returned otherwise).
+  [[nodiscard]] VertexId lca(VertexId u, VertexId v) const;
+
+  /// Euler tour of the forest: each tree contributes its vertices in
+  /// enter/leave order (2 * size - 1 entries per tree, concatenated).
+  [[nodiscard]] const std::vector<VertexId>& euler_tour() const noexcept {
+    return euler_;
+  }
+
+  /// Number of tree edges on the u..v path (same tree required).
+  [[nodiscard]] VertexId path_length(VertexId u, VertexId v) const;
+
+ private:
+  std::vector<VertexId> parent_;
+  std::vector<VertexId> roots_;
+  std::vector<EdgeId> child_offsets_;
+  std::vector<VertexId> children_;
+  std::vector<VertexId> depth_;
+  std::vector<VertexId> subtree_size_;
+  std::vector<VertexId> preorder_;
+  std::vector<VertexId> euler_;
+  std::vector<VertexId> tree_id_;
+  // up_[k][v] = 2^k-th ancestor of v (root maps to itself).
+  std::vector<std::vector<VertexId>> up_;
+};
+
+}  // namespace smpst::apps

@@ -1,0 +1,127 @@
+#include "bench_util/runner.hpp"
+
+#include <ostream>
+
+#include "bench_util/stats.hpp"
+#include "bench_util/table.hpp"
+#include "core/bader_cong.hpp"
+#include "core/bfs.hpp"
+#include "core/shiloach_vishkin.hpp"
+#include "core/validate.hpp"
+#include "gen/registry.hpp"
+#include "graph/stats.hpp"
+#include "model/simulator.hpp"
+#include "model/virtual_smp.hpp"
+#include "sched/thread_pool.hpp"
+#include "support/assert.hpp"
+
+namespace smpst::bench {
+
+PanelConfig panel_from_cli(const Cli& cli, const std::string& default_family,
+                           VertexId default_n) {
+  PanelConfig cfg;
+  cfg.family = cli.get_string("family", default_family);
+  cfg.n = static_cast<VertexId>(cli.get_int("n", default_n));
+  cfg.threads = cli.get_int_list("threads", cfg.threads);
+  cfg.reps = static_cast<std::size_t>(cli.get_int("reps", 3));
+  cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 0x5eed));
+  cfg.csv = cli.get_bool("csv", false);
+  cfg.run_sv = !cli.get_bool("no-sv", false);
+  cfg.sv_locked = cli.get_bool("sv-lock", false);
+  return cfg;
+}
+
+void run_panel(const PanelConfig& config, std::ostream& os) {
+  const Graph g = gen::make_family(config.family, config.n, config.seed);
+  const auto gstats = compute_stats(g);
+  const auto machine = model::sun_e4500();
+
+  os << "# family=" << config.family << " n=" << gstats.num_vertices
+     << " m=" << gstats.num_edges << " components=" << gstats.num_components
+     << " avg_deg=" << fmt_double(gstats.avg_degree)
+     << " diam>=" << gstats.diameter_lower_bound << "\n";
+
+  // Sequential baseline (the horizontal "Sequential" line in the plots).
+  SpanningForest seq_forest;
+  const auto seq = time_repeated([&] { seq_forest = bfs_spanning_tree(g); },
+                                 config.reps);
+  SMPST_CHECK(validate_spanning_forest(g, seq_forest).ok,
+              "sequential baseline produced an invalid forest");
+  const double seq_sim = model::simulate_bfs_seconds(
+      gstats.num_vertices, gstats.num_edges, machine);
+  os << "# sequential-bfs wall=" << fmt_seconds(seq.min_s)
+     << " e4500-model=" << fmt_seconds(seq_sim) << "\n";
+
+  std::vector<std::string> headers = {"p",        "bc_wall",   "bc_e4500",
+                                      "bc_speedup", "dup_expand", "steals"};
+  if (config.run_sv) {
+    headers.insert(headers.end(),
+                   {"sv_wall", "sv_iters", "sv_e4500", "sv_speedup"});
+  }
+  Table table(headers);
+
+  for (const std::int64_t pi : config.threads) {
+    const auto p = static_cast<std::size_t>(pi);
+    ThreadPool pool(p);
+
+    // Bader-Cong: time uninstrumented runs, then one instrumented run for
+    // the cost-model replay and race statistics.
+    BaderCongOptions bc;
+    bc.seed = config.seed;
+    SpanningForest forest;
+    const auto bc_time = time_repeated(
+        [&] { forest = bader_cong_spanning_tree(g, pool, bc); }, config.reps);
+    const auto bc_report = validate_spanning_forest(g, forest);
+    SMPST_CHECK(bc_report.ok, bc_report.error.c_str());
+
+    // Race statistics come from a real instrumented multithreaded run; the
+    // E4500 column comes from the deterministic virtual-SMP replay, whose
+    // load balance reflects p truly concurrent processors (DESIGN.md §5).
+    TraversalStats tstats;
+    bc.stats = &tstats;
+    forest = bader_cong_spanning_tree(g, pool, bc);
+    SMPST_CHECK(validate_spanning_forest(g, forest).ok,
+                "instrumented run produced an invalid forest");
+
+    model::VirtualRunOptions vopts;
+    vopts.processors = p;
+    vopts.seed = config.seed;
+    const auto vrun = model::virtual_traversal(g, vopts);
+    const double bc_sim = vrun.seconds_on(machine);
+    std::vector<std::string> row = {
+        std::to_string(p),
+        fmt_seconds(bc_time.min_s),
+        fmt_seconds(bc_sim),
+        fmt_double(seq_sim / bc_sim),
+        fmt_count(tstats.duplicate_expansions),
+        fmt_count(tstats.total_steals()),
+    };
+
+    if (config.run_sv) {
+      SvOptions sv;
+      sv.use_locks = config.sv_locked;
+      SvStats sv_stats;
+      sv.stats = &sv_stats;
+      SpanningForest sv_forest;
+      const auto sv_time = time_repeated(
+          [&] { sv_forest = sv_spanning_tree(g, pool, sv); }, config.reps);
+      const auto sv_report = validate_spanning_forest(g, sv_forest);
+      SMPST_CHECK(sv_report.ok, sv_report.error.c_str());
+      const double sv_sim = model::simulate_sv_seconds(
+          sv_stats, gstats.num_vertices, gstats.num_edges, p, machine);
+      row.push_back(fmt_seconds(sv_time.min_s));
+      row.push_back(fmt_count(sv_stats.iterations));
+      row.push_back(fmt_seconds(sv_sim));
+      row.push_back(fmt_double(seq_sim / sv_sim));
+    }
+    table.add_row(std::move(row));
+  }
+
+  if (config.csv) {
+    table.print_csv(os);
+  } else {
+    table.print(os);
+  }
+}
+
+}  // namespace smpst::bench

@@ -1,0 +1,41 @@
+// Shared experiment driver for the Fig. 3 / Fig. 4 reproduction binaries.
+//
+// One "panel" = one graph instance swept over processor counts, reporting for
+// each p the measured wall time of the Bader–Cong traversal and of
+// Shiloach–Vishkin next to the sequential BFS baseline, plus the Sun-E4500
+// cost-model simulation of the same run (DESIGN.md §5: wall-clock speedup is
+// physically unobservable on this single-core container, so the simulated
+// columns carry the figure-shape comparison while the measured columns prove
+// the implementations are real and correct).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "bench_util/cli.hpp"
+#include "graph/graph.hpp"
+
+namespace smpst::bench {
+
+struct PanelConfig {
+  std::string family;
+  VertexId n = 1 << 17;
+  std::vector<std::int64_t> threads = {1, 2, 4, 8};
+  std::size_t reps = 3;
+  std::uint64_t seed = 0x5eed;
+  bool csv = false;
+  bool run_sv = true;       ///< SV is slow on big instances; can be skipped
+  bool sv_locked = false;   ///< also run the lock-grafting variant
+};
+
+/// Reads the standard panel flags: --family --n --threads --reps --seed
+/// --csv --no-sv --sv-lock.
+PanelConfig panel_from_cli(const Cli& cli, const std::string& default_family,
+                           VertexId default_n = 1 << 17);
+
+/// Runs the full panel and writes the table to `os`.
+void run_panel(const PanelConfig& config, std::ostream& os);
+
+}  // namespace smpst::bench

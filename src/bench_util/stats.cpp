@@ -1,0 +1,43 @@
+#include "bench_util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+#include "support/timer.hpp"
+
+namespace smpst::bench {
+
+TimingStats summarize(std::vector<double> samples) {
+  TimingStats s;
+  s.repetitions = samples.size();
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.min_s = samples.front();
+  s.median_s = samples[samples.size() / 2];
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  s.mean_s = sum / static_cast<double>(samples.size());
+  double var = 0.0;
+  for (double v : samples) var += (v - s.mean_s) * (v - s.mean_s);
+  s.stddev_s = samples.size() > 1
+                   ? std::sqrt(var / static_cast<double>(samples.size() - 1))
+                   : 0.0;
+  return s;
+}
+
+TimingStats time_repeated(const std::function<void()>& body, std::size_t reps,
+                          std::size_t warmup) {
+  SMPST_CHECK(reps >= 1, "time_repeated: need at least one repetition");
+  for (std::size_t w = 0; w < warmup; ++w) body();
+  std::vector<double> samples;
+  samples.reserve(reps);
+  for (std::size_t r = 0; r < reps; ++r) {
+    WallTimer timer;
+    body();
+    samples.push_back(timer.elapsed_seconds());
+  }
+  return summarize(std::move(samples));
+}
+
+}  // namespace smpst::bench

@@ -1,0 +1,26 @@
+// Timing statistics for the benchmark harness: repeated measurement with
+// warmup, reporting min / mean / median / stddev.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace smpst::bench {
+
+struct TimingStats {
+  double min_s = 0.0;
+  double mean_s = 0.0;
+  double median_s = 0.0;
+  double stddev_s = 0.0;
+  std::size_t repetitions = 0;
+};
+
+/// Summarizes raw per-repetition seconds.
+TimingStats summarize(std::vector<double> samples);
+
+/// Times `body` `reps` times after `warmup` unrecorded runs.
+TimingStats time_repeated(const std::function<void()>& body, std::size_t reps,
+                          std::size_t warmup = 1);
+
+}  // namespace smpst::bench

@@ -1,0 +1,72 @@
+#include "bench_util/table.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+#include "support/assert.hpp"
+
+namespace smpst::bench {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  SMPST_CHECK(cells.size() == headers_.size(),
+              "table row width must match header");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << "  " << row[c];
+      for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 2;
+  for (std::size_t w : widths) total += w + 2;
+  os << "  " << std::string(total - 2, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string fmt_seconds(double seconds) {
+  char buf[64];
+  if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", seconds);
+  }
+  return buf;
+}
+
+std::string fmt_double(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string fmt_count(std::uint64_t value) {
+  return std::to_string(value);
+}
+
+}  // namespace smpst::bench

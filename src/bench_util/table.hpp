@@ -1,0 +1,36 @@
+// Aligned-column table writer used by every benchmark binary, with optional
+// CSV emission for downstream plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace smpst::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; cell count must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with aligned columns to `os`.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (header + rows).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helpers for table cells.
+std::string fmt_seconds(double seconds);
+std::string fmt_double(double value, int precision = 2);
+std::string fmt_count(std::uint64_t value);
+
+}  // namespace smpst::bench

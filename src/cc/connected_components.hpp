@@ -1,0 +1,61 @@
+// Connected components — the problem Shiloach–Vishkin originally solves and
+// one of the paper's stated future-work targets for the traversal framework.
+//
+// Four interchangeable engines, all returning dense labels in [0, count):
+//   * cc_union_find       sequential DSU over the edge set
+//   * cc_bfs              sequential BFS sweep
+//   * cc_shiloach_vishkin the parallel graft-and-shortcut labelling
+//   * cc_label_propagation HCS-style parallel min-label propagation with
+//                          pointer jumping (the modified
+//                          Hirschberg–Chandra–Sarwate scheme the paper
+//                          implemented and then set aside because its SMP
+//                          behaviour matches SV)
+//   * cc_from_forest      adapter over any spanning forest
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/spanning_forest.hpp"
+#include "graph/graph.hpp"
+
+namespace smpst::cc {
+
+struct CcResult {
+  std::vector<VertexId> label;  ///< dense component ids, in [0, count)
+  VertexId count = 0;
+};
+
+CcResult cc_union_find(const Graph& g);
+CcResult cc_bfs(const Graph& g);
+
+struct ParallelCcOptions {
+  std::size_t num_threads = 0;  ///< 0 = hardware_threads()
+};
+
+CcResult cc_shiloach_vishkin(const Graph& g, const ParallelCcOptions& = {});
+CcResult cc_label_propagation(const Graph& g, const ParallelCcOptions& = {});
+
+/// Random-mating connectivity after Reif (1985) / Phillips (1989) — the
+/// "random-mating" engine in Greiner's comparison the paper discusses. Each
+/// round every component root flips a coin; tails-roots hook onto an
+/// adjacent heads-component (election per root), merging an expected
+/// constant fraction of components per round, then pointer jumping collapses
+/// to stars. Randomness is drawn deterministically from `seed`.
+CcResult cc_random_mate(const Graph& g, const ParallelCcOptions& = {},
+                        std::uint64_t seed = 0x5eed);
+
+/// Concurrent union-find connectivity (Rem's algorithm with CAS splicing) —
+/// the approach modern shared-memory connectivity frameworks (ConnectIt,
+/// GBBS) favour over graft-and-shortcut: threads process edge ranges
+/// independently and merge lock-free, with no barriers at all. Included as
+/// the present-day comparator for the SV-era engines above.
+CcResult cc_rem_union(const Graph& g, const ParallelCcOptions& = {});
+
+CcResult cc_from_forest(const SpanningForest& forest);
+
+/// True if the two labelings induce the same partition of [0, n).
+bool same_partition(const std::vector<VertexId>& a,
+                    const std::vector<VertexId>& b);
+
+}  // namespace smpst::cc

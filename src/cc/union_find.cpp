@@ -1,0 +1,32 @@
+#include "cc/union_find.hpp"
+
+#include "support/assert.hpp"
+
+namespace smpst::cc {
+
+UnionFind::UnionFind(VertexId n)
+    : parent_(n), rank_(n, 0), num_sets_(n) {
+  for (VertexId v = 0; v < n; ++v) parent_[v] = v;
+}
+
+VertexId UnionFind::find(VertexId v) noexcept {
+  SMPST_ASSERT(v < parent_.size());
+  while (parent_[v] != v) {
+    parent_[v] = parent_[parent_[v]];  // path halving
+    v = parent_[v];
+  }
+  return v;
+}
+
+bool UnionFind::unite(VertexId a, VertexId b) noexcept {
+  a = find(a);
+  b = find(b);
+  if (a == b) return false;
+  if (rank_[a] < rank_[b]) std::swap(a, b);
+  parent_[b] = a;
+  if (rank_[a] == rank_[b]) ++rank_[a];
+  --num_sets_;
+  return true;
+}
+
+}  // namespace smpst::cc

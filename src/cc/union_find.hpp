@@ -1,0 +1,37 @@
+// Sequential disjoint-set union (union by rank, path halving) — the ground
+// truth the connectivity tests compare every parallel algorithm against, and
+// the engine of the Kruskal MSF baseline.
+#pragma once
+
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace smpst::cc {
+
+class UnionFind {
+ public:
+  explicit UnionFind(VertexId n);
+
+  [[nodiscard]] VertexId size() const noexcept {
+    return static_cast<VertexId>(parent_.size());
+  }
+
+  /// Representative of v's set, with path halving.
+  VertexId find(VertexId v) noexcept;
+
+  /// Merges the sets of a and b; returns true if they were distinct.
+  bool unite(VertexId a, VertexId b) noexcept;
+
+  [[nodiscard]] VertexId num_sets() const noexcept { return num_sets_; }
+
+  /// True if a and b are currently in the same set.
+  bool same(VertexId a, VertexId b) noexcept { return find(a) == find(b); }
+
+ private:
+  std::vector<VertexId> parent_;
+  std::vector<std::uint8_t> rank_;
+  VertexId num_sets_;
+};
+
+}  // namespace smpst::cc

@@ -1,0 +1,56 @@
+#include "core/algorithms.hpp"
+
+#include <stdexcept>
+
+#include "sched/thread_pool.hpp"
+
+namespace smpst {
+
+const std::vector<AlgorithmSpec>& algorithms() {
+  static const std::vector<AlgorithmSpec> kAlgorithms = {
+      {"bfs", "sequential breadth-first traversal (paper's baseline)", false},
+      {"dfs", "sequential depth-first traversal", false},
+      {"bader-cong", "stub tree + work-stealing traversal (the paper)", true},
+      {"sv", "Shiloach-Vishkin, election grafting", true},
+      {"sv-lock", "Shiloach-Vishkin, lock grafting", true},
+      {"hcs", "Hirschberg-Chandra-Sarwate, min-neighbour hooking", true},
+      {"parallel-bfs", "level-synchronous parallel BFS (modern baseline)",
+       true},
+  };
+  return kAlgorithms;
+}
+
+bool is_algorithm(const std::string& name) {
+  for (const auto& a : algorithms()) {
+    if (a.name == name) return true;
+  }
+  return false;
+}
+
+SpanningForest run_algorithm(const std::string& name, const Graph& g,
+                             ThreadPool& pool, std::uint64_t seed) {
+  if (name == "bfs") return bfs_spanning_tree(g);
+  if (name == "dfs") return dfs_spanning_tree(g);
+  if (name == "bader-cong") {
+    BaderCongOptions opts;
+    opts.seed = seed;
+    return bader_cong_spanning_tree(g, pool, opts);
+  }
+  if (name == "sv") {
+    return sv_spanning_tree(g, pool, SvOptions{});
+  }
+  if (name == "sv-lock") {
+    SvOptions opts;
+    opts.use_locks = true;
+    return sv_spanning_tree(g, pool, opts);
+  }
+  if (name == "hcs") {
+    return hcs_spanning_tree(g, pool, HcsOptions{});
+  }
+  if (name == "parallel-bfs") {
+    return parallel_bfs_spanning_tree(g, pool, ParallelBfsOptions{});
+  }
+  throw std::invalid_argument("unknown algorithm: " + name);
+}
+
+}  // namespace smpst

@@ -1,0 +1,39 @@
+// Name-keyed algorithm registry plus the umbrella header for the core
+// spanning tree API. The registry lets benches, tests, and example CLIs pick
+// algorithms by the names used in the paper's plots.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/bader_cong.hpp"
+#include "core/bfs.hpp"
+#include "core/dfs.hpp"
+#include "core/hcs.hpp"
+#include "core/parallel_bfs.hpp"
+#include "core/shiloach_vishkin.hpp"
+#include "core/spanning_forest.hpp"
+#include "core/validate.hpp"
+
+namespace smpst {
+
+class ThreadPool;
+
+struct AlgorithmSpec {
+  std::string name;
+  std::string description;
+  bool parallel = false;
+};
+
+/// Registered names: "bfs", "dfs" (sequential); "bader-cong", "sv",
+/// "sv-lock", "hcs", "parallel-bfs" (parallel).
+const std::vector<AlgorithmSpec>& algorithms();
+
+bool is_algorithm(const std::string& name);
+
+/// Runs the named algorithm. Parallel algorithms use `pool`; sequential ones
+/// ignore it. Throws std::invalid_argument for unknown names.
+SpanningForest run_algorithm(const std::string& name, const Graph& g,
+                             ThreadPool& pool, std::uint64_t seed = 0x5eed);
+
+}  // namespace smpst

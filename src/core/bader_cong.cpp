@@ -1,0 +1,335 @@
+#include "core/bader_cong.hpp"
+
+#include <atomic>
+#include <memory>
+
+#include "core/shiloach_vishkin.hpp"
+#include "sched/termination.hpp"
+#include "sched/thread_pool.hpp"
+#include "sched/work_queue.hpp"
+#include "support/assert.hpp"
+#include "support/cacheline.hpp"
+#include "support/cpu.hpp"
+#include "support/prng.hpp"
+#include "support/timer.hpp"
+
+namespace smpst {
+
+namespace {
+
+/// Shared state of one traversal. Colour 0 means unvisited; thread t writes
+/// colour t+1. Parent writes race benignly exactly as in the paper: the last
+/// writer wins and either value forms a valid tree edge.
+struct TraversalState {
+  explicit TraversalState(const Graph& graph, std::size_t p)
+      : g(graph),
+        n(graph.num_vertices()),
+        color(std::make_unique<std::atomic<std::uint32_t>[]>(n)),
+        parent(std::make_unique<std::atomic<VertexId>[]>(n)),
+        queues(p) {
+    for (VertexId v = 0; v < n; ++v) {
+      color[v].store(0, std::memory_order_relaxed);
+      parent[v].store(kInvalidVertex, std::memory_order_relaxed);
+    }
+  }
+
+  const Graph& g;
+  const VertexId n;
+  std::unique_ptr<std::atomic<std::uint32_t>[]> color;
+  std::unique_ptr<std::atomic<VertexId>[]> parent;
+  std::vector<Padded<SplitQueue<VertexId>>> queues;
+
+  PendingCounter pending;
+  IdleGate gate;
+  std::atomic<VertexId> root_cursor{0};
+  std::atomic<bool> done{false};
+  std::atomic<bool> starved{false};
+};
+
+/// Claims the next uncoloured vertex as a fresh component root. Returns true
+/// if a root was claimed (and enqueued on the caller's queue); false when the
+/// cursor has passed the last vertex.
+///
+/// Exactly one root may be claimed per drain: claiming a second root while
+/// the first's component is still being traversed could seed two trees inside
+/// one component (the second root might be an as-yet-uncoloured vertex of the
+/// first root's component). Sleep/wake churn on graphs with thousands of tiny
+/// components is the price of that soundness; the paper's experiments assume
+/// connected inputs, where this path runs at most once.
+bool try_claim_root(TraversalState& st, std::size_t tid, std::uint32_t label,
+                    ThreadStats& ts) {
+  for (;;) {
+    VertexId v = st.root_cursor.load(std::memory_order_seq_cst);
+    if (v >= st.n) return false;
+    if (st.color[v].load(std::memory_order_acquire) != 0) {
+      st.root_cursor.compare_exchange_weak(v, v + 1,
+                                           std::memory_order_seq_cst);
+      continue;
+    }
+    std::uint32_t expected = 0;
+    // Count the root as pending *before* publishing its colour so any thread
+    // that observes the colour also observes the pending increment.
+    st.pending.add(1);
+    if (st.color[v].compare_exchange_strong(expected, label,
+                                            std::memory_order_release,
+                                            std::memory_order_acquire)) {
+      st.parent[v].store(v, std::memory_order_relaxed);
+      st.queues[tid]->push(v);
+      ++ts.roots_claimed;
+      st.root_cursor.compare_exchange_strong(v, v + 1,
+                                             std::memory_order_seq_cst);
+      return true;
+    }
+    st.pending.add(-1);  // lost the race; someone else claimed v
+  }
+}
+
+/// Expands one vertex: colour-and-enqueue every unvisited neighbour (Alg. 1
+/// lines 2.3–2.7).
+void expand_vertex(TraversalState& st, std::size_t tid, std::uint32_t label,
+                   VertexId v, std::vector<VertexId>& children,
+                   ThreadStats& ts) {
+  children.clear();
+  const auto nbrs = st.g.neighbors(v);
+  ts.edges_scanned += nbrs.size();
+  for (VertexId w : nbrs) {
+    // Deliberately check-then-set (no CAS): the race is benign (§2, Fig. 1).
+    if (st.color[w].load(std::memory_order_relaxed) == 0) {
+      st.pending.add(1);
+      st.color[w].store(label, std::memory_order_release);
+      st.parent[w].store(v, std::memory_order_relaxed);
+      children.push_back(w);
+    }
+  }
+  if (!children.empty()) {
+    st.queues[tid]->push_bulk(children.data(), children.size());
+    ts.enqueues += children.size();
+    st.gate.notify_work();
+  }
+  st.pending.add(-1);  // v consumed
+  ++ts.vertices_processed;
+}
+
+void traversal_worker(TraversalState& st, std::size_t tid,
+                      const BaderCongOptions& opts, std::size_t p,
+                      ThreadStats& ts) {
+  const auto label = static_cast<std::uint32_t>(tid + 1);
+  const std::size_t steal_attempts =
+      opts.steal_attempts != 0 ? opts.steal_attempts : 2 * p;
+  const std::size_t starvation_threshold = std::max<std::size_t>(
+      1, static_cast<std::size_t>(opts.starvation_fraction *
+                                  static_cast<double>(p)));
+  Xoshiro256 rng(derive_stream_seed(opts.seed, 0x1000 + tid));
+
+  std::vector<VertexId> children;
+  children.reserve(1024);
+  std::vector<VertexId> stolen;
+  std::size_t starving_rounds = 0;
+
+  while (!st.done.load(std::memory_order_acquire) &&
+         !st.starved.load(std::memory_order_acquire)) {
+    VertexId v;
+    if (st.queues[tid]->pop(v)) {
+      starving_rounds = 0;
+      expand_vertex(st, tid, label, v, children, ts);
+      continue;
+    }
+
+    if (st.pending.drained()) {
+      if (try_claim_root(st, tid, label, ts)) continue;
+      // Cursor exhausted; if no claim slipped in concurrently we are done.
+      if (st.pending.drained()) {
+        st.done.store(true, std::memory_order_release);
+        st.gate.notify_work();
+        break;
+      }
+    }
+
+    // Steal the front half (or a fixed chunk) of a random victim's queue.
+    bool got = false;
+    for (std::size_t a = 0; a < steal_attempts && p > 1; ++a) {
+      const auto victim = static_cast<std::size_t>(rng.next_bounded(p));
+      if (victim == tid) continue;
+      ++ts.steal_attempts;
+      const std::size_t avail = st.queues[victim]->size();
+      if (avail == 0) continue;
+      // Take at most half the victim's queue ("steals part of the queue"),
+      // even under an explicit chunk size: emptying a busy victim makes
+      // work slosh between thieves instead of getting processed.
+      const std::size_t half = std::max<std::size_t>(1, avail / 2);
+      const std::size_t chunk =
+          opts.steal_chunk != 0 ? std::min(opts.steal_chunk, half) : half;
+      stolen.clear();
+      const std::size_t took = st.queues[victim]->steal(stolen, chunk);
+      if (took > 0) {
+        st.queues[tid]->push_bulk(stolen.data(), took);
+        ++ts.steals_succeeded;
+        ts.items_stolen += took;
+        got = true;
+        break;
+      }
+    }
+    if (got) {
+      starving_rounds = 0;
+      continue;
+    }
+
+    // Nothing to do and nothing to steal: sleep on the gate (the paper's
+    // condition-variable protocol) and watch for starvation.
+    ++ts.sleep_episodes;
+    const std::size_t sleepers = st.gate.sleep_for(opts.idle_sleep);
+    if (!st.pending.drained() && sleepers >= starvation_threshold) {
+      if (++starving_rounds >= opts.starvation_patience &&
+          opts.enable_fallback && p > 1) {
+        st.starved.store(true, std::memory_order_release);
+        st.gate.notify_work();
+        break;
+      }
+    } else {
+      starving_rounds = 0;
+    }
+  }
+}
+
+/// Phase 1: random walk of `steps` steps from `start`; returns the distinct
+/// stub vertices in discovery order (first entry is the walk root).
+std::vector<VertexId> grow_stub_tree(TraversalState& st, VertexId start,
+                                     std::size_t steps, std::size_t p,
+                                     Xoshiro256& rng) {
+  std::vector<VertexId> stub;
+  stub.reserve(steps + 1);
+  st.color[start].store(1, std::memory_order_relaxed);
+  st.parent[start].store(start, std::memory_order_relaxed);
+  stub.push_back(start);
+  VertexId cur = start;
+  for (std::size_t s = 0; s < steps; ++s) {
+    const auto nbrs = st.g.neighbors(cur);
+    if (nbrs.empty()) break;
+    const VertexId next =
+        nbrs[static_cast<std::size_t>(rng.next_bounded(nbrs.size()))];
+    if (st.color[next].load(std::memory_order_relaxed) == 0) {
+      st.color[next].store(1, std::memory_order_relaxed);
+      st.parent[next].store(cur, std::memory_order_relaxed);
+      stub.push_back(next);
+    }
+    cur = next;
+  }
+  // Deal the stub vertices round-robin into the processors' queues and
+  // re-colour each with its owner's label.
+  for (std::size_t i = 0; i < stub.size(); ++i) {
+    const std::size_t owner = i % p;
+    st.color[stub[i]].store(static_cast<std::uint32_t>(owner + 1),
+                            std::memory_order_relaxed);
+    st.queues[owner]->push(stub[i]);
+  }
+  st.pending.reset(static_cast<std::int64_t>(stub.size()));
+  return stub;
+}
+
+/// Fallback merge: partial parent links become tree edges; the partial trees
+/// become the initial partition for Shiloach–Vishkin, which connects them;
+/// the union of both edge sets is oriented into the final forest (the paper's
+/// "merge the grown spanning subtree into a super-vertex and start SV").
+SpanningForest finish_with_sv(TraversalState& st, ThreadPool& pool,
+                              const BaderCongOptions& opts) {
+  const VertexId n = st.n;
+  std::vector<Edge> edges;
+  edges.reserve(n);
+  std::vector<VertexId> labels(n);
+
+  // Initial labels: root of each partial tree for coloured vertices
+  // (memoized pointer walk), self for uncoloured ones.
+  std::vector<VertexId> root_of(n, kInvalidVertex);
+  std::vector<VertexId> path;
+  for (VertexId v = 0; v < n; ++v) {
+    if (st.color[v].load(std::memory_order_relaxed) == 0) {
+      labels[v] = v;
+      continue;
+    }
+    const VertexId pv = st.parent[v].load(std::memory_order_relaxed);
+    if (pv != v) edges.push_back(pv < v ? Edge{pv, v} : Edge{v, pv});
+    if (root_of[v] != kInvalidVertex) {
+      labels[v] = root_of[v];
+      continue;
+    }
+    path.clear();
+    VertexId cur = v;
+    while (root_of[cur] == kInvalidVertex &&
+           st.parent[cur].load(std::memory_order_relaxed) != cur) {
+      path.push_back(cur);
+      cur = st.parent[cur].load(std::memory_order_relaxed);
+    }
+    const VertexId root = root_of[cur] != kInvalidVertex ? root_of[cur] : cur;
+    root_of[cur] = root;
+    for (VertexId u : path) root_of[u] = root;
+    labels[v] = root;
+  }
+
+  SvOptions sv_opts;
+  sv_opts.num_threads = pool.size();
+  const std::vector<Edge> sv_edges =
+      sv_tree_edges(st.g, pool, std::move(labels), sv_opts);
+  edges.insert(edges.end(), sv_edges.begin(), sv_edges.end());
+  (void)opts;
+  return orient_tree_edges(n, edges);
+}
+
+}  // namespace
+
+SpanningForest bader_cong_spanning_tree(const Graph& g, ThreadPool& pool,
+                                        const BaderCongOptions& opts) {
+  const VertexId n = g.num_vertices();
+  const std::size_t p = pool.size();
+
+  SpanningForest forest;
+  forest.parent.assign(n, kInvalidVertex);
+  if (n == 0) return forest;
+
+  TraversalState st(g, p);
+  Xoshiro256 rng(derive_stream_seed(opts.seed, 0xabc));
+
+  TraversalStats local_stats;
+  local_stats.per_thread.resize(p);
+
+  // Phase 1: stub spanning tree (single processor).
+  WallTimer stub_timer;
+  const auto start = static_cast<VertexId>(rng.next_bounded(n));
+  const std::size_t steps =
+      opts.stub_steps != 0 ? opts.stub_steps : 2 * p;
+  const auto stub = grow_stub_tree(st, start, steps, p, rng);
+  local_stats.stub_vertices = stub.size();
+  local_stats.stub_seconds = stub_timer.elapsed_seconds();
+
+  // Phase 2: work-stealing traversal.
+  WallTimer trav_timer;
+  pool.run([&](std::size_t tid) {
+    traversal_worker(st, tid, opts, p, local_stats.per_thread[tid]);
+  });
+  local_stats.traversal_seconds = trav_timer.elapsed_seconds();
+
+  if (st.starved.load(std::memory_order_relaxed)) {
+    // Detection mechanism fired: merge and finish with SV.
+    local_stats.fallback_triggered = true;
+    WallTimer fb_timer;
+    forest = finish_with_sv(st, pool, opts);
+    local_stats.fallback_seconds = fb_timer.elapsed_seconds();
+  } else {
+    for (VertexId v = 0; v < n; ++v) {
+      forest.parent[v] = st.parent[v].load(std::memory_order_relaxed);
+    }
+    local_stats.duplicate_expansions = local_stats.total_processed() - n;
+  }
+
+  if (opts.stats != nullptr) *opts.stats = std::move(local_stats);
+  return forest;
+}
+
+SpanningForest bader_cong_spanning_tree(const Graph& g,
+                                        const BaderCongOptions& opts) {
+  const std::size_t p =
+      opts.num_threads != 0 ? opts.num_threads : hardware_threads();
+  ThreadPool pool(p);
+  return bader_cong_spanning_tree(g, pool, opts);
+}
+
+}  // namespace smpst

@@ -1,0 +1,60 @@
+#include "core/bfs.hpp"
+
+#include "support/assert.hpp"
+
+namespace smpst {
+
+SpanningForest bfs_spanning_tree(const Graph& g, VertexId source) {
+  const VertexId n = g.num_vertices();
+  SMPST_CHECK(source < n || n == 0, "bfs_spanning_tree: source out of range");
+
+  SpanningForest forest;
+  forest.parent.assign(n, kInvalidVertex);
+  if (n == 0) return forest;
+
+  std::vector<VertexId> queue;
+  queue.reserve(n);
+
+  auto run = [&](VertexId s) {
+    forest.parent[s] = s;
+    queue.clear();
+    queue.push_back(s);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const VertexId v = queue[head];
+      for (VertexId w : g.neighbors(v)) {
+        if (forest.parent[w] == kInvalidVertex) {
+          forest.parent[w] = v;
+          queue.push_back(w);
+        }
+      }
+    }
+  };
+
+  run(source);
+  for (VertexId v = 0; v < n; ++v) {
+    if (forest.parent[v] == kInvalidVertex) run(v);
+  }
+  return forest;
+}
+
+std::vector<VertexId> bfs_levels(const Graph& g, VertexId source) {
+  const VertexId n = g.num_vertices();
+  SMPST_CHECK(source < n, "bfs_levels: source out of range");
+  std::vector<VertexId> level(n, kInvalidVertex);
+  std::vector<VertexId> queue;
+  queue.reserve(n);
+  queue.push_back(source);
+  level[source] = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const VertexId v = queue[head];
+    for (VertexId w : g.neighbors(v)) {
+      if (level[w] == kInvalidVertex) {
+        level[w] = level[v] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return level;
+}
+
+}  // namespace smpst

@@ -1,0 +1,53 @@
+#include "core/dfs.hpp"
+
+#include "support/assert.hpp"
+
+namespace smpst {
+
+SpanningForest dfs_spanning_tree(const Graph& g, VertexId source) {
+  const VertexId n = g.num_vertices();
+  SMPST_CHECK(source < n || n == 0, "dfs_spanning_tree: source out of range");
+
+  SpanningForest forest;
+  forest.parent.assign(n, kInvalidVertex);
+  if (n == 0) return forest;
+
+  // Explicit stack of (vertex, next-neighbour-offset) frames.
+  struct Frame {
+    VertexId v;
+    EdgeId next;
+  };
+  std::vector<Frame> stack;
+
+  auto run = [&](VertexId s) {
+    forest.parent[s] = s;
+    stack.push_back({s, g.offsets()[s]});
+    while (!stack.empty()) {
+      // Work on a copy of the cursor: pushing a child frame may reallocate
+      // the stack and invalidate references into it.
+      const VertexId v = stack.back().v;
+      const EdgeId end = g.offsets()[v + 1];
+      EdgeId next = stack.back().next;
+      bool descended = false;
+      while (next < end) {
+        const VertexId w = g.targets()[next++];
+        if (forest.parent[w] == kInvalidVertex) {
+          forest.parent[w] = v;
+          stack.back().next = next;
+          stack.push_back({w, g.offsets()[w]});
+          descended = true;
+          break;
+        }
+      }
+      if (!descended) stack.pop_back();
+    }
+  };
+
+  run(source);
+  for (VertexId v = 0; v < n; ++v) {
+    if (forest.parent[v] == kInvalidVertex) run(v);
+  }
+  return forest;
+}
+
+}  // namespace smpst

@@ -1,0 +1,14 @@
+// Sequential depth-first spanning forest (iterative; no recursion so chains
+// of millions of vertices cannot overflow the stack). The second classical
+// sequential baseline; the paper's Fig. 4 uses BFS as "Sequential" but DFS
+// has identical asymptotics and is included for completeness.
+#pragma once
+
+#include "core/spanning_forest.hpp"
+#include "graph/graph.hpp"
+
+namespace smpst {
+
+SpanningForest dfs_spanning_tree(const Graph& g, VertexId source = 0);
+
+}  // namespace smpst

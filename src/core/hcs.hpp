@@ -1,0 +1,32 @@
+// Modified Hirschberg–Chandra–Sarwate spanning tree.
+//
+// HCS (CACM 1979) is the classic CREW connectivity algorithm built around a
+// min-reduction: every component adopts the minimum label in its
+// neighbourhood, then pointer-jumps. The paper implemented an SMP adaptation
+// for spanning trees, observed "similar complexities and running time as
+// SV", and dropped it from further discussion. We keep it as a first-class
+// algorithm so that observation is reproducible: the structure below is SV's
+// graft-and-shortcut loop with HCS's hook rule — each root hooks onto the
+// *minimum*-labelled neighbouring component (a CAS-min election per root,
+// the min-reduction in disguise) instead of SV's hook-to-any-smaller — and
+// the winning edges form the spanning forest.
+#pragma once
+
+#include "core/instrumentation.hpp"
+#include "core/spanning_forest.hpp"
+#include "graph/graph.hpp"
+
+namespace smpst {
+
+class ThreadPool;
+
+struct HcsOptions {
+  std::size_t num_threads = 0;  ///< 0 = hardware_threads()
+  SvStats* stats = nullptr;     ///< same shape as SV's statistics
+};
+
+SpanningForest hcs_spanning_tree(const Graph& g, const HcsOptions& opts = {});
+SpanningForest hcs_spanning_tree(const Graph& g, ThreadPool& pool,
+                                 const HcsOptions& opts);
+
+}  // namespace smpst

@@ -1,0 +1,120 @@
+#include "core/parallel_bfs.hpp"
+
+#include <atomic>
+#include <memory>
+
+#include "sched/barrier.hpp"
+#include "sched/thread_pool.hpp"
+#include "support/cacheline.hpp"
+#include "support/cpu.hpp"
+
+namespace smpst {
+
+namespace {
+
+struct BfsState {
+  explicit BfsState(const Graph& graph, std::size_t p)
+      : g(graph),
+        n(graph.num_vertices()),
+        parent(std::make_unique<std::atomic<VertexId>[]>(n)),
+        buffers(p),
+        barrier(p) {
+    for (VertexId v = 0; v < n; ++v) {
+      parent[v].store(kInvalidVertex, std::memory_order_relaxed);
+    }
+  }
+
+  const Graph& g;
+  const VertexId n;
+  std::unique_ptr<std::atomic<VertexId>[]> parent;
+
+  std::vector<VertexId> frontier;
+  std::vector<Padded<std::vector<VertexId>>> buffers;  // next-frontier pieces
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> next_nonempty{false};
+  SpinBarrier barrier;
+};
+
+/// Expands the current frontier cooperatively; returns this thread's vote on
+/// whether a next level exists.
+void expand_level(BfsState& st, std::size_t tid, std::size_t grain) {
+  auto& out = *st.buffers[tid];
+  out.clear();
+  for (;;) {
+    const std::size_t begin =
+        st.cursor.fetch_add(grain, std::memory_order_relaxed);
+    if (begin >= st.frontier.size()) break;
+    const std::size_t end = std::min(begin + grain, st.frontier.size());
+    for (std::size_t i = begin; i < end; ++i) {
+      const VertexId v = st.frontier[i];
+      for (VertexId w : st.g.neighbors(v)) {
+        VertexId expected = kInvalidVertex;
+        // CAS claim: exactly one parent per vertex, no duplicates in the
+        // next frontier.
+        if (st.parent[w].load(std::memory_order_relaxed) == kInvalidVertex &&
+            st.parent[w].compare_exchange_strong(expected, v,
+                                                 std::memory_order_relaxed)) {
+          out.push_back(w);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+SpanningForest parallel_bfs_spanning_tree(const Graph& g, ThreadPool& pool,
+                                          const ParallelBfsOptions& opts) {
+  const VertexId n = g.num_vertices();
+  const std::size_t p = pool.size();
+  const std::size_t grain = std::max<std::size_t>(1, opts.grain);
+
+  SpanningForest forest;
+  forest.parent.assign(n, kInvalidVertex);
+  if (n == 0) return forest;
+
+  BfsState st(g, p);
+  ParallelBfsStats stats;
+
+  // The level loop runs on the calling thread; each level's expansion is one
+  // parallel region. Components are processed in vertex order, like the
+  // sequential baseline.
+  for (VertexId root = 0; root < n; ++root) {
+    if (st.parent[root].load(std::memory_order_relaxed) != kInvalidVertex) {
+      continue;
+    }
+    st.parent[root].store(root, std::memory_order_relaxed);
+    st.frontier.assign(1, root);
+
+    while (!st.frontier.empty()) {
+      ++stats.levels;
+      stats.max_frontier =
+          std::max<std::uint64_t>(stats.max_frontier, st.frontier.size());
+      st.cursor.store(0, std::memory_order_relaxed);
+
+      pool.run([&](std::size_t tid) { expand_level(st, tid, grain); });
+      stats.barriers += 1;  // the region join acts as the level barrier
+
+      st.frontier.clear();
+      for (auto& buf : st.buffers) {
+        st.frontier.insert(st.frontier.end(), buf->begin(), buf->end());
+      }
+    }
+  }
+
+  for (VertexId v = 0; v < n; ++v) {
+    forest.parent[v] = st.parent[v].load(std::memory_order_relaxed);
+  }
+  if (opts.stats != nullptr) *opts.stats = stats;
+  return forest;
+}
+
+SpanningForest parallel_bfs_spanning_tree(const Graph& g,
+                                          const ParallelBfsOptions& opts) {
+  const std::size_t p =
+      opts.num_threads != 0 ? opts.num_threads : hardware_threads();
+  ThreadPool pool(p);
+  return parallel_bfs_spanning_tree(g, pool, opts);
+}
+
+}  // namespace smpst

@@ -1,0 +1,44 @@
+// Level-synchronous parallel BFS spanning tree — the strategy modern
+// frameworks (Ligra, GBBS) use for the same problem, included as a
+// present-day comparison point for the paper's asynchronous work-stealing
+// design.
+//
+// All p threads cooperatively expand one BFS frontier at a time, separated by
+// barriers: each thread grabs contiguous grains of the current frontier from
+// a shared cursor, claims unvisited neighbours with a CAS (unlike the
+// traversal algorithm's benign races, level-synchronous BFS needs exact
+// frontier membership), and appends discoveries to a per-thread buffer that
+// is concatenated into the next frontier. The barrier count is O(diameter) —
+// versus the paper's O(1) — which is exactly the structural difference the
+// comparison bench (ablate_levelsync) quantifies.
+#pragma once
+
+#include <cstdint>
+
+#include "core/instrumentation.hpp"
+#include "core/spanning_forest.hpp"
+#include "graph/graph.hpp"
+
+namespace smpst {
+
+class ThreadPool;
+
+struct ParallelBfsStats {
+  std::uint64_t levels = 0;     ///< frontier expansions (== eccentricity + 1)
+  std::uint64_t barriers = 0;   ///< barrier episodes
+  std::uint64_t max_frontier = 0;
+};
+
+struct ParallelBfsOptions {
+  std::size_t num_threads = 0;  ///< 0 = hardware_threads()
+  std::size_t grain = 64;       ///< frontier vertices claimed per cursor grab
+  ParallelBfsStats* stats = nullptr;
+};
+
+/// Spanning forest via level-synchronous parallel BFS over all components.
+SpanningForest parallel_bfs_spanning_tree(const Graph& g,
+                                          const ParallelBfsOptions& opts = {});
+SpanningForest parallel_bfs_spanning_tree(const Graph& g, ThreadPool& pool,
+                                          const ParallelBfsOptions& opts);
+
+}  // namespace smpst

@@ -1,0 +1,52 @@
+// SMP adaptation of the Shiloach–Vishkin connectivity algorithm as a
+// spanning tree algorithm — the parallel baseline the paper measures its new
+// algorithm against.
+//
+// Each iteration: (1) graft — every component root with an edge to a
+// smaller-labelled component hooks onto it; because real SMPs provide only
+// arbitrary (not priority) concurrent writes, the hook is decided by an
+// election (first CAS wins) so each tree is grafted exactly once, the
+// paper's fix for the race that would otherwise create false tree edges;
+// (2) shortcut — pointer jumping until every tree is a rooted star (this is
+// where the extra log n factor of the SMP adaptation comes from). The edge
+// that wins a root's election becomes a tree edge. Iterations repeat until
+// no grafts occur; the iteration count depends on the vertex labelling
+// (1 .. log n), the sensitivity Fig. 4 demonstrates.
+//
+// A lock-per-root grafting variant ("intuitively slow and not scalable",
+// §2) is included for the A3 ablation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instrumentation.hpp"
+#include "core/spanning_forest.hpp"
+#include "graph/graph.hpp"
+
+namespace smpst {
+
+class ThreadPool;
+
+struct SvOptions {
+  std::size_t num_threads = 0;  ///< 0 = hardware_threads()
+  bool use_locks = false;       ///< lock-based grafting instead of election
+  SvStats* stats = nullptr;
+};
+
+/// Spanning forest via parallel Shiloach–Vishkin.
+SpanningForest sv_spanning_tree(const Graph& g, const SvOptions& opts = {});
+SpanningForest sv_spanning_tree(const Graph& g, ThreadPool& pool,
+                                const SvOptions& opts);
+
+/// Lower-level entry: runs SV from an arbitrary initial partition.
+/// `initial_labels[v]` must name the representative of v's current group and
+/// satisfy initial_labels[initial_labels[v]] == initial_labels[v] (rooted
+/// stars); identity is the standard start. Returns only the *new* tree edges
+/// chosen to connect the groups — this is the merge entry point used by the
+/// traversal algorithm's starvation fallback.
+std::vector<Edge> sv_tree_edges(const Graph& g, ThreadPool& pool,
+                                std::vector<VertexId> initial_labels,
+                                const SvOptions& opts);
+
+}  // namespace smpst

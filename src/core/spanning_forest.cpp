@@ -1,0 +1,123 @@
+#include "core/spanning_forest.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace smpst {
+
+std::vector<VertexId> SpanningForest::roots() const {
+  std::vector<VertexId> result;
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    if (is_root(v)) result.push_back(v);
+  }
+  return result;
+}
+
+VertexId SpanningForest::num_trees() const {
+  VertexId count = 0;
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    if (is_root(v)) ++count;
+  }
+  return count;
+}
+
+EdgeId SpanningForest::num_tree_edges() const {
+  return num_vertices() - num_trees();
+}
+
+std::vector<Edge> SpanningForest::tree_edges() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_tree_edges());
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    if (!is_root(v)) {
+      edges.push_back(parent[v] < v ? Edge{parent[v], v} : Edge{v, parent[v]});
+    }
+  }
+  return edges;
+}
+
+std::vector<VertexId> SpanningForest::component_of() const {
+  const VertexId n = num_vertices();
+  std::vector<VertexId> root_of(n, kInvalidVertex);
+  std::vector<VertexId> path;
+  for (VertexId v = 0; v < n; ++v) {
+    if (root_of[v] != kInvalidVertex) continue;
+    path.clear();
+    VertexId cur = v;
+    while (root_of[cur] == kInvalidVertex && parent[cur] != cur) {
+      path.push_back(cur);
+      cur = parent[cur];
+      SMPST_CHECK(path.size() <= n, "component_of: parent cycle detected");
+    }
+    const VertexId root = root_of[cur] != kInvalidVertex ? root_of[cur] : cur;
+    root_of[cur] = root;
+    for (VertexId u : path) root_of[u] = root;
+  }
+  return root_of;
+}
+
+std::vector<VertexId> SpanningForest::depths() const {
+  const VertexId n = num_vertices();
+  std::vector<VertexId> depth(n, kInvalidVertex);
+  std::vector<VertexId> path;
+  for (VertexId v = 0; v < n; ++v) {
+    if (depth[v] != kInvalidVertex) continue;
+    path.clear();
+    VertexId cur = v;
+    while (depth[cur] == kInvalidVertex && parent[cur] != cur) {
+      path.push_back(cur);
+      cur = parent[cur];
+      SMPST_CHECK(path.size() <= n, "depths: parent cycle detected");
+    }
+    VertexId d = depth[cur] != kInvalidVertex ? depth[cur] : 0;
+    if (depth[cur] == kInvalidVertex) depth[cur] = 0;
+    for (auto it = path.rbegin(); it != path.rend(); ++it) {
+      depth[*it] = ++d;
+    }
+  }
+  return depth;
+}
+
+SpanningForest orient_tree_edges(VertexId num_vertices,
+                                 const std::vector<Edge>& edges) {
+  // Adjacency over the tree edges only (CSR, both directions).
+  std::vector<EdgeId> offsets(static_cast<std::size_t>(num_vertices) + 1, 0);
+  for (const Edge& e : edges) {
+    SMPST_CHECK(e.u < num_vertices && e.v < num_vertices,
+                "orient_tree_edges: endpoint out of range");
+    ++offsets[e.u + 1];
+    ++offsets[e.v + 1];
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+  std::vector<VertexId> targets(offsets.back());
+  std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+  for (const Edge& e : edges) {
+    targets[cursor[e.u]++] = e.v;
+    targets[cursor[e.v]++] = e.u;
+  }
+
+  SpanningForest forest;
+  forest.parent.assign(num_vertices, kInvalidVertex);
+  std::vector<VertexId> queue;
+  queue.reserve(num_vertices);
+  for (VertexId s = 0; s < num_vertices; ++s) {
+    if (forest.parent[s] != kInvalidVertex) continue;
+    forest.parent[s] = s;
+    queue.clear();
+    queue.push_back(s);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const VertexId v = queue[head];
+      for (EdgeId i = offsets[v]; i < offsets[v + 1]; ++i) {
+        const VertexId w = targets[i];
+        if (forest.parent[w] == kInvalidVertex) {
+          forest.parent[w] = v;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  return forest;
+}
+
+}  // namespace smpst

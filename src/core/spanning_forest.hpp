@@ -1,0 +1,50 @@
+// The spanning-forest result type shared by every algorithm in the library.
+#pragma once
+
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace smpst {
+
+/// A rooted spanning forest encoded as a parent array: parent[v] == v marks a
+/// root; otherwise {v, parent[v]} is a tree edge. On a connected graph a
+/// valid forest has exactly one root (a spanning tree).
+struct SpanningForest {
+  std::vector<VertexId> parent;
+
+  [[nodiscard]] VertexId num_vertices() const noexcept {
+    return static_cast<VertexId>(parent.size());
+  }
+
+  [[nodiscard]] bool is_root(VertexId v) const noexcept {
+    return parent[v] == v;
+  }
+
+  /// All roots in ascending order.
+  [[nodiscard]] std::vector<VertexId> roots() const;
+
+  [[nodiscard]] VertexId num_trees() const;
+
+  /// n - num_trees().
+  [[nodiscard]] EdgeId num_tree_edges() const;
+
+  /// Every {v, parent[v]} pair with v non-root, canonicalized (u < v).
+  [[nodiscard]] std::vector<Edge> tree_edges() const;
+
+  /// component_of()[v] is the root of v's tree. Iterative with path
+  /// memoization, O(n) total. Precondition: the forest is acyclic.
+  [[nodiscard]] std::vector<VertexId> component_of() const;
+
+  /// depth()[v] = #edges from v to its root. Precondition: acyclic.
+  [[nodiscard]] std::vector<VertexId> depths() const;
+};
+
+/// Builds a rooted forest from an unoriented set of tree edges by BFS
+/// orientation. Vertices not covered by any edge become singleton roots.
+/// Used by the Shiloach–Vishkin family (which produces unoriented tree edges)
+/// and by the starvation-fallback merge path.
+SpanningForest orient_tree_edges(VertexId num_vertices,
+                                 const std::vector<Edge>& edges);
+
+}  // namespace smpst

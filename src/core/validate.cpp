@@ -1,0 +1,95 @@
+#include "core/validate.hpp"
+
+#include <sstream>
+
+#include "graph/stats.hpp"
+
+namespace smpst {
+
+namespace {
+
+ValidationReport fail(std::string msg) {
+  ValidationReport r;
+  r.ok = false;
+  r.error = std::move(msg);
+  return r;
+}
+
+}  // namespace
+
+ValidationReport validate_spanning_forest(const Graph& g,
+                                          const SpanningForest& forest) {
+  const VertexId n = g.num_vertices();
+  if (forest.parent.size() != n) {
+    return fail("forest size does not match graph");
+  }
+
+  // 1 + 2: range and edge-membership checks.
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId p = forest.parent[v];
+    if (p >= n) {
+      std::ostringstream os;
+      os << "vertex " << v << " has out-of-range parent " << p;
+      return fail(os.str());
+    }
+    if (p != v && !g.has_edge(v, p)) {
+      std::ostringstream os;
+      os << "tree edge {" << v << ", " << p << "} is not a graph edge";
+      return fail(os.str());
+    }
+  }
+
+  // 3: acyclicity via iterative resolution with memoized roots. A cycle shows
+  // up as a walk that returns to an in-progress vertex.
+  std::vector<VertexId> root_of(n, kInvalidVertex);
+  constexpr VertexId kInProgress = kInvalidVertex - 1;
+  std::vector<VertexId> path;
+  for (VertexId v = 0; v < n; ++v) {
+    if (root_of[v] != kInvalidVertex) continue;
+    path.clear();
+    VertexId cur = v;
+    while (true) {
+      if (root_of[cur] == kInProgress) {
+        std::ostringstream os;
+        os << "parent cycle through vertex " << cur;
+        return fail(os.str());
+      }
+      if (root_of[cur] != kInvalidVertex) break;       // memoized root below
+      if (forest.parent[cur] == cur) {                 // reached a real root
+        root_of[cur] = cur;
+        break;
+      }
+      root_of[cur] = kInProgress;
+      path.push_back(cur);
+      cur = forest.parent[cur];
+    }
+    const VertexId root = root_of[cur];
+    for (VertexId u : path) root_of[u] = root;
+  }
+
+  // 4: component agreement. Tree roots must be exactly one per component and
+  // every graph edge must stay inside one tree.
+  ValidationReport r;
+  r.num_trees = forest.num_trees();
+  r.tree_edges = forest.num_tree_edges();
+  const auto labels = component_labels(g, &r.graph_components);
+  if (r.num_trees != r.graph_components) {
+    std::ostringstream os;
+    os << "forest has " << r.num_trees << " trees but graph has "
+       << r.graph_components << " components";
+    return fail(os.str());
+  }
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId w : g.neighbors(u)) {
+      if (u < w && root_of[u] != root_of[w]) {
+        std::ostringstream os;
+        os << "edge {" << u << ", " << w
+           << "} spans two trees: a component is split";
+        return fail(os.str());
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace smpst

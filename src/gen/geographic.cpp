@@ -1,0 +1,245 @@
+#include "gen/geographic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "support/assert.hpp"
+#include "support/prng.hpp"
+
+namespace smpst::gen {
+
+namespace {
+
+struct Point {
+  double x;
+  double y;
+};
+
+double dist(const Point& a, const Point& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+/// Minimal union-find for the force-connected post-pass.
+class MiniDsu {
+ public:
+  explicit MiniDsu(VertexId n) : parent_(n) {
+    for (VertexId v = 0; v < n; ++v) parent_[v] = v;
+  }
+  VertexId find(VertexId v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];
+      v = parent_[v];
+    }
+    return v;
+  }
+  bool unite(VertexId a, VertexId b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<VertexId> parent_;
+};
+
+/// Links the components of `list` into one by chaining component
+/// representatives. A documented deviation from the raw Waxman model so that
+/// spanning-tree instances have a single component (DESIGN.md §5).
+void force_connected(EdgeList& list) {
+  const VertexId n = list.num_vertices();
+  MiniDsu dsu(n);
+  for (const Edge& e : list.edges()) dsu.unite(e.u, e.v);
+  VertexId prev_rep = kInvalidVertex;
+  for (VertexId v = 0; v < n; ++v) {
+    if (dsu.find(v) != v) continue;
+    if (prev_rep != kInvalidVertex) {
+      list.add_edge(prev_rep, v);
+      dsu.unite(prev_rep, v);
+    }
+    prev_rep = dsu.find(v);
+  }
+}
+
+/// Adds Waxman edges among pts[lo, hi) with decay scale `range` (absolute
+/// distance units), restricted to pairs within cutoff*range.
+void add_waxman_edges(EdgeList& list, const std::vector<Point>& pts,
+                      VertexId lo, VertexId hi, double alpha, double range,
+                      double cutoff_factor, Xoshiro256& rng) {
+  const double cutoff = cutoff_factor * range;
+  // Bucket grid with cell size = cutoff: all qualifying pairs are in the same
+  // or an adjacent cell.
+  const auto cells_per_side = std::max<VertexId>(
+      1, static_cast<VertexId>(std::min(1.0 / cutoff, 1e4)));
+  const double cell_w = 1.0 / static_cast<double>(cells_per_side);
+  std::vector<std::vector<VertexId>> grid(
+      static_cast<std::size_t>(cells_per_side) * cells_per_side);
+  auto cell_idx = [&](const Point& p) {
+    auto cx = std::min<VertexId>(static_cast<VertexId>(p.x / cell_w),
+                                 cells_per_side - 1);
+    auto cy = std::min<VertexId>(static_cast<VertexId>(p.y / cell_w),
+                                 cells_per_side - 1);
+    return static_cast<std::size_t>(cy) * cells_per_side + cx;
+  };
+  for (VertexId i = lo; i < hi; ++i) grid[cell_idx(pts[i])].push_back(i);
+
+  for (VertexId cy = 0; cy < cells_per_side; ++cy) {
+    for (VertexId cx = 0; cx < cells_per_side; ++cx) {
+      const auto& home = grid[static_cast<std::size_t>(cy) * cells_per_side + cx];
+      for (VertexId dy = 0; dy <= 1; ++dy) {
+        const VertexId ny = cy + dy;
+        if (ny >= cells_per_side) continue;
+        for (int dx = (dy == 0 ? 0 : -1); dx <= 1; ++dx) {
+          const auto nxs = static_cast<std::int64_t>(cx) + dx;
+          if (nxs < 0 || nxs >= static_cast<std::int64_t>(cells_per_side)) {
+            continue;
+          }
+          const auto nx = static_cast<VertexId>(nxs);
+          const bool same_cell = (dy == 0 && dx == 0);
+          const auto& other =
+              grid[static_cast<std::size_t>(ny) * cells_per_side + nx];
+          for (std::size_t a = 0; a < home.size(); ++a) {
+            const std::size_t b0 = same_cell ? a + 1 : 0;
+            for (std::size_t b = b0; b < other.size(); ++b) {
+              const VertexId u = home[a];
+              const VertexId v = other[b];
+              const double d = dist(pts[u], pts[v]);
+              if (d > cutoff) continue;
+              if (rng.next_bernoulli(alpha * std::exp(-d / range))) {
+                list.add_edge(u, v);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Graph geographic_flat(VertexId n, std::uint64_t seed,
+                      const GeoFlatParams& params) {
+  SMPST_CHECK(n >= 2, "geographic_flat: need at least two vertices");
+  const double max_dist = std::numbers::sqrt2;
+
+  double beta = params.beta;
+  if (beta <= 0.0) {
+    // E[deg] ~= n * alpha * 2*pi*(beta*L)^2 for the exponential kernel;
+    // solve for beta*L given the target average degree.
+    const double range = std::sqrt(
+        params.target_avg_degree /
+        (2.0 * std::numbers::pi * params.alpha * static_cast<double>(n)));
+    beta = range / max_dist;
+  }
+
+  std::vector<Point> pts(n);
+  Xoshiro256 rng(seed);
+  for (auto& p : pts) {
+    p.x = rng.next_double();
+    p.y = rng.next_double();
+  }
+
+  EdgeList list(n);
+  add_waxman_edges(list, pts, 0, n, params.alpha, beta * max_dist,
+                   params.cutoff_factor, rng);
+  if (params.force_connected) force_connected(list);
+  return GraphBuilder::build(std::move(list));
+}
+
+Graph geographic_hierarchical(VertexId n, std::uint64_t seed,
+                              const GeoHierParams& params) {
+  SMPST_CHECK(n >= 8, "geographic_hierarchical: instance too small");
+  Xoshiro256 rng(seed);
+
+  const VertexId backbone = std::min<VertexId>(params.backbone, n / 4);
+  const VertexId num_domains = backbone * params.domains_per_backbone;
+  const VertexId num_subs = num_domains * params.subs_per_domain;
+
+  // Split the non-backbone population: ~30% to domains, the rest to
+  // subdomains (stub networks dominate real topologies). domain_pop is
+  // clamped to the remaining population — on tiny instances the "one vertex
+  // per domain" floor would otherwise exceed it and wrap the unsigned
+  // subtraction below.
+  const VertexId rest = n - backbone;
+  const VertexId domain_pop =
+      std::min(rest, std::max<VertexId>(num_domains, rest * 3 / 10));
+  const VertexId sub_pop = rest - domain_pop;
+
+  std::vector<Point> pts;
+  pts.reserve(n);
+  EdgeList list(n);
+
+  // Level 0: backbone routers spread over the whole square, Waxman-wired with
+  // a chain fallback so the backbone is connected.
+  for (VertexId i = 0; i < backbone; ++i) {
+    pts.push_back({rng.next_double(), rng.next_double()});
+  }
+  add_waxman_edges(list, pts, 0, backbone, params.backbone_alpha,
+                   params.beta * std::numbers::sqrt2, 6.0, rng);
+  for (VertexId i = 1; i < backbone; ++i) list.add_edge(i - 1, i);
+
+  auto place_cluster = [&](VertexId count, Point center, double radius,
+                           VertexId attach_to) {
+    // First node of the cluster links to the parent level; the cluster itself
+    // is a chain plus local Waxman extras, keeping it connected.
+    const auto lo = static_cast<VertexId>(pts.size());
+    for (VertexId i = 0; i < count; ++i) {
+      const double ang =
+          rng.next_double() * 2.0 * std::numbers::pi;
+      const double rad = radius * std::sqrt(rng.next_double());
+      const double x = std::clamp(center.x + rad * std::cos(ang), 0.0, 1.0);
+      const double y = std::clamp(center.y + rad * std::sin(ang), 0.0, 1.0);
+      pts.push_back({x, y});
+    }
+    const auto hi = static_cast<VertexId>(pts.size());
+    if (lo == hi) return lo;
+    list.add_edge(attach_to, lo);
+    for (VertexId v = lo + 1; v < hi; ++v) list.add_edge(v - 1, v);
+    add_waxman_edges(list, pts, lo, hi, params.local_alpha, radius * 0.5, 4.0,
+                     rng);
+    return lo;
+  };
+
+  // Level 1: domains around backbone routers.
+  std::vector<VertexId> domain_first;
+  std::vector<VertexId> domain_size;
+  for (VertexId d = 0; d < num_domains; ++d) {
+    const VertexId router = d % backbone;
+    const VertexId size = domain_pop / num_domains +
+                          (d < domain_pop % num_domains ? 1 : 0);
+    if (size == 0) continue;
+    const VertexId first = place_cluster(size, pts[router], 0.08, router);
+    domain_first.push_back(first);
+    domain_size.push_back(size);
+  }
+
+  // Level 2: subdomains around random nodes of their domain.
+  const auto total_domains = static_cast<VertexId>(domain_first.size());
+  for (VertexId s = 0; s < num_subs && total_domains > 0; ++s) {
+    const VertexId d = s % total_domains;
+    const VertexId size =
+        sub_pop / num_subs + (s < sub_pop % num_subs ? 1 : 0);
+    if (size == 0) continue;
+    const VertexId attach =
+        domain_first[d] +
+        static_cast<VertexId>(rng.next_bounded(domain_size[d]));
+    place_cluster(size, pts[attach], 0.02, attach);
+  }
+
+  // Rounding may leave a few vertices unplaced; hang them off the backbone.
+  while (pts.size() < n) {
+    const auto v = static_cast<VertexId>(pts.size());
+    const auto attach = static_cast<VertexId>(rng.next_bounded(backbone));
+    pts.push_back(pts[attach]);
+    list.add_edge(attach, v);
+  }
+
+  return GraphBuilder::build(std::move(list));
+}
+
+}  // namespace smpst::gen

@@ -1,0 +1,52 @@
+// Geographic (Internet-topology) graph generators after Calvert, Doar &
+// Zegura, "Modeling Internet Topology" (IEEE Communications 1997) — the
+// paper's "Geographic Graphs" family.
+//
+// Flat mode: vertices are placed uniformly in a unit square and each pair is
+// joined with the Waxman probability  P(u,v) = alpha * exp(-d(u,v) / (beta*L))
+// where L is the maximum possible distance. A distance cutoff plus a bucket
+// grid keeps generation near-linear for sparse parameterizations.
+//
+// Hierarchical mode: a three-level transit-stub-like construction — a Waxman
+// backbone; domains placed around backbone routers and wired as local Waxman
+// graphs attached to their router; subdomains likewise attached to domain
+// nodes. Every level is forced connected via a local spanning chain so the
+// instance has one component (matching the paper's use of these inputs for
+// spanning *tree* experiments).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace smpst::gen {
+
+struct GeoFlatParams {
+  double alpha = 0.30;  ///< Waxman scale parameter
+  /// Waxman distance decay as a fraction of the max distance L. The default 0
+  /// auto-derives beta so the expected average degree is target_avg_degree
+  /// (the decay radius must shrink like 1/sqrt(n) or dense instances blow up).
+  double beta = 0.0;
+  double target_avg_degree = 6.0;
+  double cutoff_factor = 6;  ///< ignore pairs farther than cutoff_factor*beta*L
+  bool force_connected = true;  ///< chain components together at the end
+};
+
+Graph geographic_flat(VertexId n, std::uint64_t seed,
+                      const GeoFlatParams& params = {});
+
+struct GeoHierParams {
+  VertexId backbone = 16;           ///< level-0 routers
+  VertexId domains_per_backbone = 4;
+  VertexId subs_per_domain = 4;
+  double backbone_alpha = 0.6;
+  double local_alpha = 0.4;
+  double beta = 0.15;
+};
+
+/// Builds a hierarchical instance with approximately n vertices; the three
+/// level populations are derived from n and `params`.
+Graph geographic_hierarchical(VertexId n, std::uint64_t seed,
+                              const GeoHierParams& params = {});
+
+}  // namespace smpst::gen

@@ -1,0 +1,130 @@
+#include "gen/geometric.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "support/assert.hpp"
+#include "support/prng.hpp"
+
+namespace smpst::gen {
+
+namespace {
+
+struct Point {
+  double x;
+  double y;
+};
+
+double sq_dist(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Uniform bucket grid over [0,1)^2 with ~1 point per cell in expectation.
+class BucketGrid {
+ public:
+  BucketGrid(const std::vector<Point>& pts, VertexId n)
+      : side_(std::max<VertexId>(
+            1, static_cast<VertexId>(std::sqrt(static_cast<double>(n))))),
+        cells_(static_cast<std::size_t>(side_) * side_) {
+    for (VertexId i = 0; i < n; ++i) {
+      cells_[cell_of(pts[i])].push_back(i);
+    }
+  }
+
+  [[nodiscard]] VertexId side() const noexcept { return side_; }
+
+  [[nodiscard]] const std::vector<VertexId>& cell(VertexId cx,
+                                                  VertexId cy) const {
+    return cells_[static_cast<std::size_t>(cy) * side_ + cx];
+  }
+
+  [[nodiscard]] std::size_t cell_of(const Point& p) const {
+    const auto clamp = [&](double t) {
+      auto c = static_cast<VertexId>(t * static_cast<double>(side_));
+      return std::min(c, static_cast<VertexId>(side_ - 1));
+    };
+    return static_cast<std::size_t>(clamp(p.y)) * side_ + clamp(p.x);
+  }
+
+ private:
+  VertexId side_;
+  std::vector<std::vector<VertexId>> cells_;
+};
+
+}  // namespace
+
+Graph geometric_knn(VertexId n, VertexId k, std::uint64_t seed) {
+  SMPST_CHECK(n >= 2, "geometric_knn: need at least two points");
+  SMPST_CHECK(k >= 1 && k < n, "geometric_knn: need 1 <= k < n");
+
+  std::vector<Point> pts(n);
+  Xoshiro256 rng(seed);
+  for (auto& p : pts) {
+    p.x = rng.next_double();
+    p.y = rng.next_double();
+  }
+
+  const BucketGrid grid(pts, n);
+  const VertexId side = grid.side();
+  const double cell_w = 1.0 / static_cast<double>(side);
+
+  EdgeList list(n);
+  list.reserve(static_cast<std::size_t>(n) * k);
+
+  std::vector<std::pair<double, VertexId>> cand;
+  for (VertexId i = 0; i < n; ++i) {
+    cand.clear();
+    const auto home = grid.cell_of(pts[i]);
+    const auto hx = static_cast<VertexId>(home % side);
+    const auto hy = static_cast<VertexId>(home / side);
+
+    // Expand exact Chebyshev rings of cells (each cell visited once) until
+    // the k-th nearest candidate is certainly inside the scanned region.
+    const auto sx = static_cast<std::int64_t>(hx);
+    const auto sy = static_cast<std::int64_t>(hy);
+    auto scan_cell = [&](std::int64_t cx, std::int64_t cy) {
+      if (cx < 0 || cy < 0 || cx >= side || cy >= side) return;
+      for (VertexId j :
+           grid.cell(static_cast<VertexId>(cx), static_cast<VertexId>(cy))) {
+        if (j != i) cand.emplace_back(sq_dist(pts[i], pts[j]), j);
+      }
+    };
+    for (VertexId r = 0;; ++r) {
+      if (r == 0) {
+        scan_cell(sx, sy);
+      } else {
+        const auto ri = static_cast<std::int64_t>(r);
+        for (std::int64_t cx = sx - ri; cx <= sx + ri; ++cx) {
+          scan_cell(cx, sy - ri);  // top row of the ring
+          scan_cell(cx, sy + ri);  // bottom row
+        }
+        for (std::int64_t cy = sy - ri + 1; cy <= sy + ri - 1; ++cy) {
+          scan_cell(sx - ri, cy);  // left column (corners already done)
+          scan_cell(sx + ri, cy);  // right column
+        }
+      }
+      if (cand.size() >= k) {
+        std::nth_element(cand.begin(), cand.begin() + (k - 1), cand.end());
+        const double kth = cand[k - 1].first;
+        // Every unscanned point is at least r*cell_w away (ring r fully
+        // scanned covers radius r*cell_w around the home cell).
+        const double safe = static_cast<double>(r) * cell_w;
+        if (kth <= safe * safe) break;
+      }
+      if (r >= side) break;  // the whole grid has been scanned
+    }
+
+    const auto take = std::min<std::size_t>(k, cand.size());
+    std::partial_sort(cand.begin(), cand.begin() + take, cand.end());
+    for (std::size_t t = 0; t < take; ++t) {
+      list.add_edge(i, cand[t].second);
+    }
+  }
+  return GraphBuilder::build(std::move(list));
+}
+
+}  // namespace smpst::gen

@@ -1,0 +1,23 @@
+// Geometric k-nearest-neighbour graphs.
+//
+// n points are drawn uniformly at random in the unit square and every vertex
+// is connected to its k nearest neighbours (Moret & Shapiro's family from
+// their sequential MST study; the paper's AD3 instance is k = 3). A uniform
+// bucket grid gives expected O(n k) construction instead of O(n^2).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace smpst::gen {
+
+Graph geometric_knn(VertexId n, VertexId k, std::uint64_t seed);
+
+/// AD3: the "tertiary" geometric graph used by Greiner, Hsu et al.,
+/// Krishnamurthy et al., and Goddard et al.
+inline Graph ad3(VertexId n, std::uint64_t seed) {
+  return geometric_knn(n, 3, seed);
+}
+
+}  // namespace smpst::gen

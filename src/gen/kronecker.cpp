@@ -1,0 +1,50 @@
+#include "gen/kronecker.hpp"
+
+#include "graph/builder.hpp"
+#include "support/assert.hpp"
+#include "support/prng.hpp"
+
+namespace smpst::gen {
+
+Graph rmat(unsigned scale, EdgeId edge_factor, std::uint64_t seed,
+           const RmatParams& params) {
+  SMPST_CHECK(scale >= 1 && scale < 31, "rmat: scale out of range");
+  const auto n = static_cast<VertexId>(VertexId{1} << scale);
+  const EdgeId m = edge_factor * n;
+
+  Xoshiro256 rng(seed);
+  EdgeList list(n);
+  list.reserve(m);
+
+  for (EdgeId e = 0; e < m; ++e) {
+    VertexId u = 0;
+    VertexId v = 0;
+    for (unsigned level = 0; level < scale; ++level) {
+      // Perturb the quadrant probabilities slightly per level.
+      const double na =
+          params.a * (1.0 + params.noise * (rng.next_double() - 0.5));
+      const double nb =
+          params.b * (1.0 + params.noise * (rng.next_double() - 0.5));
+      const double nc =
+          params.c * (1.0 + params.noise * (rng.next_double() - 0.5));
+      const double sum = na + nb + nc + (1.0 - params.a - params.b - params.c);
+      const double r = rng.next_double() * sum;
+      u <<= 1;
+      v <<= 1;
+      if (r < na) {
+        // top-left quadrant: no bits set
+      } else if (r < na + nb) {
+        v |= 1;
+      } else if (r < na + nb + nc) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u != v) list.add_edge(u, v);
+  }
+  return GraphBuilder::build(std::move(list));
+}
+
+}  // namespace smpst::gen

@@ -1,0 +1,24 @@
+// R-MAT / stochastic Kronecker generator — an extension beyond the paper's
+// families, giving a heavy-tailed degree distribution to stress the
+// work-stealing load balancer harder than the paper's near-regular inputs.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace smpst::gen {
+
+struct RmatParams {
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;  ///< d = 1 - a - b - c
+  double noise = 0.1;  ///< per-level perturbation to avoid exact self-similarity
+};
+
+/// 2^scale vertices, edge_factor * 2^scale undirected edges (before
+/// deduplication, matching Graph500 conventions).
+Graph rmat(unsigned scale, EdgeId edge_factor, std::uint64_t seed,
+           const RmatParams& params = {});
+
+}  // namespace smpst::gen

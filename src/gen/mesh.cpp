@@ -1,0 +1,75 @@
+#include "gen/mesh.hpp"
+
+#include <cmath>
+
+#include "graph/builder.hpp"
+#include "support/assert.hpp"
+#include "support/prng.hpp"
+
+namespace smpst::gen {
+
+Graph mesh2d(VertexId rows, VertexId cols, double edge_prob,
+             std::uint64_t seed) {
+  SMPST_CHECK(rows >= 1 && cols >= 1, "mesh2d: empty dimensions");
+  const auto n = static_cast<VertexId>(rows * cols);
+  EdgeList list(n);
+  list.reserve(static_cast<std::size_t>(
+      2.0 * static_cast<double>(n) * edge_prob * 1.05));
+  Xoshiro256 rng(seed);
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      const VertexId v = r * cols + c;
+      if (c + 1 < cols && rng.next_bernoulli(edge_prob)) list.add_edge(v, v + 1);
+      if (r + 1 < rows && rng.next_bernoulli(edge_prob)) {
+        list.add_edge(v, v + cols);
+      }
+    }
+  }
+  return GraphBuilder::build(std::move(list));
+}
+
+Graph mesh3d(VertexId dim_x, VertexId dim_y, VertexId dim_z, double edge_prob,
+             std::uint64_t seed) {
+  SMPST_CHECK(dim_x >= 1 && dim_y >= 1 && dim_z >= 1, "mesh3d: empty dims");
+  const auto n = static_cast<VertexId>(dim_x * dim_y * dim_z);
+  EdgeList list(n);
+  list.reserve(static_cast<std::size_t>(
+      3.0 * static_cast<double>(n) * edge_prob * 1.05));
+  Xoshiro256 rng(seed);
+  auto id = [&](VertexId x, VertexId y, VertexId z) {
+    return (z * dim_y + y) * dim_x + x;
+  };
+  for (VertexId z = 0; z < dim_z; ++z) {
+    for (VertexId y = 0; y < dim_y; ++y) {
+      for (VertexId x = 0; x < dim_x; ++x) {
+        const VertexId v = id(x, y, z);
+        if (x + 1 < dim_x && rng.next_bernoulli(edge_prob)) {
+          list.add_edge(v, id(x + 1, y, z));
+        }
+        if (y + 1 < dim_y && rng.next_bernoulli(edge_prob)) {
+          list.add_edge(v, id(x, y + 1, z));
+        }
+        if (z + 1 < dim_z && rng.next_bernoulli(edge_prob)) {
+          list.add_edge(v, id(x, y, z + 1));
+        }
+      }
+    }
+  }
+  return GraphBuilder::build(std::move(list));
+}
+
+Graph mesh_2d60(VertexId n, std::uint64_t seed) {
+  const auto side =
+      static_cast<VertexId>(std::floor(std::sqrt(static_cast<double>(n))));
+  SMPST_CHECK(side >= 1, "mesh_2d60: n too small");
+  return mesh2d(side, side, 0.60, seed);
+}
+
+Graph mesh_3d40(VertexId n, std::uint64_t seed) {
+  const auto side =
+      static_cast<VertexId>(std::floor(std::cbrt(static_cast<double>(n))));
+  SMPST_CHECK(side >= 1, "mesh_3d40: n too small");
+  return mesh3d(side, side, side, 0.40, seed);
+}
+
+}  // namespace smpst::gen

@@ -1,0 +1,28 @@
+// Probabilistic mesh generators: the 2D60 and 3D40 families used across the
+// connected-components literature the paper compares against (Greiner;
+// Krishnamurthy et al.; Hsu et al.; Goddard et al.).
+//
+// A rows x cols (x depth) grid is laid out without wraparound and each lattice
+// edge is kept independently with probability `edge_prob` (0.60 for 2D60,
+// 0.40 for 3D40).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace smpst::gen {
+
+Graph mesh2d(VertexId rows, VertexId cols, double edge_prob,
+             std::uint64_t seed);
+
+Graph mesh3d(VertexId dim_x, VertexId dim_y, VertexId dim_z, double edge_prob,
+             std::uint64_t seed);
+
+/// 2D60 with approximately n vertices (square side = floor(sqrt(n))).
+Graph mesh_2d60(VertexId n, std::uint64_t seed);
+
+/// 3D40 with approximately n vertices (cube side = floor(cbrt(n))).
+Graph mesh_3d40(VertexId n, std::uint64_t seed);
+
+}  // namespace smpst::gen

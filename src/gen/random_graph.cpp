@@ -1,0 +1,34 @@
+#include "gen/random_graph.hpp"
+
+#include <unordered_set>
+
+#include "graph/builder.hpp"
+#include "support/assert.hpp"
+#include "support/prng.hpp"
+
+namespace smpst::gen {
+
+Graph random_graph(VertexId n, EdgeId m, std::uint64_t seed) {
+  SMPST_CHECK(n >= 2 || m == 0, "random_graph: need >= 2 vertices for edges");
+  const auto max_edges =
+      static_cast<EdgeId>(n) * (static_cast<EdgeId>(n) - 1) / 2;
+  SMPST_CHECK(m <= max_edges, "random_graph: m exceeds simple-graph capacity");
+
+  Xoshiro256 rng(seed);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(m) * 2);
+
+  EdgeList list(n);
+  list.reserve(m);
+  while (list.num_edges() < m) {
+    auto u = static_cast<VertexId>(rng.next_bounded(n));
+    auto v = static_cast<VertexId>(rng.next_bounded(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    const std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
+    if (seen.insert(key).second) list.add_edge(u, v);
+  }
+  return GraphBuilder::build(std::move(list));
+}
+
+}  // namespace smpst::gen

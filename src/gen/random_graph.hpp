@@ -1,0 +1,16 @@
+// Uniform random graph G(n, m): m distinct edges added uniformly at random to
+// n vertices — the construction the paper (following LEDA) uses for its
+// "Random Graph" family, including Fig. 3's m = 1.5n instances and Fig. 4's
+// m = 20M ≈ n log n instance.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace smpst::gen {
+
+/// m must not exceed n*(n-1)/2. Runs in expected O(m) for sparse inputs.
+Graph random_graph(VertexId n, EdgeId m, std::uint64_t seed);
+
+}  // namespace smpst::gen

@@ -1,0 +1,97 @@
+#include "gen/registry.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "gen/geographic.hpp"
+#include "gen/geometric.hpp"
+#include "gen/kronecker.hpp"
+#include "gen/mesh.hpp"
+#include "gen/random_graph.hpp"
+#include "gen/simple.hpp"
+#include "gen/torus.hpp"
+#include "graph/relabel.hpp"
+
+namespace smpst::gen {
+
+namespace {
+
+VertexId square_side(VertexId n) {
+  return static_cast<VertexId>(std::floor(std::sqrt(static_cast<double>(n))));
+}
+
+Graph make_torus(VertexId n) {
+  const VertexId side = std::max<VertexId>(2, square_side(n));
+  return torus2d(side, side);
+}
+
+EdgeId nlogn_edges(VertexId n) {
+  const double bits = std::log2(std::max<double>(2.0, n));
+  return static_cast<EdgeId>(static_cast<double>(n) * bits);
+}
+
+}  // namespace
+
+const std::vector<FamilySpec>& families() {
+  static const std::vector<FamilySpec> kFamilies = {
+      {"torus-rowmajor", "2D torus, row-major vertex labels (Fig. 4.1)"},
+      {"torus-random", "2D torus, random vertex labels (Fig. 4.2)"},
+      {"random-nlogn", "uniform G(n,m), m = n log2 n (Fig. 4.3)"},
+      {"2d60", "2D mesh with 60% of lattice edges (Fig. 4.4)"},
+      {"3d40", "3D mesh with 40% of lattice edges (Fig. 4.5)"},
+      {"ad3", "geometric 3-nearest-neighbour graph (Fig. 4.6)"},
+      {"geo-flat", "flat geographic/Waxman internet model (Fig. 4.7)"},
+      {"geo-hier", "hierarchical geographic internet model (Fig. 4.8)"},
+      {"chain-seq", "degenerate chain, sequential labels (Fig. 4.9)"},
+      {"chain-random", "degenerate chain, random labels (Fig. 4.10)"},
+      {"random-1.5n", "uniform G(n,m), m = 1.5 n (Fig. 3)"},
+      {"rmat", "R-MAT power-law graph, 8 edges/vertex (extension)"},
+      {"geometric-k8", "geometric 8-nearest-neighbour graph (extension)"},
+      {"star", "star graph (extension)"},
+      {"binary-tree", "complete binary tree (extension)"},
+      {"ring", "single cycle (extension)"},
+  };
+  return kFamilies;
+}
+
+bool is_family(const std::string& name) {
+  for (const auto& f : families()) {
+    if (f.name == name) return true;
+  }
+  return false;
+}
+
+Graph make_family(const std::string& name, VertexId n, std::uint64_t seed) {
+  if (name == "torus-rowmajor") return make_torus(n);
+  if (name == "torus-random") {
+    const Graph g = make_torus(n);
+    return apply_permutation(g, random_permutation(g.num_vertices(), seed));
+  }
+  if (name == "random-nlogn") return random_graph(n, nlogn_edges(n), seed);
+  if (name == "random-1.5n") {
+    return random_graph(n, static_cast<EdgeId>(1.5 * static_cast<double>(n)),
+                        seed);
+  }
+  if (name == "2d60") return mesh_2d60(n, seed);
+  if (name == "3d40") return mesh_3d40(n, seed);
+  if (name == "ad3") return ad3(n, seed);
+  if (name == "geo-flat") return geographic_flat(n, seed);
+  if (name == "geo-hier") return geographic_hierarchical(n, seed);
+  if (name == "chain-seq") return chain(n);
+  if (name == "chain-random") {
+    const Graph g = chain(n);
+    return apply_permutation(g, random_permutation(g.num_vertices(), seed));
+  }
+  if (name == "rmat") {
+    const auto scale =
+        static_cast<unsigned>(std::ceil(std::log2(std::max<double>(2.0, n))));
+    return rmat(scale, 8, seed);
+  }
+  if (name == "geometric-k8") return geometric_knn(n, 8, seed);
+  if (name == "star") return star(n);
+  if (name == "binary-tree") return binary_tree(n);
+  if (name == "ring") return ring(n);
+  throw std::invalid_argument("unknown graph family: " + name);
+}
+
+}  // namespace smpst::gen

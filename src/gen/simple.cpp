@@ -1,0 +1,92 @@
+#include "gen/simple.hpp"
+
+#include "graph/builder.hpp"
+#include "support/assert.hpp"
+
+namespace smpst::gen {
+
+Graph chain(VertexId n) {
+  SMPST_CHECK(n >= 1, "chain: empty graph");
+  EdgeList list(n);
+  list.reserve(n > 0 ? n - 1 : 0);
+  for (VertexId v = 1; v < n; ++v) list.add_edge(v - 1, v);
+  return GraphBuilder::build(std::move(list));
+}
+
+Graph star(VertexId n) {
+  SMPST_CHECK(n >= 1, "star: empty graph");
+  EdgeList list(n);
+  list.reserve(n > 0 ? n - 1 : 0);
+  for (VertexId v = 1; v < n; ++v) list.add_edge(0, v);
+  return GraphBuilder::build(std::move(list));
+}
+
+Graph complete(VertexId n) {
+  SMPST_CHECK(n >= 1, "complete: empty graph");
+  EdgeList list(n);
+  list.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) list.add_edge(u, v);
+  }
+  return GraphBuilder::build(std::move(list));
+}
+
+Graph binary_tree(VertexId n) {
+  SMPST_CHECK(n >= 1, "binary_tree: empty graph");
+  EdgeList list(n);
+  list.reserve(n > 0 ? n - 1 : 0);
+  for (VertexId v = 1; v < n; ++v) list.add_edge((v - 1) / 2, v);
+  return GraphBuilder::build(std::move(list));
+}
+
+Graph ring(VertexId n) {
+  SMPST_CHECK(n >= 3, "ring: need at least three vertices");
+  EdgeList list(n);
+  list.reserve(n);
+  for (VertexId v = 1; v < n; ++v) list.add_edge(v - 1, v);
+  list.add_edge(n - 1, 0);
+  return GraphBuilder::build(std::move(list));
+}
+
+Graph disjoint_chains(VertexId num_chains, VertexId chain_length,
+                      VertexId isolated) {
+  const VertexId n = num_chains * chain_length + isolated;
+  SMPST_CHECK(n >= 1, "disjoint_chains: empty graph");
+  EdgeList list(n);
+  for (VertexId c = 0; c < num_chains; ++c) {
+    const VertexId base = c * chain_length;
+    for (VertexId i = 1; i < chain_length; ++i) {
+      list.add_edge(base + i - 1, base + i);
+    }
+  }
+  return GraphBuilder::build(std::move(list));
+}
+
+Graph caterpillar(VertexId spine, VertexId legs) {
+  SMPST_CHECK(spine >= 1, "caterpillar: need a spine");
+  const VertexId n = spine * (legs + 1);
+  EdgeList list(n);
+  for (VertexId s = 1; s < spine; ++s) list.add_edge(s - 1, s);
+  for (VertexId s = 0; s < spine; ++s) {
+    for (VertexId l = 0; l < legs; ++l) {
+      list.add_edge(s, spine + s * legs + l);
+    }
+  }
+  return GraphBuilder::build(std::move(list));
+}
+
+Graph lollipop(VertexId clique, VertexId tail) {
+  SMPST_CHECK(clique >= 1, "lollipop: need a clique");
+  const VertexId n = clique + tail;
+  EdgeList list(n);
+  for (VertexId u = 0; u < clique; ++u) {
+    for (VertexId v = u + 1; v < clique; ++v) list.add_edge(u, v);
+  }
+  for (VertexId t = 0; t < tail; ++t) {
+    const VertexId prev = t == 0 ? clique - 1 : clique + t - 1;
+    list.add_edge(prev, clique + t);
+  }
+  return GraphBuilder::build(std::move(list));
+}
+
+}  // namespace smpst::gen

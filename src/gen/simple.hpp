@@ -1,0 +1,39 @@
+// Elementary graph families: the degenerate chain from the paper's
+// pathological experiments plus standard shapes used throughout the tests.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace smpst::gen {
+
+/// Degenerate chain (path graph) 0 — 1 — ... — n-1. Sequential labelling is
+/// the emission order; use random_permutation for the randomized panel.
+Graph chain(VertexId n);
+
+/// Star: vertex 0 adjacent to all others.
+Graph star(VertexId n);
+
+/// Complete graph K_n.
+Graph complete(VertexId n);
+
+/// Complete binary tree on n vertices (vertex v's children are 2v+1, 2v+2).
+Graph binary_tree(VertexId n);
+
+/// Ring (cycle) on n vertices.
+Graph ring(VertexId n);
+
+/// n isolated vertices plus the given number of disjoint chain components of
+/// the given length each; exercises spanning-*forest* behaviour.
+Graph disjoint_chains(VertexId num_chains, VertexId chain_length,
+                      VertexId isolated);
+
+/// Caterpillar: a spine path with `legs` pendant vertices per spine vertex.
+Graph caterpillar(VertexId spine, VertexId legs);
+
+/// Lollipop: K_k clique joined to a path of length tail; a worst case for
+/// random walks and a low-connectivity stress input.
+Graph lollipop(VertexId clique, VertexId tail);
+
+}  // namespace smpst::gen

@@ -1,0 +1,33 @@
+#include "gen/torus.hpp"
+
+#include <cmath>
+
+#include "graph/builder.hpp"
+#include "support/assert.hpp"
+
+namespace smpst::gen {
+
+Graph torus2d(VertexId rows, VertexId cols) {
+  SMPST_CHECK(rows >= 1 && cols >= 1, "torus2d: empty dimensions");
+  const auto n = static_cast<VertexId>(rows * cols);
+  EdgeList list(n);
+  list.reserve(static_cast<std::size_t>(n) * 2);
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      const VertexId v = r * cols + c;
+      const VertexId right = r * cols + (c + 1) % cols;
+      const VertexId down = ((r + 1) % rows) * cols + c;
+      if (right != v) list.add_edge(v, right);
+      if (down != v) list.add_edge(v, down);
+    }
+  }
+  return GraphBuilder::build(std::move(list));
+}
+
+Graph torus2d_square(VertexId n) {
+  const auto side = static_cast<VertexId>(std::llround(std::sqrt(static_cast<double>(n))));
+  SMPST_CHECK(side * side == n, "torus2d_square: n must be a perfect square");
+  return torus2d(side, side);
+}
+
+}  // namespace smpst::gen

@@ -1,0 +1,18 @@
+// 2D torus generator — the regular mesh family from the paper's evaluation.
+// Vertices are emitted in row-major order, which is exactly the "row-major
+// labelling" used in Fig. 4's first torus panel; apply a random permutation
+// (graph/relabel.hpp) for the second panel.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace smpst::gen {
+
+/// rows x cols torus: every vertex joins its four mesh neighbours with
+/// wraparound. Degenerate 1-wide dimensions fall back to rings/paths.
+Graph torus2d(VertexId rows, VertexId cols);
+
+/// Square torus with n vertices; n must be a perfect square.
+Graph torus2d_square(VertexId n);
+
+}  // namespace smpst::gen

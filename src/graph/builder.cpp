@@ -1,0 +1,54 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace smpst {
+
+Graph GraphBuilder::build(EdgeList list, const Options& opts) {
+  if (opts.dedup_parallel_edges) {
+    list.canonicalize();
+  } else {
+    // Still normalize orientation and drop self-loops.
+    for (auto& e : list.edges()) {
+      if (e.u > e.v) std::swap(e.u, e.v);
+    }
+    std::erase_if(list.edges(), [](const Edge& e) { return e.u == e.v; });
+  }
+
+  const VertexId n = list.num_vertices();
+  const auto& edges = list.edges();
+
+  std::vector<EdgeId> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (const Edge& e : edges) {
+    SMPST_CHECK(e.u < n && e.v < n, "edge endpoint out of range");
+    ++offsets[e.u + 1];
+    ++offsets[e.v + 1];
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<VertexId> targets(offsets.back());
+  std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+  for (const Edge& e : edges) {
+    targets[cursor[e.u]++] = e.v;
+    targets[cursor[e.v]++] = e.u;
+  }
+
+  // Sort each adjacency slice so has_edge() can binary-search and iteration
+  // order is deterministic regardless of generator emission order.
+  for (VertexId v = 0; v < n; ++v) {
+    std::sort(targets.begin() + static_cast<std::ptrdiff_t>(offsets[v]),
+              targets.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]));
+  }
+
+  return Graph(std::move(offsets), std::move(targets));
+}
+
+Graph GraphBuilder::from_edges(VertexId num_vertices, std::vector<Edge> edges,
+                               const Options& opts) {
+  return build(EdgeList(num_vertices, std::move(edges)), opts);
+}
+
+}  // namespace smpst

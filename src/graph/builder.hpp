@@ -1,0 +1,29 @@
+// Construction of the immutable CSR Graph from edge lists.
+#pragma once
+
+#include "graph/edge_list.hpp"
+#include "graph/graph.hpp"
+
+namespace smpst {
+
+/// Builds CSR graphs via two counting-sort passes over the edge list.
+/// Self-loops are always dropped; parallel edges are deduplicated by default
+/// (the spanning tree algorithms tolerate them, but deduplication keeps
+/// degree statistics meaningful and matches the paper's generators).
+struct BuildOptions {
+  bool dedup_parallel_edges = true;
+};
+
+class GraphBuilder {
+ public:
+  using Options = BuildOptions;
+
+  /// Consumes `list` (it is canonicalized in place when dedup is requested).
+  static Graph build(EdgeList list, const Options& opts = {});
+
+  /// Convenience: build directly from a vector of edges.
+  static Graph from_edges(VertexId num_vertices, std::vector<Edge> edges,
+                          const Options& opts = {});
+};
+
+}  // namespace smpst

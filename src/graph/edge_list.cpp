@@ -1,0 +1,34 @@
+#include "graph/edge_list.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace smpst {
+
+void EdgeList::add_edge(VertexId u, VertexId v) {
+  SMPST_ASSERT(u < num_vertices_ && v < num_vertices_);
+  edges_.push_back(Edge{u, v});
+}
+
+std::size_t EdgeList::canonicalize() {
+  const std::size_t before = edges_.size();
+  for (auto& e : edges_) {
+    if (e.u > e.v) std::swap(e.u, e.v);
+  }
+  std::erase_if(edges_, [](const Edge& e) { return e.u == e.v; });
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  return before - edges_.size();
+}
+
+bool EdgeList::is_canonical() const noexcept {
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (edges_[i].u >= edges_[i].v) return false;
+    if (i > 0 && !(edges_[i - 1] < edges_[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace smpst

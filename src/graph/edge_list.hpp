@@ -1,0 +1,53 @@
+// Mutable edge-list representation used by the generators and as the exchange
+// format before the immutable CSR graph is built.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace smpst {
+
+/// An undirected multigraph as a flat list of endpoint pairs plus a vertex
+/// count. The list owns no adjacency structure; use GraphBuilder / Graph for
+/// traversal.
+class EdgeList {
+ public:
+  EdgeList() = default;
+  explicit EdgeList(VertexId num_vertices) : num_vertices_(num_vertices) {}
+  EdgeList(VertexId num_vertices, std::vector<Edge> edges)
+      : num_vertices_(num_vertices), edges_(std::move(edges)) {}
+
+  [[nodiscard]] VertexId num_vertices() const noexcept { return num_vertices_; }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return edges_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return edges_.empty(); }
+
+  [[nodiscard]] const std::vector<Edge>& edges() const noexcept {
+    return edges_;
+  }
+  [[nodiscard]] std::vector<Edge>& edges() noexcept { return edges_; }
+
+  void reserve(std::size_t n) { edges_.reserve(n); }
+
+  /// Appends edge {u, v}. Endpoints must be < num_vertices().
+  void add_edge(VertexId u, VertexId v);
+
+  /// Grows the vertex set (never shrinks).
+  void ensure_vertices(VertexId n) {
+    if (n > num_vertices_) num_vertices_ = n;
+  }
+
+  /// Rewrites each edge so u <= v, drops self-loops, sorts, and removes
+  /// duplicate edges. Returns the number of edges removed.
+  std::size_t canonicalize();
+
+  /// True if every edge is canonical (u < v), sorted, and unique.
+  [[nodiscard]] bool is_canonical() const noexcept;
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace smpst

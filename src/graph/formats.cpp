@@ -1,0 +1,101 @@
+#include "graph/formats.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace smpst::io {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("smpst::io (dimacs): " + what);
+}
+
+}  // namespace
+
+void write_dimacs(const EdgeList& list, std::ostream& os,
+                  const std::string& comment) {
+  if (!comment.empty()) os << "c " << comment << '\n';
+  os << "p edge " << list.num_vertices() << ' ' << list.num_edges() << '\n';
+  for (const Edge& e : list.edges()) {
+    os << "e " << e.u + 1 << ' ' << e.v + 1 << '\n';
+  }
+}
+
+EdgeList read_dimacs(std::istream& is) {
+  EdgeList list;
+  bool have_problem = false;
+  std::uint64_t declared_edges = 0;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    char kind = 0;
+    ls >> kind;
+    switch (kind) {
+      case 'c':
+        break;  // comment
+      case 'p': {
+        std::string format;
+        std::uint64_t n = 0;
+        ls >> format >> n >> declared_edges;
+        if (!ls || (format != "edge" && format != "col")) {
+          fail("bad problem line: " + line);
+        }
+        if (n > kInvalidVertex) fail("vertex count exceeds 32-bit id space");
+        list.ensure_vertices(static_cast<VertexId>(n));
+        have_problem = true;
+        break;
+      }
+      case 'e': {
+        if (!have_problem) fail("edge line before problem line");
+        std::uint64_t u = 0;
+        std::uint64_t v = 0;
+        ls >> u >> v;
+        if (!ls || u == 0 || v == 0 || u > list.num_vertices() ||
+            v > list.num_vertices()) {
+          fail("bad edge line: " + line);
+        }
+        list.add_edge(static_cast<VertexId>(u - 1),
+                      static_cast<VertexId>(v - 1));
+        break;
+      }
+      default:
+        fail("unrecognized line kind '" + std::string(1, kind) + "'");
+    }
+  }
+  if (!have_problem) fail("missing problem line");
+  if (list.num_edges() != declared_edges) {
+    fail("edge count mismatch: declared " + std::to_string(declared_edges) +
+         ", found " + std::to_string(list.num_edges()));
+  }
+  return list;
+}
+
+void write_dot(const Graph& g, std::ostream& os,
+               const std::vector<VertexId>* parent,
+               const std::string& graph_name) {
+  os << "graph " << graph_name << " {\n";
+  os << "  node [shape=circle, fontsize=10];\n";
+  if (parent != nullptr) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if ((*parent)[v] == v) os << "  " << v << " [shape=box];\n";
+    }
+  }
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.neighbors(u)) {
+      if (u >= v) continue;
+      os << "  " << u << " -- " << v;
+      if (parent != nullptr) {
+        const bool tree = (*parent)[u] == v || (*parent)[v] == u;
+        os << (tree ? " [penwidth=2]" : " [style=dashed, color=gray]");
+      }
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+}
+
+}  // namespace smpst::io

@@ -1,0 +1,35 @@
+// Interchange formats beyond the native edge list (graph/io.hpp):
+//
+//  * DIMACS — the "p edge n m" / "e u v" (1-based) format of the DIMACS
+//    implementation challenges; the 3rd challenge (parallel algorithms,
+//    1994) is where several of the paper's comparison studies published
+//    their inputs.
+//  * Graphviz DOT — for visual inspection of small graphs; spanning-forest
+//    edges can be highlighted, which the examples use to render their trees.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/edge_list.hpp"
+#include "graph/graph.hpp"
+
+namespace smpst::io {
+
+/// Writes "c ..." header, "p edge n m", then one "e u v" line per edge
+/// (1-based endpoints, as DIMACS specifies).
+void write_dimacs(const EdgeList& list, std::ostream& os,
+                  const std::string& comment = "");
+
+/// Parses DIMACS; accepts "c" comments, requires a "p edge|col n m" line
+/// before the first "e"; throws std::runtime_error on malformed input.
+EdgeList read_dimacs(std::istream& is);
+
+/// DOT rendering. When `parent` is non-null it must be a spanning-forest
+/// parent array of g (SpanningForest::parent): tree edges are drawn bold
+/// ("penwidth=2"), non-tree edges dashed, roots as boxes.
+void write_dot(const Graph& g, std::ostream& os,
+               const std::vector<VertexId>* parent = nullptr,
+               const std::string& graph_name = "G");
+
+}  // namespace smpst::io

@@ -1,0 +1,13 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace smpst {
+
+bool Graph::has_edge(VertexId u, VertexId v) const noexcept {
+  if (u >= num_vertices() || v >= num_vertices()) return false;
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+}  // namespace smpst

@@ -1,0 +1,119 @@
+#include "graph/io.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+#include "support/assert.hpp"
+
+namespace smpst::io {
+
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'S', 'M', 'P', 'S', 'T', 'G', 'R', '1'};
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("smpst::io: " + what);
+}
+
+bool has_suffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+void write_edge_list_text(const EdgeList& list, std::ostream& os) {
+  os << list.num_vertices() << ' ' << list.num_edges() << '\n';
+  for (const Edge& e : list.edges()) os << e.u << ' ' << e.v << '\n';
+}
+
+EdgeList read_edge_list_text(std::istream& is) {
+  std::uint64_t n = 0, m = 0;
+  if (!(is >> n >> m)) fail("bad text header");
+  if (n > kInvalidVertex) fail("vertex count exceeds 32-bit id space");
+  EdgeList list(static_cast<VertexId>(n));
+  list.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    std::uint64_t u = 0, v = 0;
+    if (!(is >> u >> v)) fail("truncated edge list");
+    if (u >= n || v >= n) fail("edge endpoint out of range");
+    list.add_edge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  }
+  return list;
+}
+
+void write_edge_list_binary(const EdgeList& list, std::ostream& os) {
+  os.write(kMagic.data(), kMagic.size());
+  const std::uint64_t n = list.num_vertices();
+  const std::uint64_t m = list.num_edges();
+  os.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  os.write(reinterpret_cast<const char*>(&m), sizeof(m));
+  static_assert(sizeof(Edge) == 2 * sizeof(VertexId),
+                "Edge must be two packed u32s for binary I/O");
+  os.write(reinterpret_cast<const char*>(list.edges().data()),
+           static_cast<std::streamsize>(m * sizeof(Edge)));
+}
+
+EdgeList read_edge_list_binary(std::istream& is) {
+  std::array<char, 8> magic{};
+  is.read(magic.data(), magic.size());
+  if (!is || magic != kMagic) fail("bad binary magic");
+  std::uint64_t n = 0, m = 0;
+  is.read(reinterpret_cast<char*>(&n), sizeof(n));
+  is.read(reinterpret_cast<char*>(&m), sizeof(m));
+  if (!is) fail("truncated binary header");
+  if (n > kInvalidVertex) fail("vertex count exceeds 32-bit id space");
+  EdgeList list(static_cast<VertexId>(n));
+  list.edges().resize(m);
+  is.read(reinterpret_cast<char*>(list.edges().data()),
+          static_cast<std::streamsize>(m * sizeof(Edge)));
+  if (!is) fail("truncated binary edge data");
+  for (const Edge& e : list.edges()) {
+    if (e.u >= n || e.v >= n) fail("edge endpoint out of range");
+  }
+  return list;
+}
+
+void save_edge_list(const EdgeList& list, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) fail("cannot open for write: " + path);
+  if (has_suffix(path, ".bin")) {
+    write_edge_list_binary(list, os);
+  } else {
+    write_edge_list_text(list, os);
+  }
+  if (!os) fail("write failed: " + path);
+}
+
+EdgeList load_edge_list(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) fail("cannot open for read: " + path);
+  return has_suffix(path, ".bin") ? read_edge_list_binary(is)
+                                  : read_edge_list_text(is);
+}
+
+EdgeList to_edge_list(const Graph& g) {
+  EdgeList list(g.num_vertices());
+  list.reserve(g.num_edges());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.neighbors(u)) {
+      if (u < v) list.add_edge(u, v);
+    }
+  }
+  return list;
+}
+
+void save_graph(const Graph& g, const std::string& path) {
+  save_edge_list(to_edge_list(g), path);
+}
+
+Graph load_graph(const std::string& path) {
+  return GraphBuilder::build(load_edge_list(path));
+}
+
+}  // namespace smpst::io

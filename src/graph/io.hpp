@@ -1,0 +1,34 @@
+// Graph serialization: a human-readable edge-list text format and a compact
+// binary format for large instances.
+//
+// Text format:   first line "n m", then m lines "u v" (0-based).
+// Binary format: magic "SMPSTGR1", u64 n, u64 m, then m {u32, u32} pairs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/edge_list.hpp"
+#include "graph/graph.hpp"
+
+namespace smpst::io {
+
+void write_edge_list_text(const EdgeList& list, std::ostream& os);
+EdgeList read_edge_list_text(std::istream& is);
+
+void write_edge_list_binary(const EdgeList& list, std::ostream& os);
+EdgeList read_edge_list_binary(std::istream& is);
+
+/// File-path conveniences. Format chosen by extension: ".bin" -> binary,
+/// everything else -> text. Throws std::runtime_error on I/O failure.
+void save_edge_list(const EdgeList& list, const std::string& path);
+EdgeList load_edge_list(const std::string& path);
+
+/// Serializes a CSR graph by decomposing it back to a canonical edge list.
+void save_graph(const Graph& g, const std::string& path);
+Graph load_graph(const std::string& path);
+
+/// Converts a CSR graph back into a canonical edge list (u < v, sorted).
+EdgeList to_edge_list(const Graph& g);
+
+}  // namespace smpst::io

@@ -1,0 +1,88 @@
+#include "graph/relabel.hpp"
+
+#include <numeric>
+#include <queue>
+
+#include "graph/builder.hpp"
+#include "support/assert.hpp"
+#include "support/prng.hpp"
+
+namespace smpst {
+
+Permutation identity_permutation(VertexId n) {
+  Permutation perm(n);
+  std::iota(perm.begin(), perm.end(), VertexId{0});
+  return perm;
+}
+
+Permutation random_permutation(VertexId n, std::uint64_t seed) {
+  Permutation perm = identity_permutation(n);
+  Xoshiro256 rng(seed);
+  for (VertexId i = n; i > 1; --i) {
+    const auto j = static_cast<VertexId>(rng.next_bounded(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+Permutation bfs_permutation(const Graph& g, VertexId source) {
+  const VertexId n = g.num_vertices();
+  SMPST_CHECK(source < n || n == 0, "bfs_permutation: source out of range");
+  Permutation perm(n, kInvalidVertex);
+  if (n == 0) return perm;
+
+  std::vector<VertexId> queue;
+  queue.reserve(n);
+  VertexId next_label = 0;
+
+  auto bfs_from = [&](VertexId s) {
+    queue.clear();
+    queue.push_back(s);
+    perm[s] = next_label++;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const VertexId v = queue[head];
+      for (VertexId w : g.neighbors(v)) {
+        if (perm[w] == kInvalidVertex) {
+          perm[w] = next_label++;
+          queue.push_back(w);
+        }
+      }
+    }
+  };
+
+  bfs_from(source);
+  for (VertexId v = 0; v < n; ++v) {
+    if (perm[v] == kInvalidVertex) bfs_from(v);
+  }
+  return perm;
+}
+
+Permutation reverse_permutation(VertexId n) {
+  Permutation perm(n);
+  for (VertexId v = 0; v < n; ++v) perm[v] = n - 1 - v;
+  return perm;
+}
+
+Graph apply_permutation(const Graph& g, const Permutation& perm) {
+  SMPST_CHECK(perm.size() == g.num_vertices(),
+              "permutation size must match vertex count");
+  EdgeList list(g.num_vertices());
+  list.reserve(g.num_edges());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.neighbors(u)) {
+      if (u < v) list.add_edge(perm[u], perm[v]);
+    }
+  }
+  return GraphBuilder::build(std::move(list));
+}
+
+bool is_permutation(const Permutation& perm) {
+  std::vector<bool> seen(perm.size(), false);
+  for (VertexId v : perm) {
+    if (v >= perm.size() || seen[v]) return false;
+    seen[v] = true;
+  }
+  return true;
+}
+
+}  // namespace smpst

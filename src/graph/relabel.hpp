@@ -1,0 +1,39 @@
+// Vertex relabelling.
+//
+// The paper shows that Shiloach–Vishkin's iteration count — and therefore its
+// running time — depends heavily on the vertex labelling (Fig. 4 contrasts
+// row-major vs random torus labels and sequential vs random chain labels),
+// while the new work-stealing algorithm is labelling-insensitive. These
+// helpers produce the labelings used in that study.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace smpst {
+
+/// perm[old_id] == new_id. Must be a permutation of [0, n).
+using Permutation = std::vector<VertexId>;
+
+/// Identity labelling (row-major for generators that emit row-major ids).
+Permutation identity_permutation(VertexId n);
+
+/// Uniformly random permutation (Fisher–Yates driven by `seed`).
+Permutation random_permutation(VertexId n, std::uint64_t seed);
+
+/// Labels vertices by BFS discovery order from `source`; vertices unreachable
+/// from the source keep their relative order after all reachable ones.
+Permutation bfs_permutation(const Graph& g, VertexId source = 0);
+
+/// Labels vertices in reverse (n-1-v); a cheap adversarial labelling for SV.
+Permutation reverse_permutation(VertexId n);
+
+/// Returns the graph with vertex v renamed to perm[v].
+Graph apply_permutation(const Graph& g, const Permutation& perm);
+
+/// True if perm is a permutation of [0, n).
+bool is_permutation(const Permutation& perm);
+
+}  // namespace smpst

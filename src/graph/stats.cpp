@@ -1,0 +1,116 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace smpst {
+
+namespace {
+
+/// BFS from `source` over vertices whose label matches; returns the farthest
+/// vertex and its distance.
+std::pair<VertexId, VertexId> bfs_farthest(const Graph& g, VertexId source,
+                                           std::vector<VertexId>& dist,
+                                           std::vector<VertexId>& queue) {
+  std::fill(dist.begin(), dist.end(), kInvalidVertex);
+  queue.clear();
+  queue.push_back(source);
+  dist[source] = 0;
+  VertexId far = source;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const VertexId v = queue[head];
+    for (VertexId w : g.neighbors(v)) {
+      if (dist[w] == kInvalidVertex) {
+        dist[w] = dist[v] + 1;
+        if (dist[w] > dist[far]) far = w;
+        queue.push_back(w);
+      }
+    }
+  }
+  return {far, dist[far]};
+}
+
+}  // namespace
+
+std::vector<VertexId> component_labels(const Graph& g,
+                                       VertexId* num_components) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> label(n, kInvalidVertex);
+  std::vector<VertexId> queue;
+  queue.reserve(n);
+  VertexId next = 0;
+  for (VertexId s = 0; s < n; ++s) {
+    if (label[s] != kInvalidVertex) continue;
+    const VertexId comp = next++;
+    queue.clear();
+    queue.push_back(s);
+    label[s] = comp;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const VertexId v = queue[head];
+      for (VertexId w : g.neighbors(v)) {
+        if (label[w] == kInvalidVertex) {
+          label[w] = comp;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  if (num_components != nullptr) *num_components = next;
+  return label;
+}
+
+std::vector<VertexId> degree_histogram(const Graph& g) {
+  EdgeId max_deg = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    max_deg = std::max(max_deg, g.degree(v));
+  }
+  std::vector<VertexId> hist(static_cast<std::size_t>(max_deg) + 1, 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) ++hist[g.degree(v)];
+  return hist;
+}
+
+GraphStats compute_stats(const Graph& g) {
+  GraphStats s;
+  s.num_vertices = g.num_vertices();
+  s.num_edges = g.num_edges();
+  if (s.num_vertices == 0) return s;
+
+  s.min_degree = g.degree(0);
+  for (VertexId v = 0; v < s.num_vertices; ++v) {
+    const EdgeId d = g.degree(v);
+    s.min_degree = std::min(s.min_degree, d);
+    s.max_degree = std::max(s.max_degree, d);
+    if (d == 0) ++s.isolated_vertices;
+    if (d == 2) ++s.degree2_vertices;
+  }
+  s.avg_degree = s.num_vertices == 0
+                     ? 0.0
+                     : 2.0 * static_cast<double>(s.num_edges) /
+                           static_cast<double>(s.num_vertices);
+
+  const auto labels = component_labels(g, &s.num_components);
+  std::vector<VertexId> sizes(s.num_components, 0);
+  for (VertexId l : labels) ++sizes[l];
+  VertexId big_label = 0;
+  for (VertexId c = 0; c < s.num_components; ++c) {
+    if (sizes[c] > sizes[big_label]) big_label = c;
+  }
+  s.largest_component = sizes.empty() ? 0 : sizes[big_label];
+
+  // Double sweep inside the largest component.
+  VertexId start = 0;
+  while (start < s.num_vertices && labels[start] != big_label) ++start;
+  if (start < s.num_vertices) {
+    std::vector<VertexId> dist(s.num_vertices);
+    std::vector<VertexId> queue;
+    queue.reserve(s.largest_component);
+    const auto [far, _] = bfs_farthest(g, start, dist, queue);
+    const auto [far2, d2] = bfs_farthest(g, far, dist, queue);
+    (void)far2;
+    s.diameter_lower_bound = d2;
+  }
+  return s;
+}
+
+}  // namespace smpst

@@ -1,0 +1,40 @@
+// Descriptive statistics over graphs: degree distribution, component count,
+// and a double-sweep diameter estimate. Used by the benchmark harness to
+// report instance characteristics next to timings (the paper's analysis ties
+// expected behaviour to diameter and degree regularity).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace smpst {
+
+struct GraphStats {
+  VertexId num_vertices = 0;
+  EdgeId num_edges = 0;
+  EdgeId min_degree = 0;
+  EdgeId max_degree = 0;
+  double avg_degree = 0.0;
+  VertexId isolated_vertices = 0;
+  VertexId degree2_vertices = 0;
+  VertexId num_components = 0;
+  VertexId largest_component = 0;
+  /// Lower bound on the diameter from a BFS double sweep on the largest
+  /// component (exact on trees; a good estimate elsewhere).
+  VertexId diameter_lower_bound = 0;
+};
+
+GraphStats compute_stats(const Graph& g);
+
+/// Degree histogram: hist[d] = number of vertices with degree d
+/// (d capped at max_degree).
+std::vector<VertexId> degree_histogram(const Graph& g);
+
+/// Component label for every vertex via sequential BFS (labels are dense,
+/// starting at 0). Also returns the number of components through out-param.
+std::vector<VertexId> component_labels(const Graph& g,
+                                       VertexId* num_components = nullptr);
+
+}  // namespace smpst

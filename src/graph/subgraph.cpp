@@ -1,0 +1,90 @@
+#include "graph/subgraph.hpp"
+
+#include <algorithm>
+
+#include "graph/builder.hpp"
+#include "support/assert.hpp"
+
+namespace smpst {
+
+Subgraph induced_subgraph(const Graph& g, const std::vector<bool>& keep) {
+  const VertexId n = g.num_vertices();
+  SMPST_CHECK(keep.size() == n, "induced_subgraph: mask size mismatch");
+
+  Subgraph result;
+  result.to_subgraph.assign(n, kInvalidVertex);
+  for (VertexId v = 0; v < n; ++v) {
+    if (keep[v]) {
+      result.to_subgraph[v] = static_cast<VertexId>(result.to_original.size());
+      result.to_original.push_back(v);
+    }
+  }
+
+  EdgeList list(static_cast<VertexId>(result.to_original.size()));
+  for (VertexId u = 0; u < n; ++u) {
+    if (!keep[u]) continue;
+    for (VertexId v : g.neighbors(u)) {
+      if (u < v && keep[v]) {
+        list.add_edge(result.to_subgraph[u], result.to_subgraph[v]);
+      }
+    }
+  }
+  result.graph = GraphBuilder::build(std::move(list));
+  return result;
+}
+
+std::vector<VertexId> core_numbers(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> degree(n);
+  VertexId max_degree = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = static_cast<VertexId>(g.degree(v));
+    max_degree = std::max(max_degree, degree[v]);
+  }
+
+  // Bucket sort vertices by degree; peel in nondecreasing order, updating
+  // neighbours' positions in place (Batagelj–Zaveršnik).
+  std::vector<VertexId> bucket_start(static_cast<std::size_t>(max_degree) + 2,
+                                     0);
+  for (VertexId v = 0; v < n; ++v) ++bucket_start[degree[v] + 1];
+  for (std::size_t i = 1; i < bucket_start.size(); ++i) {
+    bucket_start[i] += bucket_start[i - 1];
+  }
+  std::vector<VertexId> order(n);    // vertices sorted by current degree
+  std::vector<VertexId> position(n); // v's index in `order`
+  {
+    std::vector<VertexId> cursor(bucket_start.begin(), bucket_start.end() - 1);
+    for (VertexId v = 0; v < n; ++v) {
+      position[v] = cursor[degree[v]];
+      order[position[v]] = v;
+      ++cursor[degree[v]];
+    }
+  }
+
+  std::vector<VertexId> core(n, 0);
+  for (VertexId i = 0; i < n; ++i) {
+    const VertexId v = order[i];
+    core[v] = degree[v];
+    for (VertexId w : g.neighbors(v)) {
+      if (degree[w] <= degree[v]) continue;  // w already peeled or tied
+      // Swap w to the front of its degree bucket, then shrink its degree.
+      const VertexId dw = degree[w];
+      const VertexId front_pos = bucket_start[dw];
+      const VertexId front_vertex = order[front_pos];
+      std::swap(order[position[w]], order[front_pos]);
+      std::swap(position[w], position[front_vertex]);
+      ++bucket_start[dw];
+      --degree[w];
+    }
+  }
+  return core;
+}
+
+Subgraph k_core(const Graph& g, VertexId k) {
+  const auto core = core_numbers(g);
+  std::vector<bool> keep(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) keep[v] = core[v] >= k;
+  return induced_subgraph(g, keep);
+}
+
+}  // namespace smpst

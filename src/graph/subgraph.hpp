@@ -1,0 +1,30 @@
+// Subgraph extraction and k-core decomposition — production-library
+// utilities the examples and preprocessing pipelines use (e.g. restricting a
+// spanning-tree computation to a robust core of an Internet graph).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace smpst {
+
+struct Subgraph {
+  Graph graph;                        ///< induced subgraph, compact ids
+  std::vector<VertexId> to_original;  ///< subgraph id -> original id
+  std::vector<VertexId> to_subgraph;  ///< original id -> subgraph id
+                                      ///< (kInvalidVertex if dropped)
+};
+
+/// Induced subgraph on the vertices where keep[v] is true.
+Subgraph induced_subgraph(const Graph& g, const std::vector<bool>& keep);
+
+/// Coreness of every vertex: the largest k such that v belongs to the
+/// k-core (the maximal subgraph with minimum degree >= k). Classic
+/// peeling (Batagelj–Zaveršnik bucket algorithm), O(n + m).
+std::vector<VertexId> core_numbers(const Graph& g);
+
+/// The k-core itself as an induced subgraph.
+Subgraph k_core(const Graph& g, VertexId k);
+
+}  // namespace smpst

@@ -1,0 +1,212 @@
+#include "graph/transform.hpp"
+
+#include <utility>
+
+#include "graph/builder.hpp"
+#include "support/assert.hpp"
+
+namespace smpst {
+
+namespace {
+
+/// Walks a maximal chain starting at kept vertex `a` through its degree-2
+/// neighbour `first`, marking interiors visited. Returns the chain; its `b`
+/// endpoint is the first non-chain vertex reached (possibly `a` again).
+Chain walk_chain(const Graph& g, const std::vector<char>& is_chain,
+                 std::vector<char>& visited, VertexId a, VertexId first) {
+  Chain chain;
+  chain.a = a;
+  VertexId prev = a;
+  VertexId cur = first;
+  while (is_chain[cur]) {
+    visited[cur] = 1;
+    chain.interior.push_back(cur);
+    const auto nbrs = g.neighbors(cur);
+    SMPST_ASSERT(nbrs.size() == 2);
+    const VertexId next = (nbrs[0] == prev) ? nbrs[1] : nbrs[0];
+    prev = cur;
+    cur = next;
+  }
+  chain.b = cur;
+  return chain;
+}
+
+/// Sets parents along `chain` so that the tree path runs from endpoint
+/// `from` (already attached elsewhere) down to endpoint `to`.
+void route_chain(const Chain& chain, VertexId from, VertexId to,
+                 std::vector<VertexId>& parent) {
+  SMPST_ASSERT((from == chain.a && to == chain.b) ||
+               (from == chain.b && to == chain.a));
+  VertexId prev = from;
+  if (from == chain.a) {
+    for (VertexId v : chain.interior) {
+      parent[v] = prev;
+      prev = v;
+    }
+  } else {
+    for (auto it = chain.interior.rbegin(); it != chain.interior.rend(); ++it) {
+      parent[*it] = prev;
+      prev = *it;
+    }
+  }
+  parent[to] = prev;
+}
+
+}  // namespace
+
+Degree2Reduction eliminate_degree2(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  Degree2Reduction red;
+
+  std::vector<char> is_chain(n, 0);
+  for (VertexId v = 0; v < n; ++v) is_chain[v] = (g.degree(v) == 2);
+
+  std::vector<char> visited(n, 0);
+
+  // Chains reachable from kept (degree != 2) endpoints.
+  for (VertexId a = 0; a < n; ++a) {
+    if (is_chain[a]) continue;
+    for (VertexId c : g.neighbors(a)) {
+      if (is_chain[c] && !visited[c]) {
+        red.chains.push_back(walk_chain(g, is_chain, visited, a, c));
+      }
+    }
+  }
+
+  // Pure-cycle components: every vertex has degree two and none was reached
+  // above. Keep the smallest vertex of each cycle as an anchor.
+  for (VertexId v = 0; v < n; ++v) {
+    if (is_chain[v] && !visited[v]) {
+      is_chain[v] = 0;  // promote the anchor to a kept vertex
+      const VertexId c = g.neighbors(v)[0];
+      red.chains.push_back(walk_chain(g, is_chain, visited, v, c));
+    }
+  }
+
+  // Compact ids for kept vertices.
+  red.to_reduced.assign(n, kInvalidVertex);
+  for (VertexId v = 0; v < n; ++v) {
+    if (!is_chain[v]) {
+      red.to_reduced[v] = static_cast<VertexId>(red.to_original.size());
+      red.to_original.push_back(v);
+    }
+  }
+  const auto rn = static_cast<VertexId>(red.to_original.size());
+
+  // Reduced edge list: direct kept-kept edges first (preferred realization),
+  // then one reduced edge per contracted chain pair.
+  EdgeList list(rn);
+  for (VertexId u = 0; u < n; ++u) {
+    if (is_chain[u]) continue;
+    for (VertexId v : g.neighbors(u)) {
+      if (!is_chain[v] && u < v) {
+        const VertexId ru = red.to_reduced[u];
+        const VertexId rv = red.to_reduced[v];
+        list.add_edge(ru, rv);
+        red.realization.emplace(Degree2Reduction::pair_key(ru, rv), -1);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < red.chains.size(); ++i) {
+    const Chain& chain = red.chains[i];
+    if (chain.a == chain.b) continue;  // attached or pure cycle: no edge
+    const VertexId ra = red.to_reduced[chain.a];
+    const VertexId rb = red.to_reduced[chain.b];
+    const auto [it, inserted] = red.realization.emplace(
+        Degree2Reduction::pair_key(ra, rb), static_cast<std::int32_t>(i));
+    if (inserted) list.add_edge(ra, rb);
+    // Parallel chains between the same endpoints stay unused; expansion
+    // threads them off one endpoint without closing a cycle.
+  }
+
+  red.reduced = GraphBuilder::build(std::move(list));
+  return red;
+}
+
+Contraction contract_classes(const Graph& g,
+                             const std::vector<VertexId>& labels) {
+  const VertexId n = g.num_vertices();
+  SMPST_CHECK(labels.size() == n, "contract_classes: label size mismatch");
+
+  Contraction result;
+  result.class_of.assign(n, kInvalidVertex);
+
+  // Densify the labels into quotient ids, first occurrence first.
+  std::unordered_map<VertexId, VertexId> dense;
+  dense.reserve(n / 4 + 1);
+  for (VertexId v = 0; v < n; ++v) {
+    const auto [it, inserted] =
+        dense.emplace(labels[v], static_cast<VertexId>(dense.size()));
+    if (inserted) result.representative.push_back(v);
+    result.class_of[v] = it->second;
+  }
+  const auto qn = static_cast<VertexId>(dense.size());
+
+  EdgeList qedges(qn);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : g.neighbors(u)) {
+      if (u >= v) continue;
+      const VertexId qu = result.class_of[u];
+      const VertexId qv = result.class_of[v];
+      if (qu == qv) continue;
+      const auto [it, inserted] =
+          result.witness.emplace(Contraction::pair_key(qu, qv), Edge{u, v});
+      if (inserted) qedges.add_edge(qu, qv);
+    }
+  }
+  result.quotient = GraphBuilder::build(std::move(qedges));
+  return result;
+}
+
+std::vector<VertexId> expand_parent_forest(
+    const Graph& original, const Degree2Reduction& red,
+    const std::vector<VertexId>& reduced_parent) {
+  const VertexId n = original.num_vertices();
+  const VertexId rn = red.reduced.num_vertices();
+  SMPST_CHECK(reduced_parent.size() == rn,
+              "reduced forest size must match the reduced graph");
+
+  std::vector<VertexId> parent(n, kInvalidVertex);
+  std::vector<char> chain_used(red.chains.size(), 0);
+
+  for (VertexId rc = 0; rc < rn; ++rc) {
+    const VertexId child = red.to_original[rc];
+    const VertexId rp = reduced_parent[rc];
+    if (rp == rc) {
+      parent[child] = child;  // root stays a root
+      continue;
+    }
+    SMPST_CHECK(rp < rn, "reduced parent id out of range");
+    const VertexId par = red.to_original[rp];
+    const auto it = red.realization.find(Degree2Reduction::pair_key(rc, rp));
+    SMPST_CHECK(it != red.realization.end(),
+                "reduced tree edge is not an edge of the reduced graph");
+    if (it->second < 0) {
+      parent[child] = par;
+    } else {
+      const auto idx = static_cast<std::size_t>(it->second);
+      route_chain(red.chains[idx], par, child, parent);
+      chain_used[idx] = 1;
+    }
+  }
+
+  // Chains that did not realize a tree edge (including all cycles): hang the
+  // interior off endpoint `a`, leaving the final cycle-closing edge out.
+  for (std::size_t i = 0; i < red.chains.size(); ++i) {
+    if (chain_used[i]) continue;
+    const Chain& chain = red.chains[i];
+    VertexId prev = chain.a;
+    for (VertexId v : chain.interior) {
+      parent[v] = prev;
+      prev = v;
+    }
+  }
+
+  for (VertexId v = 0; v < n; ++v) {
+    SMPST_CHECK(parent[v] != kInvalidVertex,
+                "expansion left a vertex without a parent");
+  }
+  return parent;
+}
+
+}  // namespace smpst

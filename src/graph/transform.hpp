@@ -1,0 +1,88 @@
+// Degree-2 chain elimination — the preprocessing step from §2 of the paper:
+// "When an input graph contains vertices of degree two, these vertices along
+//  with a corresponding tree edge can be eliminated as a simple preprocessing
+//  step."
+//
+// Every maximal path whose interior vertices all have degree two is contracted
+// to a single edge between its (degree != 2) endpoints. Components that are
+// pure cycles keep one anchor vertex. A spanning forest computed on the
+// reduced graph can be expanded back to a spanning forest of the original
+// graph with `expand_parent_forest`.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace smpst {
+
+/// A contracted chain a — v1 — v2 — ... — vk — b (k >= 1 interior vertices,
+/// all of original degree two). a == b for cycles attached at a single
+/// anchor, including pure-cycle components (anchor chosen as the smallest
+/// vertex of the cycle).
+struct Chain {
+  VertexId a = kInvalidVertex;
+  VertexId b = kInvalidVertex;
+  std::vector<VertexId> interior;
+};
+
+struct Degree2Reduction {
+  Graph reduced;                      ///< simple graph on compacted ids
+  std::vector<VertexId> to_original;  ///< reduced id -> original id
+  std::vector<VertexId> to_reduced;   ///< original id -> reduced id (kInvalidVertex if eliminated)
+  std::vector<Chain> chains;          ///< every eliminated chain
+
+  /// For each reduced edge {x, y} (x < y, reduced ids): the realization used
+  /// when that edge appears in a spanning tree. Value is an index into
+  /// `chains`, or -1 when the original graph has a direct edge.
+  std::unordered_map<std::uint64_t, std::int32_t> realization;
+
+  [[nodiscard]] std::size_t eliminated_vertices() const noexcept {
+    std::size_t k = 0;
+    for (const Chain& c : chains) k += c.interior.size();
+    return k;
+  }
+
+  static std::uint64_t pair_key(VertexId x, VertexId y) noexcept {
+    if (x > y) std::swap(x, y);
+    return (static_cast<std::uint64_t>(x) << 32) | y;
+  }
+};
+
+/// Contracts all maximal degree-2 chains of `g`.
+Degree2Reduction eliminate_degree2(const Graph& g);
+
+/// Expands a parent forest of the reduced graph (parent[v] == v for roots,
+/// reduced ids) into a parent forest of the original graph. The result covers
+/// every original vertex, including eliminated chain interiors.
+std::vector<VertexId> expand_parent_forest(
+    const Graph& original, const Degree2Reduction& red,
+    const std::vector<VertexId>& reduced_parent);
+
+/// Quotient of g under a vertex partition — the "merge the grown spanning
+/// subtree into a super-vertex" operation of the paper's fallback path, made
+/// reusable (multilevel schemes, Borůvka-style contraction).
+struct Contraction {
+  Graph quotient;                       ///< one vertex per partition class
+  std::vector<VertexId> class_of;       ///< original vertex -> quotient vertex
+  std::vector<VertexId> representative; ///< quotient vertex -> one original
+
+  /// For each quotient edge {x, y} (pair_key of quotient ids), one original
+  /// edge realizing it (useful to pull quotient-level tree edges back down).
+  std::unordered_map<std::uint64_t, Edge> witness;
+
+  static std::uint64_t pair_key(VertexId x, VertexId y) noexcept {
+    if (x > y) std::swap(x, y);
+    return (static_cast<std::uint64_t>(x) << 32) | y;
+  }
+};
+
+/// `labels[v]` names v's class; labels may be arbitrary values (they are
+/// densified internally). Self-loops (intra-class edges) are dropped;
+/// parallel class edges are merged, keeping the first witness.
+Contraction contract_classes(const Graph& g,
+                             const std::vector<VertexId>& labels);
+
+}  // namespace smpst

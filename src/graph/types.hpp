@@ -1,0 +1,30 @@
+// Fundamental graph typedefs shared by every subsystem.
+//
+// Vertices are 32-bit: the paper's largest instances are 1M vertices / 20M
+// edges and 32-bit ids halve the memory traffic of the traversals, which the
+// Helman–JáJá cost model identifies as the dominant cost. Edge *counts* are
+// 64-bit so CSR offsets never overflow.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace smpst {
+
+using VertexId = std::uint32_t;
+using EdgeId = std::uint64_t;
+
+/// Sentinel meaning "no vertex" (e.g. the parent of a root).
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+/// A single undirected edge. Stored with u <= v once canonicalized.
+struct Edge {
+  VertexId u = 0;
+  VertexId v = 0;
+
+  friend constexpr bool operator==(const Edge&, const Edge&) = default;
+  friend constexpr auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+}  // namespace smpst

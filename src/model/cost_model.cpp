@@ -1,0 +1,74 @@
+#include "model/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smpst::model {
+
+MachineParams sun_e4500() {
+  return {"Sun E4500 (14x 400MHz UltraSPARC II)",
+          /*noncontig_access_ns=*/270.0,
+          /*local_op_ns=*/2.5,
+          /*barrier_ns=*/20000.0};
+}
+
+MachineParams modern_smp() {
+  return {"modern commodity SMP",
+          /*noncontig_access_ns=*/80.0,
+          /*local_op_ns=*/0.4,
+          /*barrier_ns=*/3000.0};
+}
+
+double predict_seconds(const CostTriple& cost, const MachineParams& machine) {
+  const double ns = cost.mem_accesses * machine.noncontig_access_ns +
+                    cost.local_ops * machine.local_op_ns +
+                    cost.barriers * machine.barrier_ns;
+  return ns * 1e-9;
+}
+
+CostTriple bfs_cost(VertexId n, EdgeId m) {
+  CostTriple c;
+  c.mem_accesses = static_cast<double>(n) + 2.0 * static_cast<double>(m);
+  c.local_ops = static_cast<double>(n) + static_cast<double>(m);
+  c.barriers = 0.0;
+  return c;
+}
+
+CostTriple bader_cong_cost(VertexId n, EdgeId m, std::size_t p) {
+  const auto dp = static_cast<double>(p);
+  CostTriple c;
+  // Stub phase: O(p) accesses by one processor; traversal: one access per
+  // vertex plus two per edge, spread over p processors.
+  c.mem_accesses = static_cast<double>(n) / dp +
+                   2.0 * static_cast<double>(m) / dp + 2.0 * dp;
+  c.local_ops = (static_cast<double>(n) + static_cast<double>(m)) / dp;
+  c.barriers = 2.0;
+  return c;
+}
+
+CostTriple sv_cost(VertexId n, EdgeId m, std::size_t p,
+                   std::uint64_t iterations,
+                   std::uint64_t shortcut_passes_per_iter) {
+  const auto dp = static_cast<double>(p);
+  const auto it = static_cast<double>(std::max<std::uint64_t>(1, iterations));
+  const auto sc =
+      static_cast<double>(std::max<std::uint64_t>(1, shortcut_passes_per_iter));
+  CostTriple c;
+  // Per iteration: two graft passes, each 2 m/p + 1 non-contiguous accesses,
+  // plus `sc` shortcut passes of 2 n/p accesses (read D[v], read D[D[v]]).
+  const double graft_mem = 2.0 * (2.0 * static_cast<double>(m) / dp + 1.0);
+  const double shortcut_mem = sc * 2.0 * static_cast<double>(n) / dp;
+  c.mem_accesses = it * (graft_mem + shortcut_mem);
+  c.local_ops =
+      it * (static_cast<double>(m) / dp + sc * static_cast<double>(n) / dp);
+  c.barriers = 4.0 * it;
+  return c;
+}
+
+CostTriple sv_worst_case_cost(VertexId n, EdgeId m, std::size_t p) {
+  const auto logn = static_cast<std::uint64_t>(
+      std::ceil(std::log2(std::max<double>(2.0, n))));
+  return sv_cost(n, m, p, logn, logn);
+}
+
+}  // namespace smpst::model

@@ -1,0 +1,60 @@
+#include "model/simulator.hpp"
+
+#include <algorithm>
+
+namespace smpst::model {
+
+namespace {
+
+/// Per-thread traversal cost from its event counts: one non-contiguous
+/// access per processed vertex (dequeue + colour it), one per scanned
+/// directed edge (the colour probe; n + 2m in total, the paper's T_M
+/// accounting), plus steal overhead.
+double thread_cost_seconds(const ThreadStats& t, const MachineParams& m) {
+  const double mem = static_cast<double>(t.vertices_processed) +
+                     static_cast<double>(t.edges_scanned) +
+                     8.0 * static_cast<double>(t.steal_attempts) +
+                     static_cast<double>(t.items_stolen);
+  const double ops = static_cast<double>(t.vertices_processed) +
+                     static_cast<double>(t.edges_scanned);
+  return (mem * m.noncontig_access_ns + ops * m.local_op_ns) * 1e-9;
+}
+
+}  // namespace
+
+double simulate_traversal_seconds(const TraversalStats& stats,
+                                  const MachineParams& machine) {
+  double slowest = 0.0;
+  for (const auto& t : stats.per_thread) {
+    slowest = std::max(slowest, thread_cost_seconds(t, machine));
+  }
+  // Stub phase is serial: two accesses per random-walk step (pick neighbour,
+  // test colour). Two barriers bound the phase transitions.
+  const double stub =
+      2.0 * static_cast<double>(stats.stub_vertices) *
+      machine.noncontig_access_ns * 1e-9;
+  const double barriers = 2.0 * machine.barrier_ns * 1e-9;
+  return stub + slowest + barriers;
+}
+
+double simulate_sv_seconds(const SvStats& stats, VertexId n, EdgeId m,
+                           std::size_t p, const MachineParams& machine) {
+  const std::uint64_t iters = std::max<std::uint64_t>(1, stats.iterations);
+  const std::uint64_t sc_per_iter = std::max<std::uint64_t>(
+      1, stats.shortcut_passes / std::max<std::uint64_t>(1, iters));
+  return predict_seconds(sv_cost(n, m, p, iters, sc_per_iter), machine);
+}
+
+double simulate_bfs_seconds(VertexId n, EdgeId m,
+                            const MachineParams& machine) {
+  return predict_seconds(bfs_cost(n, m), machine);
+}
+
+double simulated_speedup(const TraversalStats& stats, VertexId n, EdgeId m,
+                         const MachineParams& machine) {
+  const double par = simulate_traversal_seconds(stats, machine);
+  if (par <= 0.0) return 0.0;
+  return simulate_bfs_seconds(n, m, machine) / par;
+}
+
+}  // namespace smpst::model

@@ -1,0 +1,36 @@
+// SMP execution simulator: replays *measured* per-thread event counts from an
+// instrumented run through the machine cost parameters, producing the
+// predicted wall time the same execution would take on a machine with p real
+// processors. This is the substitution device (DESIGN.md §5) that lets a
+// single-core container reproduce the *shape* of the paper's speedup figures:
+// the algorithms, races, steal traffic, and work distribution are all real —
+// only the final time synthesis assumes p hardware processors.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/instrumentation.hpp"
+#include "model/cost_model.hpp"
+
+namespace smpst::model {
+
+/// Predicted time for a traversal run: the slowest thread's memory+op cost
+/// (threads run concurrently on a real SMP) plus the serial stub phase and
+/// the barrier overhead.
+double simulate_traversal_seconds(const TraversalStats& stats,
+                                  const MachineParams& machine);
+
+/// Predicted time for an SV run from its measured iteration structure.
+double simulate_sv_seconds(const SvStats& stats, VertexId n, EdgeId m,
+                           std::size_t p, const MachineParams& machine);
+
+/// Predicted sequential BFS time.
+double simulate_bfs_seconds(VertexId n, EdgeId m, const MachineParams& machine);
+
+/// Convenience: predicted speedup of a traversal run over sequential BFS on
+/// the same instance.
+double simulated_speedup(const TraversalStats& stats, VertexId n, EdgeId m,
+                         const MachineParams& machine);
+
+}  // namespace smpst::model

@@ -1,0 +1,57 @@
+// Deterministic virtual-SMP execution of the Bader–Cong traversal.
+//
+// Running the real multithreaded implementation on this single-core container
+// is the correctness vehicle, but its *load balance* is distorted: the host
+// scheduler lets one OS thread race far ahead before the others ever run, so
+// instrumented per-thread counters do not reflect what p simultaneous
+// processors would do. This module therefore executes the same algorithm —
+// stub random walk, per-processor BFS queues, steal-half-from-a-random-victim
+// — on p *virtual* processors driven by an event-driven scheduler: each
+// virtual processor carries a clock in abstract cost units (1 unit per
+// non-contiguous access, following the Helman–JáJá accounting: 1 per vertex
+// dequeue + 2 per edge scan), and the next step always goes to the processor
+// with the smallest clock, exactly as if they ran concurrently. The makespan
+// (maximum clock) times the machine's access latency gives the simulated
+// wall time on a p-processor SMP such as the paper's Sun E4500.
+//
+// The simulation is sequential and deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+
+#include "core/instrumentation.hpp"
+#include "graph/graph.hpp"
+#include "model/cost_model.hpp"
+
+namespace smpst::model {
+
+struct VirtualRunOptions {
+  std::size_t processors = 8;
+  std::size_t stub_steps = 0;    ///< 0 = 2p, as in the real implementation
+  std::size_t steal_chunk = 0;   ///< 0 = half the victim's queue
+  std::uint64_t seed = 0x5eed;
+  double steal_probe_cost = 8.0; ///< abstract units per steal attempt
+};
+
+struct VirtualRunResult {
+  std::vector<ThreadStats> per_thread;
+  std::vector<double> clocks;    ///< per-processor cost units consumed
+  double makespan = 0.0;         ///< max clock (parallel completion time)
+  double total_work = 0.0;       ///< sum of clocks (serialized work)
+  std::uint64_t stub_vertices = 0;
+  std::uint64_t stub_cost = 0;   ///< serial units before the parallel phase
+
+  /// Simulated seconds on `machine`: serial stub + parallel makespan +
+  /// the traversal's two barriers.
+  [[nodiscard]] double seconds_on(const MachineParams& machine) const;
+
+  /// max/mean of per-processor work; 1.0 = perfectly balanced.
+  [[nodiscard]] double load_imbalance() const;
+};
+
+/// Executes the traversal on `p` virtual processors. The returned statistics
+/// are deterministic for a given (graph, options) pair.
+VirtualRunResult virtual_traversal(const Graph& g,
+                                   const VirtualRunOptions& opts);
+
+}  // namespace smpst::model

@@ -1,0 +1,37 @@
+// Parallel Borůvka minimum spanning forest — the paper's future-work target
+// and the algorithm family (Chung & Condon; Dehne & Götz) its related-work
+// section benchmarks against.
+//
+// Each round: every component finds its minimum outgoing edge (CAS-min
+// elections over the edge array, the same arbitration trick the SV spanning
+// tree uses), components hook along those edges (the two-cycle that appears
+// when two components pick the same edge is broken toward the smaller root),
+// then pointer jumping collapses the hook forest to stars. With distinct
+// edge weights the MSF is unique, so results are comparable edge-for-edge
+// with Kruskal and Prim.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "msf/weighted.hpp"
+
+namespace smpst::msf {
+
+struct BoruvkaStats {
+  std::uint64_t rounds = 0;
+  std::uint64_t hooks = 0;
+};
+
+struct BoruvkaOptions {
+  std::size_t num_threads = 0;  ///< 0 = hardware_threads()
+  BoruvkaStats* stats = nullptr;
+};
+
+/// Requires pairwise-distinct edge weights (with_random_weights guarantees
+/// this almost surely); ties are broken by edge index, so equal weights are
+/// tolerated but the "unique MSF" test guarantee needs distinct weights.
+std::vector<WeightedEdge> boruvka(const WeightedEdgeList& graph,
+                                  const BoruvkaOptions& opts = {});
+
+}  // namespace smpst::msf

@@ -1,0 +1,26 @@
+#include "msf/kruskal.hpp"
+
+#include <algorithm>
+
+#include "cc/union_find.hpp"
+
+namespace smpst::msf {
+
+std::vector<WeightedEdge> kruskal(const WeightedEdgeList& graph) {
+  std::vector<WeightedEdge> sorted = graph.edges;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              if (a.w != b.w) return a.w < b.w;
+              if (a.u != b.u) return a.u < b.u;
+              return a.v < b.v;
+            });
+  cc::UnionFind dsu(graph.num_vertices);
+  std::vector<WeightedEdge> msf;
+  msf.reserve(graph.num_vertices);
+  for (const auto& e : sorted) {
+    if (dsu.unite(e.u, e.v)) msf.push_back(e);
+  }
+  return msf;
+}
+
+}  // namespace smpst::msf

@@ -1,0 +1,14 @@
+// Sequential Kruskal minimum spanning forest (sort + union-find) — the
+// strongest sequential MSF baseline at the paper's scales (Chung & Condon
+// report their parallel Borůvka trailing sequential Kruskal by 2-3x).
+#pragma once
+
+#include "msf/weighted.hpp"
+
+namespace smpst::msf {
+
+/// Returns the MSF edges (for each component, |C|-1 edges of minimum total
+/// weight). Input edges are copied and sorted internally.
+std::vector<WeightedEdge> kruskal(const WeightedEdgeList& graph);
+
+}  // namespace smpst::msf

@@ -1,0 +1,77 @@
+#include "msf/prim.hpp"
+
+#include <queue>
+
+#include "graph/types.hpp"
+
+namespace smpst::msf {
+
+namespace {
+
+/// Weighted CSR adjacency built once per call.
+struct Adjacency {
+  std::vector<EdgeId> offsets;
+  std::vector<std::pair<VertexId, Weight>> targets;
+
+  explicit Adjacency(const WeightedEdgeList& graph) {
+    const VertexId n = graph.num_vertices;
+    offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+    for (const auto& e : graph.edges) {
+      ++offsets[e.u + 1];
+      ++offsets[e.v + 1];
+    }
+    for (std::size_t i = 1; i < offsets.size(); ++i) {
+      offsets[i] += offsets[i - 1];
+    }
+    targets.resize(offsets.back());
+    std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+    for (const auto& e : graph.edges) {
+      targets[cursor[e.u]++] = {e.v, e.w};
+      targets[cursor[e.v]++] = {e.u, e.w};
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<WeightedEdge> prim(const WeightedEdgeList& graph) {
+  const VertexId n = graph.num_vertices;
+  const Adjacency adj(graph);
+
+  // best[v]: cheapest edge weight connecting v to the growing tree.
+  std::vector<Weight> best(n, std::numeric_limits<Weight>::infinity());
+  std::vector<VertexId> best_from(n, kInvalidVertex);
+  std::vector<char> in_tree(n, 0);
+  std::vector<WeightedEdge> msf;
+  msf.reserve(n);
+
+  using HeapEntry = std::pair<Weight, VertexId>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+
+  for (VertexId start = 0; start < n; ++start) {
+    if (in_tree[start]) continue;
+    best[start] = 0.0;
+    heap.push({0.0, start});
+    while (!heap.empty()) {
+      const auto [w, v] = heap.top();
+      heap.pop();
+      if (in_tree[v] || w > best[v]) continue;  // stale entry
+      in_tree[v] = 1;
+      if (best_from[v] != kInvalidVertex) {
+        const VertexId u = best_from[v];
+        msf.push_back({u < v ? u : v, u < v ? v : u, best[v]});
+      }
+      for (EdgeId i = adj.offsets[v]; i < adj.offsets[v + 1]; ++i) {
+        const auto [x, wx] = adj.targets[i];
+        if (!in_tree[x] && wx < best[x]) {
+          best[x] = wx;
+          best_from[x] = v;
+          heap.push({wx, x});
+        }
+      }
+    }
+  }
+  return msf;
+}
+
+}  // namespace smpst::msf

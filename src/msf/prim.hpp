@@ -1,0 +1,12 @@
+// Sequential Prim MSF with a binary heap — the second sequential baseline
+// (stronger than Kruskal on dense graphs, weaker on very sparse ones, which
+// makes the pair a useful cross-check).
+#pragma once
+
+#include "msf/weighted.hpp"
+
+namespace smpst::msf {
+
+std::vector<WeightedEdge> prim(const WeightedEdgeList& graph);
+
+}  // namespace smpst::msf

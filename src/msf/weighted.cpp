@@ -1,0 +1,31 @@
+#include "msf/weighted.hpp"
+
+#include "support/prng.hpp"
+
+namespace smpst::msf {
+
+WeightedEdgeList with_random_weights(const Graph& g, std::uint64_t seed) {
+  WeightedEdgeList out;
+  out.num_vertices = g.num_vertices();
+  out.edges.reserve(g.num_edges());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.neighbors(u)) {
+      if (u >= v) continue;
+      // Hash (seed, u, v) into a weight so the mapping is order-independent.
+      SplitMix64 h(seed ^ (static_cast<std::uint64_t>(u) << 32 | v));
+      h.next();
+      const double w =
+          static_cast<double>(h.next() >> 11) * 0x1.0p-53;
+      out.edges.push_back({u, v, w});
+    }
+  }
+  return out;
+}
+
+Weight total_weight(const std::vector<WeightedEdge>& edges) {
+  Weight sum = 0.0;
+  for (const auto& e : edges) sum += e.w;
+  return sum;
+}
+
+}  // namespace smpst::msf

@@ -1,0 +1,37 @@
+// Weighted edge lists for the minimum-spanning-forest extension (the paper's
+// future work; also the problem most of its related-work comparators solve).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace smpst::msf {
+
+using Weight = double;
+
+struct WeightedEdge {
+  VertexId u = 0;
+  VertexId v = 0;
+  Weight w = 0.0;
+
+  friend bool operator==(const WeightedEdge&, const WeightedEdge&) = default;
+};
+
+struct WeightedEdgeList {
+  VertexId num_vertices = 0;
+  std::vector<WeightedEdge> edges;
+};
+
+/// Assigns deterministic pseudo-random weights in (0, 1) to the edges of g.
+/// Weights are a pure function of (seed, u, v), so all algorithms see the
+/// same weighting and distinct edges get distinct weights with probability 1
+/// (which makes the MSF unique and the cross-algorithm tests exact).
+WeightedEdgeList with_random_weights(const Graph& g, std::uint64_t seed);
+
+/// Total weight of a set of edges.
+Weight total_weight(const std::vector<WeightedEdge>& edges);
+
+}  // namespace smpst::msf

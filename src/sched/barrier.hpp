@@ -1,0 +1,105 @@
+// Software barriers.
+//
+// The paper's implementation uses the software barriers of SIMPLE (Bader &
+// JáJá 1999). SpinBarrier is the equivalent sense-reversing centralized
+// barrier; BlockingBarrier trades latency for zero busy-wait and is what the
+// micro-benchmarks compare against. Both count a "barrier episode" so the
+// Helman–JáJá B(n,p) term can be measured directly.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "support/cacheline.hpp"
+
+namespace smpst {
+
+/// Centralized sense-reversing spin barrier. Spins with yield so it remains
+/// live on oversubscribed machines.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::size_t parties);
+
+  /// Blocks until all parties arrive. Reusable across any number of episodes.
+  void arrive_and_wait() noexcept;
+
+  [[nodiscard]] std::size_t parties() const noexcept { return parties_; }
+
+  /// Completed barrier episodes (the B term of the cost model).
+  [[nodiscard]] std::uint64_t episodes() const noexcept {
+    return episodes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const std::size_t parties_;
+  std::atomic<std::size_t> waiting_{0};
+  std::atomic<bool> sense_{false};
+  std::atomic<std::uint64_t> episodes_{0};
+};
+
+/// Barrier-synchronized OR-reduction across all parties: returns true iff
+/// any thread voted true. Uses three barrier episodes; the third protects
+/// the shared flag from being reset (by the next round's leader) while a
+/// straggler is still reading it — without it, threads can disagree on a
+/// loop-termination vote and deadlock the barrier group.
+template <typename Barrier>
+bool vote_or(Barrier& barrier, std::atomic<bool>& flag, std::size_t tid,
+             bool vote) {
+  if (tid == 0) flag.store(false, std::memory_order_relaxed);
+  barrier.arrive_and_wait();
+  if (vote) flag.store(true, std::memory_order_relaxed);
+  barrier.arrive_and_wait();
+  const bool result = flag.load(std::memory_order_relaxed);
+  barrier.arrive_and_wait();
+  return result;
+}
+
+/// Mutex + condition-variable barrier; no busy waiting.
+class BlockingBarrier {
+ public:
+  explicit BlockingBarrier(std::size_t parties);
+
+  void arrive_and_wait();
+
+  [[nodiscard]] std::size_t parties() const noexcept { return parties_; }
+
+ private:
+  const std::size_t parties_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t waiting_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+/// Dissemination barrier (Hensgen–Finkel–Manber): log2(p) rounds in which
+/// thread t signals thread (t + 2^k) mod p and waits for the signal from
+/// (t - 2^k) mod p. No single hot cache line, O(log p) latency — the
+/// structure the SIMPLE library's tree barriers approximate, included so the
+/// barrier-cost term of the Helman–JáJá model can be measured against the
+/// centralized SpinBarrier. Unlike the other barriers, callers must pass
+/// their thread id.
+class DisseminationBarrier {
+ public:
+  explicit DisseminationBarrier(std::size_t parties);
+
+  /// Every party must call with its unique tid in [0, parties).
+  void arrive_and_wait(std::size_t tid) noexcept;
+
+  [[nodiscard]] std::size_t parties() const noexcept { return parties_; }
+
+ private:
+  struct Flags {
+    // flags_[parity][round]: signal slot for this thread.
+    std::atomic<bool> slot[2][32];
+  };
+
+  const std::size_t parties_;
+  std::size_t rounds_;
+  std::vector<Padded<Flags>> flags_;
+  std::vector<Padded<std::uint8_t>> parity_;  // per-thread episode parity
+};
+
+}  // namespace smpst

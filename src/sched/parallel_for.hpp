@@ -1,0 +1,76 @@
+// Data-parallel loop primitives over the thread pool: statically and
+// dynamically scheduled parallel-for plus a tree-free reduction. These are
+// the SPMD idioms the SV/HCS/Borůvka workers hand-roll; exposed here so
+// downstream code (and the parallel graph utilities) can use them directly.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "sched/thread_pool.hpp"
+
+namespace smpst {
+
+/// Statically partitioned parallel loop: body(i) for i in [begin, end),
+/// each thread receiving one contiguous chunk (cache-friendly; matches the
+/// Helman–JáJá preference for contiguous access).
+template <typename Body>
+void parallel_for_static(ThreadPool& pool, std::size_t begin, std::size_t end,
+                         Body&& body) {
+  const std::size_t total = end - begin;
+  const std::size_t p = pool.size();
+  if (total == 0) return;
+  pool.run([&](std::size_t tid) {
+    const std::size_t base = total / p;
+    const std::size_t extra = total % p;
+    const std::size_t lo = begin + tid * base + std::min(tid, extra);
+    const std::size_t hi = lo + base + (tid < extra ? 1 : 0);
+    for (std::size_t i = lo; i < hi; ++i) body(i);
+  });
+}
+
+/// Dynamically scheduled parallel loop: threads grab `grain`-sized chunks
+/// from a shared cursor. Use when per-index work is irregular.
+template <typename Body>
+void parallel_for_dynamic(ThreadPool& pool, std::size_t begin, std::size_t end,
+                          std::size_t grain, Body&& body) {
+  if (begin >= end) return;
+  std::atomic<std::size_t> cursor{begin};
+  pool.run([&](std::size_t) {
+    for (;;) {
+      const std::size_t lo = cursor.fetch_add(grain, std::memory_order_relaxed);
+      if (lo >= end) break;
+      const std::size_t hi = std::min(lo + grain, end);
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    }
+  });
+}
+
+/// Parallel reduction: combines body(i) over [begin, end) with `combine`
+/// (associative; `identity` is its neutral element).
+template <typename T, typename Body, typename Combine>
+T parallel_reduce(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  T identity, Body&& body, Combine&& combine) {
+  const std::size_t total = end > begin ? end - begin : 0;
+  if (total == 0) return identity;
+  const std::size_t p = pool.size();
+  std::vector<T> partial(p, identity);
+  {
+    pool.run([&](std::size_t tid) {
+      const std::size_t base = total / p;
+      const std::size_t extra = total % p;
+      const std::size_t lo = begin + tid * base + std::min(tid, extra);
+      const std::size_t hi = lo + base + (tid < extra ? 1 : 0);
+      T acc = identity;
+      for (std::size_t i = lo; i < hi; ++i) acc = combine(acc, body(i));
+      partial[tid] = acc;
+    });
+  }
+  T result = identity;
+  for (const T& t : partial) result = combine(result, t);
+  return result;
+}
+
+}  // namespace smpst

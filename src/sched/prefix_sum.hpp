@@ -1,0 +1,74 @@
+// Parallel prefix sums after Helman & JáJá ("Prefix computations on
+// symmetric multiprocessors", the same authors whose SMP cost model the
+// paper's §3 analysis uses). Two-pass scheme: each thread scans its
+// contiguous block, a serial pass combines the p block totals, and a second
+// parallel pass adds each block's offset — ⟨2n/p ; O(n/p + p) ; 2⟩ in the
+// model's terms.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sched/parallel_for.hpp"
+#include "sched/thread_pool.hpp"
+
+namespace smpst {
+
+/// Exclusive prefix sum in place: out[i] = sum of in[0..i). Returns the
+/// total. T needs operator+ and value-initialization to zero.
+template <typename T>
+T parallel_exclusive_scan(ThreadPool& pool, std::vector<T>& data) {
+  const std::size_t n = data.size();
+  const std::size_t p = pool.size();
+  if (n == 0) return T{};
+
+  std::vector<T> block_total(p, T{});
+  auto chunk = [&](std::size_t tid) {
+    const std::size_t base = n / p;
+    const std::size_t extra = n % p;
+    const std::size_t lo = tid * base + std::min(tid, extra);
+    return std::pair{lo, lo + base + (tid < extra ? 1 : 0)};
+  };
+
+  // Pass 1: local exclusive scans.
+  pool.run([&](std::size_t tid) {
+    const auto [lo, hi] = chunk(tid);
+    T acc{};
+    for (std::size_t i = lo; i < hi; ++i) {
+      const T v = data[i];
+      data[i] = acc;
+      acc = acc + v;
+    }
+    block_total[tid] = acc;
+  });
+
+  // Serial combine of the p block totals.
+  std::vector<T> block_offset(p, T{});
+  T total{};
+  for (std::size_t t = 0; t < p; ++t) {
+    block_offset[t] = total;
+    total = total + block_total[t];
+  }
+
+  // Pass 2: add offsets.
+  pool.run([&](std::size_t tid) {
+    const auto [lo, hi] = chunk(tid);
+    const T off = block_offset[tid];
+    for (std::size_t i = lo; i < hi; ++i) data[i] = data[i] + off;
+  });
+  return total;
+}
+
+/// Inclusive variant: out[i] = sum of in[0..i].
+template <typename T>
+T parallel_inclusive_scan(ThreadPool& pool, std::vector<T>& data) {
+  const std::size_t n = data.size();
+  if (n == 0) return T{};
+  std::vector<T> original = data;
+  const T total = parallel_exclusive_scan(pool, data);
+  parallel_for_static(pool, 0, n,
+                      [&](std::size_t i) { data[i] = data[i] + original[i]; });
+  return total;
+}
+
+}  // namespace smpst

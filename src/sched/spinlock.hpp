@@ -1,0 +1,46 @@
+// Test-and-test-and-set spinlock with exponential backoff and yielding.
+//
+// Guards the per-processor traversal queues. Contention is rare by design —
+// a queue is touched by a thief only when the thief has run out of work — so
+// an uncontended fast path (one atomic exchange) matters more than fairness.
+// The yield in the slow path is essential on oversubscribed hosts (more
+// threads than cores): a pure spin would deadlock the core the lock holder
+// needs to run on.
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+namespace smpst {
+
+class SpinLock {
+ public:
+  void lock() noexcept {
+    int spins = 0;
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) {
+        if (++spins < 64) {
+#if defined(__x86_64__)
+          __builtin_ia32_pause();
+#endif
+        } else {
+          std::this_thread::yield();
+          spins = 0;
+        }
+      }
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace smpst

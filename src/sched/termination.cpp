@@ -1,0 +1,26 @@
+#include "sched/termination.hpp"
+
+namespace smpst {
+
+std::size_t IdleGate::sleep_for(std::chrono::microseconds timeout) {
+  const std::size_t observed =
+      sleepers_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  {
+    std::unique_lock<std::mutex> lk(mutex_);
+    const std::uint64_t epoch = wake_epoch_;
+    cv_.wait_for(lk, timeout, [&] { return wake_epoch_ != epoch; });
+  }
+  sleepers_.fetch_sub(1, std::memory_order_acq_rel);
+  return observed;
+}
+
+void IdleGate::notify_work() noexcept {
+  if (sleepers_.load(std::memory_order_relaxed) == 0) return;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    ++wake_epoch_;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace smpst

@@ -1,0 +1,69 @@
+// Termination and starvation detection for the work-stealing traversal.
+//
+// PendingCounter tracks the number of queued-but-unprocessed vertices across
+// all queues; it reaching zero is the exact (race-free) termination condition
+// because a vertex is counted from the moment it is enqueued until its
+// expansion finishes, so no in-flight work can be missed.
+//
+// IdleGate implements the paper's condition-variable sleep protocol: an idle
+// processor that fails to steal goes to sleep for a bounded duration; the
+// number of simultaneous sleepers is observable so the caller can implement
+// the paper's detection mechanism ("once the number of sleeping processors
+// reaches a certain threshold, halt the SMP traversal and switch to SV").
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace smpst {
+
+class PendingCounter {
+ public:
+  void reset(std::int64_t value) noexcept {
+    count_.store(value, std::memory_order_relaxed);
+  }
+
+  /// Called by a worker that consumed one item and produced `produced` items.
+  void consumed_produced(std::int64_t produced) noexcept {
+    count_.fetch_add(produced - 1, std::memory_order_acq_rel);
+  }
+
+  void add(std::int64_t delta) noexcept {
+    count_.fetch_add(delta, std::memory_order_acq_rel);
+  }
+
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return count_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] bool drained() const noexcept { return value() <= 0; }
+
+ private:
+  std::atomic<std::int64_t> count_{0};
+};
+
+class IdleGate {
+ public:
+  /// Sleeps the calling thread until notified or `timeout` elapses.
+  /// Returns the number of sleepers (including the caller) observed at entry,
+  /// which the caller compares against its starvation threshold.
+  std::size_t sleep_for(std::chrono::microseconds timeout);
+
+  /// Wakes all sleepers; cheap (one relaxed load) when nobody sleeps.
+  void notify_work() noexcept;
+
+  [[nodiscard]] std::size_t sleepers() const noexcept {
+    return sleepers_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::size_t> sleepers_{0};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::uint64_t wake_epoch_ = 0;
+};
+
+}  // namespace smpst

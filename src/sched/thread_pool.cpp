@@ -1,0 +1,63 @@
+#include "sched/thread_pool.hpp"
+
+#include "support/assert.hpp"
+#include "support/cpu.hpp"
+
+namespace smpst {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  SMPST_CHECK(num_threads >= 1, "thread pool needs at least one worker");
+  threads_.reserve(num_threads);
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    threads_.emplace_back([this, t] { worker_loop(t); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::run(const std::function<void(std::size_t)>& body) {
+  std::unique_lock<std::mutex> lk(mutex_);
+  job_ = &body;
+  remaining_ = threads_.size();
+  first_error_ = nullptr;
+  ++epoch_;
+  cv_start_.notify_all();
+  cv_done_.wait(lk, [&] { return remaining_ == 0; });
+  job_ = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void ThreadPool::worker_loop(std::size_t tid) {
+  pin_current_thread(tid);
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      cv_start_.wait(lk, [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      job = job_;
+    }
+    std::exception_ptr err;
+    try {
+      (*job)(tid);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      if (err && !first_error_) first_error_ = err;
+      if (--remaining_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace smpst

@@ -1,0 +1,214 @@
+// Work-stealing queues for the traversal step.
+//
+// SplitQueue is the queue from the paper: each processor owns a FIFO queue of
+// frontier vertices; an idle processor locks a victim's queue and "steals part
+// of the queue" — here the front portion, which holds the oldest frontier
+// vertices and therefore (in BFS order) the largest unexplored subtrees. A
+// spinlock per queue is cheap because steals only happen when the thief has
+// nothing else to do.
+//
+// ChaseLevDeque is a lock-free alternative (owner LIFO bottom, thieves FIFO
+// top, one element per steal) included for the steal-granularity ablation.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "sched/spinlock.hpp"
+#include "support/assert.hpp"
+#include "support/cacheline.hpp"
+
+namespace smpst {
+
+template <typename T>
+class SplitQueue {
+ public:
+  SplitQueue() = default;
+
+  void reserve(std::size_t n) {
+    std::lock_guard<SpinLock> lk(lock_);
+    buf_.reserve(n);
+  }
+
+  /// Owner: append one element at the back.
+  void push(const T& value) {
+    std::lock_guard<SpinLock> lk(lock_);
+    buf_.push_back(value);
+  }
+
+  /// Owner: append many elements at the back.
+  void push_bulk(const T* values, std::size_t count) {
+    std::lock_guard<SpinLock> lk(lock_);
+    buf_.insert(buf_.end(), values, values + count);
+  }
+
+  /// Owner: remove the front element (BFS order). Returns false when empty.
+  bool pop(T& out) {
+    std::lock_guard<SpinLock> lk(lock_);
+    if (head_ == buf_.size()) return false;
+    out = buf_[head_++];
+    maybe_compact();
+    return true;
+  }
+
+  /// Thief: move up to `max_take` elements from the front into `out`.
+  /// Returns the number taken. Never blocks on the thief's own queue, so
+  /// steals cannot deadlock.
+  std::size_t steal(std::vector<T>& out, std::size_t max_take) {
+    std::lock_guard<SpinLock> lk(lock_);
+    const std::size_t avail = buf_.size() - head_;
+    const std::size_t take = std::min(avail, max_take);
+    out.insert(out.end(), buf_.begin() + static_cast<std::ptrdiff_t>(head_),
+               buf_.begin() + static_cast<std::ptrdiff_t>(head_ + take));
+    head_ += take;
+    maybe_compact();
+    return take;
+  }
+
+  [[nodiscard]] bool empty() const {
+    std::lock_guard<SpinLock> lk(lock_);
+    return head_ == buf_.size();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<SpinLock> lk(lock_);
+    return buf_.size() - head_;
+  }
+
+  void clear() {
+    std::lock_guard<SpinLock> lk(lock_);
+    buf_.clear();
+    head_ = 0;
+  }
+
+ private:
+  void maybe_compact() {
+    // Reclaim the dead prefix once it dominates the buffer.
+    if (head_ > 64 && head_ * 2 > buf_.size()) {
+      buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+  }
+
+  mutable SpinLock lock_;
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+};
+
+/// Lock-free work-stealing deque (Chase & Lev; fences after Le et al. 2013).
+/// The owner pushes/pops at the bottom; thieves steal single elements from
+/// the top. T must be trivially copyable.
+template <typename T>
+class ChaseLevDeque {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  explicit ChaseLevDeque(std::size_t initial_capacity = 1024)
+      : buffer_(new Buffer(round_up(initial_capacity))) {}
+
+  ~ChaseLevDeque() {
+    delete buffer_.load(std::memory_order_relaxed);
+    for (Buffer* b : retired_) delete b;
+  }
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  /// Owner only.
+  void push(T value) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<std::int64_t>(buf->capacity) - 1) {
+      buf = grow(buf, t, b);
+    }
+    buf->put(b, value);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner only. Returns false when empty.
+  bool pop(T& out) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return false;
+    }
+    out = buf->get(b);
+    if (t == b) {
+      // Last element: race against thieves via CAS on top.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return false;
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return true;
+  }
+
+  /// Any thread. Returns false when empty or lost a race.
+  bool steal(T& out) {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return false;
+    Buffer* buf = buffer_.load(std::memory_order_consume);
+    out = buf->get(t);
+    return top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t size_estimate() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  [[nodiscard]] bool empty() const { return size_estimate() == 0; }
+
+ private:
+  struct Buffer {
+    explicit Buffer(std::size_t cap) : capacity(cap), data(new T[cap]) {}
+    ~Buffer() { delete[] data; }
+
+    [[nodiscard]] T get(std::int64_t i) const {
+      return data[static_cast<std::size_t>(i) & (capacity - 1)];
+    }
+    void put(std::int64_t i, T v) {
+      data[static_cast<std::size_t>(i) & (capacity - 1)] = v;
+    }
+
+    const std::size_t capacity;  // power of two
+    T* data;
+  };
+
+  static std::size_t round_up(std::size_t n) {
+    std::size_t c = 8;
+    while (c < n) c <<= 1;
+    return c;
+  }
+
+  Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
+    auto* bigger = new Buffer(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    buffer_.store(bigger, std::memory_order_release);
+    // Thieves may still be reading the old buffer; retire it until the deque
+    // itself dies instead of freeing immediately.
+    retired_.push_back(old);
+    return bigger;
+  }
+
+  alignas(kCacheLineSize) std::atomic<std::int64_t> top_{0};
+  alignas(kCacheLineSize) std::atomic<std::int64_t> bottom_{0};
+  alignas(kCacheLineSize) std::atomic<Buffer*> buffer_;
+  std::vector<Buffer*> retired_;  // owner-only
+};
+
+}  // namespace smpst

@@ -1,0 +1,42 @@
+// Lightweight always-on and debug-only assertion macros.
+//
+// SMPST_CHECK   — always evaluated; aborts with a message on failure. Used for
+//                 API preconditions whose violation is a caller bug.
+// SMPST_ASSERT  — compiled out in NDEBUG builds; used on hot paths for
+//                 internal invariants.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace smpst::detail {
+
+[[noreturn]] inline void assertion_failure(const char* kind, const char* expr,
+                                           const char* file, int line,
+                                           const char* msg) {
+  std::fprintf(stderr, "%s failed: %s\n  at %s:%d\n  %s\n", kind, expr, file,
+               line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace smpst::detail
+
+#define SMPST_CHECK(expr, msg)                                              \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::smpst::detail::assertion_failure("SMPST_CHECK", #expr, __FILE__,    \
+                                         __LINE__, msg);                    \
+    }                                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define SMPST_ASSERT(expr) ((void)0)
+#else
+#define SMPST_ASSERT(expr)                                                  \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::smpst::detail::assertion_failure("SMPST_ASSERT", #expr, __FILE__,   \
+                                         __LINE__, nullptr);                \
+    }                                                                       \
+  } while (0)
+#endif

@@ -1,0 +1,30 @@
+// Cache-line geometry and false-sharing avoidance helpers.
+//
+// The paper's SMP cost model (Helman–JáJá) charges for non-contiguous memory
+// accesses precisely because they miss in cache; the runtime structures here
+// (per-thread queues, counters) are padded so cross-thread traffic never
+// shares a line.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace smpst {
+
+// A fixed 64 bytes rather than std::hardware_destructive_interference_size:
+// the latter varies with compiler flags (and warns when used in headers),
+// while 64 is correct for every x86-64 and most AArch64 parts.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Wraps T so that adjacent array elements live on distinct cache lines.
+template <typename T>
+struct alignas(kCacheLineSize) Padded {
+  T value{};
+
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+};
+
+}  // namespace smpst

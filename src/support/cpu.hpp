@@ -1,0 +1,16 @@
+// CPU topology probing and best-effort thread placement.
+#pragma once
+
+#include <cstddef>
+
+namespace smpst {
+
+/// Number of hardware execution contexts visible to this process (>= 1).
+std::size_t hardware_threads() noexcept;
+
+/// Best-effort pinning of the calling thread to `cpu % hardware_threads()`.
+/// Returns true if the affinity call succeeded. On single-core containers
+/// this is a no-op that returns true.
+bool pin_current_thread(std::size_t cpu) noexcept;
+
+}  // namespace smpst

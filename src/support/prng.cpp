@@ -1,0 +1,34 @@
+#include "support/prng.hpp"
+
+#include "support/assert.hpp"
+
+namespace smpst {
+
+std::uint64_t Xoshiro256::next_bounded(std::uint64_t bound) noexcept {
+  SMPST_ASSERT(bound != 0);
+  // Lemire's method: take the high 64 bits of a 128-bit product; reject the
+  // short sliver that would bias small residues.
+  unsigned __int128 m =
+      static_cast<unsigned __int128>(next()) * static_cast<unsigned __int128>(bound);
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      m = static_cast<unsigned __int128>(next()) *
+          static_cast<unsigned __int128>(bound);
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t derive_stream_seed(std::uint64_t root_seed,
+                                 std::uint64_t stream_index) noexcept {
+  // Jump to the stream by hashing (root, index) through two SplitMix rounds;
+  // avoids low-entropy collisions when root seeds are small integers.
+  SplitMix64 sm(root_seed ^ (0xa0761d6478bd642fULL * (stream_index + 1)));
+  sm.next();
+  return sm.next();
+}
+
+}  // namespace smpst

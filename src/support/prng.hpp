@@ -1,0 +1,87 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// All randomized components in the library (graph generators, the stub random
+// walk, steal-victim selection) draw from these generators so that every run
+// is reproducible from a single 64-bit seed. Per-thread streams are derived
+// with SplitMix64, the recommended seeding procedure for xoshiro generators.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace smpst {
+
+/// SplitMix64: tiny, statistically strong 64-bit generator. Primarily used to
+/// expand one user seed into independent stream seeds.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — fast general-purpose generator (Blackman & Vigna).
+/// Satisfies the UniformRandomBitGenerator concept so it can also be used
+/// with <random> distributions where convenient.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Unbiased integer in [0, bound) using Lemire's multiply-shift rejection
+  /// method. bound must be nonzero.
+  std::uint64_t next_bounded(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability prob (clamped to [0,1]).
+  bool next_bernoulli(double prob) noexcept { return next_double() < prob; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+/// Derives the seed for stream `stream_index` of a generator family rooted at
+/// `root_seed`. Streams are pairwise independent for practical purposes.
+std::uint64_t derive_stream_seed(std::uint64_t root_seed,
+                                 std::uint64_t stream_index) noexcept;
+
+}  // namespace smpst

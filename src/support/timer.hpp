@@ -1,0 +1,44 @@
+// Wall-clock timing utilities used by the benchmark harness and the
+// instrumented algorithm runs.
+#pragma once
+
+#include <chrono>
+
+namespace smpst {
+
+/// Monotonic wall-clock stopwatch with nanosecond resolution.
+class WallTimer {
+ public:
+  WallTimer() noexcept { reset(); }
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_millis() const noexcept {
+    return elapsed_seconds() * 1e3;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time into a double on scope exit; used to attribute
+/// phases (stub tree vs traversal vs fallback) inside the algorithms.
+class ScopedAccumulator {
+ public:
+  explicit ScopedAccumulator(double& sink) noexcept : sink_(sink) {}
+  ScopedAccumulator(const ScopedAccumulator&) = delete;
+  ScopedAccumulator& operator=(const ScopedAccumulator&) = delete;
+  ~ScopedAccumulator() { sink_ += timer_.elapsed_seconds(); }
+
+ private:
+  double& sink_;
+  WallTimer timer_;
+};
+
+}  // namespace smpst

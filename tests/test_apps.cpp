@@ -1,0 +1,281 @@
+// Tests for the applications layer: rooted-tree algebra (Euler tour, LCA,
+// subtree structure), biconnectivity (bridges, articulation points, BCCs),
+// and spanning-tree-based ear decomposition.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "apps/biconnectivity.hpp"
+#include "apps/ear_decomposition.hpp"
+#include "apps/tree_algebra.hpp"
+#include "cc/connected_components.hpp"
+#include "core/bader_cong.hpp"
+#include "core/bfs.hpp"
+#include "gen/registry.hpp"
+#include "gen/random_graph.hpp"
+#include "gen/simple.hpp"
+#include "graph/builder.hpp"
+#include "support/prng.hpp"
+
+namespace smpst {
+namespace {
+
+using apps::RootedForest;
+
+SpanningForest manual_forest(std::vector<VertexId> parent) {
+  SpanningForest f;
+  f.parent = std::move(parent);
+  return f;
+}
+
+TEST(RootedForest, BasicStructure) {
+  //      0
+  //     / \
+  //    1   2
+  //   / \
+  //  3   4     and a second tree {5 <- 6}
+  const auto f = manual_forest({0, 0, 0, 1, 1, 5, 5});
+  const RootedForest rf(f);
+  EXPECT_EQ(rf.roots(), (std::vector<VertexId>{0, 5}));
+  EXPECT_EQ(rf.depth(0), 0u);
+  EXPECT_EQ(rf.depth(4), 2u);
+  EXPECT_EQ(rf.subtree_size(0), 5u);
+  EXPECT_EQ(rf.subtree_size(1), 3u);
+  EXPECT_EQ(rf.subtree_size(6), 1u);
+  const auto kids1 = rf.children(1);
+  EXPECT_EQ(std::vector<VertexId>(kids1.begin(), kids1.end()),
+            (std::vector<VertexId>{3, 4}));
+  EXPECT_TRUE(rf.children(6).empty());
+}
+
+TEST(RootedForest, AncestorAndPreorderRanges) {
+  const auto f = manual_forest({0, 0, 0, 1, 1, 5, 5});
+  const RootedForest rf(f);
+  EXPECT_TRUE(rf.is_ancestor(0, 4));
+  EXPECT_TRUE(rf.is_ancestor(1, 3));
+  EXPECT_TRUE(rf.is_ancestor(3, 3));
+  EXPECT_FALSE(rf.is_ancestor(2, 3));
+  EXPECT_FALSE(rf.is_ancestor(0, 6));  // different tree
+  // Preorder of a subtree is contiguous.
+  EXPECT_EQ(rf.preorder(1) + 1, rf.preorder(3));
+}
+
+TEST(RootedForest, LcaOnKnownTree) {
+  const auto f = manual_forest({0, 0, 0, 1, 1, 5, 5});
+  const RootedForest rf(f);
+  EXPECT_EQ(rf.lca(3, 4), 1u);
+  EXPECT_EQ(rf.lca(3, 2), 0u);
+  EXPECT_EQ(rf.lca(3, 1), 1u);
+  EXPECT_EQ(rf.lca(0, 0), 0u);
+  EXPECT_EQ(rf.lca(3, 6), kInvalidVertex);  // different trees
+  EXPECT_EQ(rf.path_length(3, 4), 2u);
+  EXPECT_EQ(rf.path_length(3, 2), 3u);
+}
+
+TEST(RootedForest, LcaAgainstBruteForceOnChainAndRandomTree) {
+  const Graph g = gen::make_family("random-nlogn", 300, 5);
+  const auto forest = bfs_spanning_tree(g);
+  const RootedForest rf(forest);
+  // Brute-force LCA: climb both to equal depth, then together.
+  auto brute = [&](VertexId u, VertexId v) {
+    while (rf.depth(u) > rf.depth(v)) u = forest.parent[u];
+    while (rf.depth(v) > rf.depth(u)) v = forest.parent[v];
+    while (u != v) {
+      u = forest.parent[u];
+      v = forest.parent[v];
+    }
+    return u;
+  };
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_bounded(300));
+    const auto v = static_cast<VertexId>(rng.next_bounded(300));
+    ASSERT_EQ(rf.lca(u, v), brute(u, v)) << u << "," << v;
+  }
+}
+
+TEST(RootedForest, EulerTourShape) {
+  const auto f = manual_forest({0, 0, 0, 1, 1});
+  const RootedForest rf(f);
+  // 2n-1 entries for one tree; starts and ends at the root.
+  const auto& tour = rf.euler_tour();
+  ASSERT_EQ(tour.size(), 9u);
+  EXPECT_EQ(tour.front(), 0u);
+  EXPECT_EQ(tour.back(), 0u);
+  // Consecutive entries are parent-child pairs.
+  for (std::size_t i = 1; i < tour.size(); ++i) {
+    const VertexId a = tour[i - 1];
+    const VertexId b = tour[i];
+    EXPECT_TRUE(f.parent[a] == b || f.parent[b] == a) << i;
+  }
+}
+
+TEST(Biconnectivity, ChainIsAllBridges) {
+  const Graph g = gen::chain(6);
+  const auto r = apps::biconnectivity(g);
+  EXPECT_EQ(r.bridges.size(), 5u);
+  // Interior vertices are articulation points; endpoints are not.
+  EXPECT_FALSE(r.is_articulation[0]);
+  EXPECT_TRUE(r.is_articulation[2]);
+  EXPECT_FALSE(r.is_articulation[5]);
+  // Every vertex is its own 2-edge component.
+  EXPECT_EQ(r.two_edge_component_count, 6u);
+}
+
+TEST(Biconnectivity, CycleHasNone) {
+  const Graph g = gen::ring(8);
+  const auto r = apps::biconnectivity(g);
+  EXPECT_TRUE(r.bridges.empty());
+  for (bool a : r.is_articulation) EXPECT_FALSE(a);
+  EXPECT_EQ(r.two_edge_component_count, 1u);
+  EXPECT_EQ(r.bcc_count, 1u);
+}
+
+TEST(Biconnectivity, BarbellGraph) {
+  // Two triangles joined by a bridge 2-3.
+  const Graph g = GraphBuilder::from_edges(
+      6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {2, 3}});
+  const auto r = apps::biconnectivity(g);
+  ASSERT_EQ(r.bridges.size(), 1u);
+  EXPECT_EQ(r.bridges[0], (Edge{2, 3}));
+  EXPECT_TRUE(r.is_articulation[2]);
+  EXPECT_TRUE(r.is_articulation[3]);
+  EXPECT_FALSE(r.is_articulation[0]);
+  EXPECT_EQ(r.two_edge_component_count, 2u);
+  EXPECT_EQ(r.bcc_count, 3u);  // triangle, bridge, triangle
+}
+
+TEST(Biconnectivity, StarCenterIsArticulation) {
+  const Graph g = gen::star(5);
+  const auto r = apps::biconnectivity(g);
+  EXPECT_EQ(r.bridges.size(), 4u);
+  EXPECT_TRUE(r.is_articulation[0]);
+  for (VertexId v = 1; v < 5; ++v) EXPECT_FALSE(r.is_articulation[v]);
+}
+
+TEST(Biconnectivity, BridgesMatchBruteForceOnRandomGraphs) {
+  // Brute force: an edge is a bridge iff removing it raises the component
+  // count.
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const Graph g = gen::random_graph(40, 55, seed);
+    const auto fast = apps::find_bridges(g);
+    std::set<Edge> expected;
+    const auto base = cc::cc_union_find(g).count;
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+      for (VertexId v : g.neighbors(u)) {
+        if (u >= v) continue;
+        std::vector<Edge> edges;
+        for (VertexId x = 0; x < g.num_vertices(); ++x) {
+          for (VertexId y : g.neighbors(x)) {
+            if (x < y && !(x == u && y == v)) edges.push_back({x, y});
+          }
+        }
+        const Graph cut = GraphBuilder::from_edges(g.num_vertices(), edges);
+        if (cc::cc_union_find(cut).count > base) expected.insert({u, v});
+      }
+    }
+    EXPECT_EQ(std::set<Edge>(fast.begin(), fast.end()), expected)
+        << "seed " << seed;
+  }
+}
+
+TEST(Biconnectivity, ArticulationMatchesBruteForceOnRandomGraphs) {
+  for (std::uint64_t seed = 10; seed < 13; ++seed) {
+    const Graph g = gen::random_graph(35, 50, seed);
+    const auto fast = apps::find_articulation_points(g);
+    std::vector<VertexId> expected;
+    const auto base = cc::cc_union_find(g).count;
+    for (VertexId cut = 0; cut < g.num_vertices(); ++cut) {
+      std::vector<Edge> edges;
+      for (VertexId x = 0; x < g.num_vertices(); ++x) {
+        for (VertexId y : g.neighbors(x)) {
+          if (x < y && x != cut && y != cut) edges.push_back({x, y});
+        }
+      }
+      const Graph rest = GraphBuilder::from_edges(g.num_vertices(), edges);
+      // Removing `cut` leaves it isolated: compare non-trivial components.
+      if (cc::cc_union_find(rest).count - 1 > base) expected.push_back(cut);
+    }
+    EXPECT_EQ(fast, expected) << "seed " << seed;
+  }
+}
+
+TEST(Biconnectivity, BccArcLabelsAreConsistent) {
+  const Graph g = GraphBuilder::from_edges(
+      6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {2, 3}});
+  const auto r = apps::biconnectivity(g);
+  // Both arcs of each undirected edge share a label, and all edges of one
+  // triangle share one.
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (EdgeId a = g.offsets()[u]; a < g.offsets()[u + 1]; ++a) {
+      EXPECT_NE(r.bcc_of_arc[a], kInvalidVertex);
+    }
+  }
+}
+
+TEST(EarDecomposition, RingIsOneEar) {
+  const Graph g = gen::ring(6);
+  const auto forest = bfs_spanning_tree(g);
+  const auto ears = apps::ear_decomposition(g, forest);
+  EXPECT_EQ(ears.num_ears(), 1u);
+  EXPECT_EQ(ears.uncovered_tree_edges, 0u);
+  // The single ear contains all 5 tree edges.
+  EXPECT_EQ(ears.ear_offsets[1] - ears.ear_offsets[0], 5u);
+}
+
+TEST(EarDecomposition, TreeHasNoEarsOnlyBridges) {
+  const Graph g = gen::binary_tree(15);
+  const auto forest = bfs_spanning_tree(g);
+  const auto ears = apps::ear_decomposition(g, forest);
+  EXPECT_EQ(ears.num_ears(), 0u);
+  EXPECT_EQ(ears.uncovered_tree_edges, 14u);
+}
+
+TEST(EarDecomposition, UncoveredEdgesAreExactlyTreeBridges) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const Graph g = gen::random_graph(60, 75, seed);
+    const auto forest = bfs_spanning_tree(g);
+    const auto ears = apps::ear_decomposition(g, forest);
+    const auto bic = apps::biconnectivity(g);
+    // A tree edge is uncovered iff it is a bridge of g.
+    std::set<Edge> bridges(bic.bridges.begin(), bic.bridges.end());
+    VertexId uncovered = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (forest.parent[v] == v) continue;
+      const VertexId p = forest.parent[v];
+      const Edge e = p < v ? Edge{p, v} : Edge{v, p};
+      const bool is_bridge = bridges.count(e) > 0;
+      const bool covered = ears.ear_of_tree_edge[v] != kInvalidVertex;
+      EXPECT_EQ(covered, !is_bridge) << "edge {" << e.u << "," << e.v << "}";
+      if (!covered) ++uncovered;
+    }
+    EXPECT_EQ(uncovered, ears.uncovered_tree_edges);
+  }
+}
+
+TEST(EarDecomposition, EarCountIsCyclomaticNumber) {
+  // Every non-tree edge seeds exactly one ear: k = m - n + components.
+  const Graph g = gen::make_family("2d60", 400, 9);
+  const auto forest = bfs_spanning_tree(g);
+  const auto ears = apps::ear_decomposition(g, forest);
+  const auto comps = cc::cc_union_find(g).count;
+  EXPECT_EQ(ears.num_ears(), g.num_edges() - g.num_vertices() + comps);
+}
+
+TEST(EarDecomposition, WorksWithParallelSpanningTree) {
+  const Graph g = gen::make_family("geo-hier", 1500, 3);
+  BaderCongOptions o;
+  o.num_threads = 4;
+  const auto forest = bader_cong_spanning_tree(g, o);
+  const auto ears = apps::ear_decomposition(g, forest);
+  // Member lists and labels agree.
+  for (VertexId e = 0; e < ears.num_ears(); ++e) {
+    for (EdgeId i = ears.ear_offsets[e]; i < ears.ear_offsets[e + 1]; ++i) {
+      EXPECT_EQ(ears.ear_of_tree_edge[ears.ear_members[i]], e);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace smpst

@@ -1,0 +1,204 @@
+// Tests for the Bader–Cong work-stealing spanning tree algorithm: validity
+// across every graph family, thread count, and seed; race robustness;
+// disconnected inputs; the starvation fallback; and instrumentation.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/bader_cong.hpp"
+#include "core/validate.hpp"
+#include "gen/registry.hpp"
+#include "gen/simple.hpp"
+#include "graph/builder.hpp"
+#include "sched/thread_pool.hpp"
+
+namespace smpst {
+namespace {
+
+BaderCongOptions opts_with(std::size_t threads, std::uint64_t seed = 42) {
+  BaderCongOptions o;
+  o.num_threads = threads;
+  o.seed = seed;
+  return o;
+}
+
+TEST(BaderCong, SingleVertex) {
+  const Graph g = GraphBuilder::from_edges(1, {});
+  const auto f = bader_cong_spanning_tree(g, opts_with(2));
+  EXPECT_EQ(f.num_trees(), 1u);
+  EXPECT_TRUE(f.is_root(0));
+}
+
+TEST(BaderCong, EmptyGraph) {
+  const Graph g;
+  const auto f = bader_cong_spanning_tree(g, opts_with(2));
+  EXPECT_EQ(f.num_vertices(), 0u);
+}
+
+TEST(BaderCong, SingleThreadMatchesSequentialSemantics) {
+  const Graph g = gen::make_family("random-nlogn", 500, 7);
+  const auto f = bader_cong_spanning_tree(g, opts_with(1));
+  const auto report = validate_spanning_forest(g, f);
+  EXPECT_TRUE(report) << report.error;
+  EXPECT_EQ(report.num_trees, report.graph_components);
+}
+
+TEST(BaderCong, IsolatedVerticesBecomeRoots) {
+  const Graph g = gen::disjoint_chains(2, 10, 5);
+  const auto f = bader_cong_spanning_tree(g, opts_with(4));
+  const auto report = validate_spanning_forest(g, f);
+  EXPECT_TRUE(report) << report.error;
+  EXPECT_EQ(f.num_trees(), 7u);
+}
+
+TEST(BaderCong, ManyComponents) {
+  const Graph g = gen::disjoint_chains(50, 20, 10);
+  const auto f = bader_cong_spanning_tree(g, opts_with(4));
+  const auto report = validate_spanning_forest(g, f);
+  EXPECT_TRUE(report) << report.error;
+  EXPECT_EQ(f.num_trees(), 60u);
+}
+
+// Property sweep: (family, threads) x seeds. Every run must be a valid
+// spanning forest; the tree's *shape* may vary run to run.
+using SweepParam = std::tuple<std::string, int>;
+
+class BaderCongSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(BaderCongSweep, ProducesValidForest) {
+  const auto& [family, threads] = GetParam();
+  const Graph g = gen::make_family(family, 600, 2024);
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const auto f = bader_cong_spanning_tree(
+        g, opts_with(static_cast<std::size_t>(threads), seed));
+    const auto report = validate_spanning_forest(g, f);
+    ASSERT_TRUE(report) << family << " p=" << threads << " seed=" << seed
+                        << ": " << report.error;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesAndThreads, BaderCongSweep,
+    ::testing::Combine(
+        ::testing::Values("torus-rowmajor", "torus-random", "random-nlogn",
+                          "random-1.5n", "2d60", "3d40", "ad3", "geo-flat",
+                          "geo-hier", "chain-seq", "chain-random", "rmat",
+                          "star"),
+        ::testing::Values(1, 2, 4, 8)),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param);
+      for (auto& c : name) {
+        if (c == '-' || c == '.') c = '_';
+      }
+      return name + "_p" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(BaderCong, RepeatedRunsOnSmallGraphStayValid) {
+  // Many repetitions on a small dense graph maximize colouring races.
+  const Graph g = gen::make_family("random-nlogn", 64, 3);
+  ThreadPool pool(8);
+  for (int run = 0; run < 50; ++run) {
+    BaderCongOptions o = opts_with(8, static_cast<std::uint64_t>(run));
+    const auto f = bader_cong_spanning_tree(g, pool, o);
+    const auto report = validate_spanning_forest(g, f);
+    ASSERT_TRUE(report) << "run " << run << ": " << report.error;
+  }
+}
+
+TEST(BaderCong, PoolReuseAcrossGraphs) {
+  ThreadPool pool(4);
+  for (const char* family : {"ad3", "chain-seq", "torus-rowmajor"}) {
+    const Graph g = gen::make_family(family, 300, 5);
+    const auto f = bader_cong_spanning_tree(g, pool, opts_with(4));
+    ASSERT_TRUE(validate_spanning_forest(g, f)) << family;
+  }
+}
+
+TEST(BaderCong, StatsAccountForAllVertices) {
+  const Graph g = gen::make_family("random-nlogn", 2000, 9);
+  TraversalStats stats;
+  BaderCongOptions o = opts_with(4);
+  o.stats = &stats;
+  const auto f = bader_cong_spanning_tree(g, o);
+  ASSERT_TRUE(validate_spanning_forest(g, f));
+  EXPECT_EQ(stats.per_thread.size(), 4u);
+  // Every vertex is processed at least once; duplicates are the excess.
+  EXPECT_EQ(stats.total_processed(),
+            g.num_vertices() + stats.duplicate_expansions);
+  EXPECT_GE(stats.stub_vertices, 1u);
+  EXPECT_FALSE(stats.fallback_triggered);
+  std::uint64_t edges = 0;
+  for (const auto& t : stats.per_thread) edges += t.edges_scanned;
+  // Each processed vertex scans its full neighbourhood: at least 2m scans.
+  EXPECT_GE(edges, g.num_arcs());
+}
+
+TEST(BaderCong, DuplicateExpansionsAreRare) {
+  // The paper: "less than ten vertices for a graph with millions" — scaled
+  // down, duplicates should be a vanishing fraction of n.
+  const Graph g = gen::make_family("random-nlogn", 20000, 11);
+  TraversalStats stats;
+  BaderCongOptions o = opts_with(8);
+  o.stats = &stats;
+  ASSERT_TRUE(validate_spanning_forest(g, bader_cong_spanning_tree(g, o)));
+  EXPECT_LT(stats.duplicate_expansions, g.num_vertices() / 100);
+}
+
+TEST(BaderCong, StubSizeIsBoundedByOptions) {
+  const Graph g = gen::make_family("random-nlogn", 5000, 13);
+  TraversalStats stats;
+  BaderCongOptions o = opts_with(4);
+  o.stub_steps = 16;
+  o.stats = &stats;
+  ASSERT_TRUE(validate_spanning_forest(g, bader_cong_spanning_tree(g, o)));
+  EXPECT_LE(stats.stub_vertices, 17u);  // walk start + at most 16 new vertices
+}
+
+TEST(BaderCong, FallbackProducesValidForest) {
+  // Force the detection mechanism: a long chain keeps at most one queue
+  // element live, a single steal probe per round makes thieves fail and
+  // sleep, and a hair-trigger threshold plus zero patience converts the
+  // first such sleep into starvation. The chain is large enough that the
+  // busy thread cannot finish before the thieves get scheduled.
+  const Graph g = gen::chain(2'000'000);
+  TraversalStats stats;
+  BaderCongOptions o = opts_with(8);
+  o.starvation_fraction = 0.01;
+  o.starvation_patience = 1;
+  o.steal_attempts = 1;
+  o.idle_sleep = std::chrono::microseconds(50);
+  o.stats = &stats;
+  const auto f = bader_cong_spanning_tree(g, o);
+  const auto report = validate_spanning_forest(g, f);
+  ASSERT_TRUE(report) << report.error;
+  EXPECT_TRUE(stats.fallback_triggered);
+  EXPECT_GT(stats.fallback_seconds, 0.0);
+}
+
+TEST(BaderCong, FallbackDisabledStillCompletes) {
+  const Graph g = gen::chain(5000);
+  TraversalStats stats;
+  BaderCongOptions o = opts_with(8);
+  o.enable_fallback = false;
+  o.stats = &stats;
+  const auto f = bader_cong_spanning_tree(g, o);
+  ASSERT_TRUE(validate_spanning_forest(g, f));
+  EXPECT_FALSE(stats.fallback_triggered);
+}
+
+TEST(BaderCong, StealChunkOneWorks) {
+  const Graph g = gen::make_family("torus-rowmajor", 400, 21);
+  BaderCongOptions o = opts_with(4);
+  o.steal_chunk = 1;
+  ASSERT_TRUE(validate_spanning_forest(g, bader_cong_spanning_tree(g, o)));
+}
+
+TEST(BaderCong, OversubscriptionBeyondCores) {
+  const Graph g = gen::make_family("random-1.5n", 3000, 17);
+  const auto f = bader_cong_spanning_tree(g, opts_with(16));
+  ASSERT_TRUE(validate_spanning_forest(g, f));
+}
+
+}  // namespace
+}  // namespace smpst

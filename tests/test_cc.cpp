@@ -1,0 +1,146 @@
+// Tests for connected components: all four engines must agree with the
+// union-find ground truth on every family.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cc/connected_components.hpp"
+#include "cc/union_find.hpp"
+#include "core/bader_cong.hpp"
+#include "gen/registry.hpp"
+#include "gen/simple.hpp"
+#include "graph/builder.hpp"
+
+namespace smpst {
+namespace {
+
+TEST(UnionFind, BasicOperations) {
+  cc::UnionFind dsu(5);
+  EXPECT_EQ(dsu.num_sets(), 5u);
+  EXPECT_TRUE(dsu.unite(0, 1));
+  EXPECT_FALSE(dsu.unite(1, 0));
+  EXPECT_TRUE(dsu.unite(2, 3));
+  EXPECT_EQ(dsu.num_sets(), 3u);
+  EXPECT_TRUE(dsu.same(0, 1));
+  EXPECT_FALSE(dsu.same(0, 2));
+  EXPECT_TRUE(dsu.unite(1, 3));
+  EXPECT_TRUE(dsu.same(0, 2));
+  EXPECT_EQ(dsu.num_sets(), 2u);
+}
+
+TEST(UnionFind, FindIsIdempotent) {
+  cc::UnionFind dsu(100);
+  for (VertexId v = 1; v < 100; ++v) dsu.unite(v - 1, v);
+  const VertexId root = dsu.find(50);
+  EXPECT_EQ(dsu.find(50), root);
+  EXPECT_EQ(dsu.find(0), root);
+  EXPECT_EQ(dsu.num_sets(), 1u);
+}
+
+TEST(SamePartition, DetectsAgreementAndDisagreement) {
+  EXPECT_TRUE(cc::same_partition({0, 0, 1}, {5, 5, 9}));
+  EXPECT_FALSE(cc::same_partition({0, 0, 1}, {5, 9, 9}));
+  EXPECT_FALSE(cc::same_partition({0, 1}, {0, 0}));
+  EXPECT_FALSE(cc::same_partition({0}, {0, 0}));
+  EXPECT_TRUE(cc::same_partition({}, {}));
+}
+
+TEST(ConnectedComponents, KnownSmallGraph) {
+  const Graph g = GraphBuilder::from_edges(6, {{0, 1}, {1, 2}, {3, 4}});
+  for (auto* fn : {&cc::cc_union_find, &cc::cc_bfs}) {
+    const auto r = fn(g);
+    EXPECT_EQ(r.count, 3u);
+    EXPECT_EQ(r.label[0], r.label[2]);
+    EXPECT_EQ(r.label[3], r.label[4]);
+    EXPECT_NE(r.label[0], r.label[3]);
+    EXPECT_NE(r.label[5], r.label[0]);
+  }
+}
+
+class CcEngines : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CcEngines, AllEnginesMatchGroundTruth) {
+  const Graph g = gen::make_family(GetParam(), 500, 321);
+  const auto truth = cc::cc_union_find(g);
+  const auto bfs = cc::cc_bfs(g);
+  EXPECT_EQ(bfs.count, truth.count);
+  EXPECT_TRUE(cc::same_partition(bfs.label, truth.label));
+
+  for (std::size_t p : {std::size_t{1}, std::size_t{4}}) {
+    cc::ParallelCcOptions opts;
+    opts.num_threads = p;
+    const auto sv = cc::cc_shiloach_vishkin(g, opts);
+    EXPECT_EQ(sv.count, truth.count) << "sv p=" << p;
+    EXPECT_TRUE(cc::same_partition(sv.label, truth.label)) << "sv p=" << p;
+
+    const auto lp = cc::cc_label_propagation(g, opts);
+    EXPECT_EQ(lp.count, truth.count) << "lp p=" << p;
+    EXPECT_TRUE(cc::same_partition(lp.label, truth.label)) << "lp p=" << p;
+
+    const auto rem = cc::cc_rem_union(g, opts);
+    EXPECT_EQ(rem.count, truth.count) << "rem p=" << p;
+    EXPECT_TRUE(cc::same_partition(rem.label, truth.label)) << "rem p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, CcEngines,
+                         ::testing::Values("torus-rowmajor", "random-1.5n",
+                                           "ad3", "geo-hier", "2d60", "rmat",
+                                           "star"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (auto& c : name) {
+                             if (c == '-' || c == '.') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(ConnectedComponents, DisconnectedWithIsolated) {
+  const Graph g = gen::disjoint_chains(3, 7, 4);
+  const auto truth = cc::cc_union_find(g);
+  EXPECT_EQ(truth.count, 7u);
+  const auto sv = cc::cc_shiloach_vishkin(g, {.num_threads = 4});
+  EXPECT_TRUE(cc::same_partition(sv.label, truth.label));
+  const auto lp = cc::cc_label_propagation(g, {.num_threads = 4});
+  EXPECT_TRUE(cc::same_partition(lp.label, truth.label));
+}
+
+TEST(ConnectedComponents, FromForestMatches) {
+  const Graph g = gen::disjoint_chains(2, 50, 3);
+  BaderCongOptions o;
+  o.num_threads = 4;
+  const auto forest = bader_cong_spanning_tree(g, o);
+  const auto from_forest = cc::cc_from_forest(forest);
+  const auto truth = cc::cc_union_find(g);
+  EXPECT_EQ(from_forest.count, truth.count);
+  EXPECT_TRUE(cc::same_partition(from_forest.label, truth.label));
+}
+
+TEST(ConnectedComponents, EmptyGraph) {
+  const Graph g;
+  EXPECT_EQ(cc::cc_union_find(g).count, 0u);
+  EXPECT_EQ(cc::cc_shiloach_vishkin(g, {.num_threads = 2}).count, 0u);
+  EXPECT_EQ(cc::cc_label_propagation(g, {.num_threads = 2}).count, 0u);
+  EXPECT_EQ(cc::cc_rem_union(g, {.num_threads = 2}).count, 0u);
+}
+
+TEST(ConnectedComponents, RemUnionUnderContention) {
+  // Many threads hammering a dense-ish graph stresses the lock-free splices.
+  const Graph g = gen::make_family("random-nlogn", 2000, 77);
+  const auto truth = cc::cc_union_find(g);
+  for (int run = 0; run < 10; ++run) {
+    const auto rem = cc::cc_rem_union(g, {.num_threads = 8});
+    ASSERT_EQ(rem.count, truth.count) << run;
+    ASSERT_TRUE(cc::same_partition(rem.label, truth.label)) << run;
+  }
+}
+
+TEST(ConnectedComponents, LabelsAreDense) {
+  const Graph g = gen::disjoint_chains(5, 3, 2);
+  const auto r = cc::cc_shiloach_vishkin(g, {.num_threads = 2});
+  EXPECT_EQ(r.count, 7u);
+  for (VertexId l : r.label) EXPECT_LT(l, r.count);
+}
+
+}  // namespace
+}  // namespace smpst

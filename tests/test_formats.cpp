@@ -1,0 +1,103 @@
+// Tests for the DIMACS and Graphviz DOT interchange formats.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/bfs.hpp"
+#include "gen/geographic.hpp"
+#include "gen/simple.hpp"
+#include "graph/builder.hpp"
+#include "graph/formats.hpp"
+#include "graph/stats.hpp"
+
+namespace smpst {
+namespace {
+
+TEST(Dimacs, RoundTrip) {
+  EdgeList list(5);
+  list.add_edge(0, 1);
+  list.add_edge(3, 4);
+  list.add_edge(1, 4);
+  std::stringstream ss;
+  io::write_dimacs(list, ss, "round trip test");
+  const EdgeList back = io::read_dimacs(ss);
+  EXPECT_EQ(back.num_vertices(), 5u);
+  EXPECT_EQ(back.edges(), list.edges());
+}
+
+TEST(Dimacs, ParsesCommentsAndColFormat) {
+  std::stringstream ss;
+  ss << "c a comment\nc another\np col 3 2\ne 1 2\ne 2 3\n";
+  const EdgeList list = io::read_dimacs(ss);
+  EXPECT_EQ(list.num_vertices(), 3u);
+  EXPECT_EQ(list.num_edges(), 2u);
+  EXPECT_EQ(list.edges()[0], (Edge{0, 1}));
+}
+
+TEST(Dimacs, RejectsMalformedInput) {
+  {
+    std::stringstream ss;
+    ss << "e 1 2\n";  // edge before problem line
+    EXPECT_THROW(io::read_dimacs(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss;
+    ss << "p edge 3 1\ne 1 9\n";  // endpoint out of range
+    EXPECT_THROW(io::read_dimacs(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss;
+    ss << "p edge 3 5\ne 1 2\n";  // wrong edge count
+    EXPECT_THROW(io::read_dimacs(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss;
+    ss << "x nonsense\n";
+    EXPECT_THROW(io::read_dimacs(ss), std::runtime_error);
+  }
+}
+
+TEST(Dot, PlainGraph) {
+  const Graph g = gen::ring(3);
+  std::stringstream ss;
+  io::write_dot(g, ss, nullptr, "ring3");
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("graph ring3 {"), std::string::npos);
+  EXPECT_NE(out.find("0 -- 1"), std::string::npos);
+  EXPECT_EQ(out.find("penwidth"), std::string::npos);
+}
+
+TEST(Dot, HighlightsSpanningTree) {
+  const Graph g = gen::ring(4);
+  const auto forest = bfs_spanning_tree(g);
+  std::stringstream ss;
+  io::write_dot(g, ss, &forest.parent);
+  const std::string out = ss.str();
+  // One root box, three bold tree edges, one dashed non-tree edge.
+  EXPECT_NE(out.find("[shape=box]"), std::string::npos);
+  std::size_t bold = 0;
+  std::size_t dashed = 0;
+  for (std::size_t pos = 0; (pos = out.find("penwidth", pos)) != std::string::npos;
+       ++pos) {
+    ++bold;
+  }
+  for (std::size_t pos = 0; (pos = out.find("dashed", pos)) != std::string::npos;
+       ++pos) {
+    ++dashed;
+  }
+  EXPECT_EQ(bold, 3u);
+  EXPECT_EQ(dashed, 1u);
+}
+
+TEST(Geographic, TinyHierarchicalInstancesDoNotWrap) {
+  // Regression: n just above the backbone left domain_pop > rest and an
+  // unsigned wrap produced a multi-gigabyte "subdomain" population.
+  for (VertexId n : {8u, 20u, 60u, 100u}) {
+    const Graph g = gen::geographic_hierarchical(n, 42);
+    EXPECT_EQ(g.num_vertices(), n);
+    EXPECT_EQ(compute_stats(g).num_components, 1u) << n;
+  }
+}
+
+}  // namespace
+}  // namespace smpst

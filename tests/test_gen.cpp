@@ -1,0 +1,225 @@
+// Tests for every graph generator: sizes, degree structure, connectivity
+// guarantees, and seed determinism.
+#include <gtest/gtest.h>
+
+#include "gen/geographic.hpp"
+#include "gen/geometric.hpp"
+#include "gen/kronecker.hpp"
+#include "gen/mesh.hpp"
+#include "gen/random_graph.hpp"
+#include "gen/registry.hpp"
+#include "gen/simple.hpp"
+#include "gen/torus.hpp"
+#include "graph/stats.hpp"
+
+namespace smpst {
+namespace {
+
+TEST(Torus, HasDegreeFourEverywhere) {
+  const Graph g = gen::torus2d(8, 8);
+  EXPECT_EQ(g.num_vertices(), 64u);
+  EXPECT_EQ(g.num_edges(), 128u);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(g.degree(v), 4u) << v;
+  }
+  EXPECT_EQ(compute_stats(g).num_components, 1u);
+}
+
+TEST(Torus, TinyDimensionsDegenerate) {
+  // 2-wide wraps collapse double edges; result stays connected and simple.
+  const Graph g = gen::torus2d(2, 4);
+  EXPECT_EQ(g.num_vertices(), 8u);
+  EXPECT_EQ(compute_stats(g).num_components, 1u);
+}
+
+TEST(Torus, SquareHelperChecksPerfectSquare) {
+  const Graph g = gen::torus2d_square(49);
+  EXPECT_EQ(g.num_vertices(), 49u);
+  EXPECT_DEATH(gen::torus2d_square(50), "perfect square");
+}
+
+TEST(Mesh, FullProbabilityEqualsGrid) {
+  const Graph g = gen::mesh2d(5, 7, 1.0, 1);
+  EXPECT_EQ(g.num_vertices(), 35u);
+  // Grid edge count: r*(c-1) + (r-1)*c.
+  EXPECT_EQ(g.num_edges(), 5u * 6 + 4 * 7);
+}
+
+TEST(Mesh, ZeroProbabilityIsEmpty) {
+  const Graph g = gen::mesh2d(5, 5, 0.0, 1);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Mesh, SixtyPercentKeepsRoughlySixtyPercent) {
+  const Graph g = gen::mesh_2d60(10000, 42);
+  const double full = 2.0 * 100 * 99;  // 100x100 grid edges
+  const double ratio = static_cast<double>(g.num_edges()) / full;
+  EXPECT_NEAR(ratio, 0.60, 0.03);
+}
+
+TEST(Mesh, Mesh3dStructure) {
+  const Graph g = gen::mesh3d(4, 4, 4, 1.0, 7);
+  EXPECT_EQ(g.num_vertices(), 64u);
+  EXPECT_EQ(g.num_edges(), 3u * 3 * 16);
+  const Graph h = gen::mesh_3d40(64, 9);
+  EXPECT_EQ(h.num_vertices(), 64u);
+  EXPECT_LT(h.num_edges(), g.num_edges());
+}
+
+TEST(Mesh, SeedDeterminism) {
+  EXPECT_EQ(gen::mesh2d(10, 10, 0.5, 3), gen::mesh2d(10, 10, 0.5, 3));
+  EXPECT_NE(gen::mesh2d(10, 10, 0.5, 3), gen::mesh2d(10, 10, 0.5, 4));
+}
+
+TEST(RandomGraph, ExactEdgeCount) {
+  const Graph g = gen::random_graph(1000, 1500, 5);
+  EXPECT_EQ(g.num_vertices(), 1000u);
+  EXPECT_EQ(g.num_edges(), 1500u);
+}
+
+TEST(RandomGraph, NoSelfLoopsOrDuplicates) {
+  const Graph g = gen::random_graph(50, 400, 6);
+  EXPECT_EQ(g.num_edges(), 400u);  // dedup would have shrunk duplicates
+  for (VertexId v = 0; v < 50; ++v) EXPECT_FALSE(g.has_edge(v, v));
+}
+
+TEST(RandomGraph, DenseCaseCompletes) {
+  // m close to the maximum exercises the rejection loop.
+  const Graph g = gen::random_graph(40, 40 * 39 / 2 - 5, 7);
+  EXPECT_EQ(g.num_edges(), static_cast<EdgeId>(40 * 39 / 2 - 5));
+}
+
+TEST(RandomGraph, RejectsImpossibleM) {
+  EXPECT_DEATH(gen::random_graph(4, 100, 1), "capacity");
+}
+
+TEST(Geometric, EveryVertexHasAtLeastKNeighbors) {
+  const Graph g = gen::geometric_knn(500, 3, 11);
+  EXPECT_EQ(g.num_vertices(), 500u);
+  // Undirected union of k-NN lists: degree >= k is not guaranteed per vertex
+  // (k-NN is asymmetric), but min degree >= 1 and avg degree in [k, 2k].
+  const auto s = compute_stats(g);
+  EXPECT_GE(s.min_degree, 1u);
+  EXPECT_GE(s.avg_degree, 3.0);
+  EXPECT_LE(s.avg_degree, 6.0);
+}
+
+TEST(Geometric, Ad3IsKEquals3) {
+  EXPECT_EQ(gen::ad3(200, 3), gen::geometric_knn(200, 3, 3));
+}
+
+TEST(Geometric, SeedDeterminism) {
+  EXPECT_EQ(gen::geometric_knn(300, 4, 9), gen::geometric_knn(300, 4, 9));
+}
+
+TEST(Geometric, MatchesBruteForceOnSmallInstance) {
+  // With k = n-1 every vertex connects to all others: the complete graph.
+  const Graph g = gen::geometric_knn(12, 11, 13);
+  EXPECT_EQ(g.num_edges(), 12u * 11 / 2);
+}
+
+TEST(Geographic, FlatIsConnectedAndSparse) {
+  const Graph g = gen::geographic_flat(2000, 17);
+  const auto s = compute_stats(g);
+  EXPECT_EQ(s.num_components, 1u);
+  EXPECT_GT(s.avg_degree, 2.0);
+  EXPECT_LT(s.avg_degree, 16.0);
+}
+
+TEST(Geographic, FlatWithoutForcedConnectivity) {
+  gen::GeoFlatParams params;
+  params.force_connected = false;
+  const Graph g = gen::geographic_flat(500, 3, params);
+  EXPECT_EQ(g.num_vertices(), 500u);  // may be disconnected; just well-formed
+}
+
+TEST(Geographic, HierarchicalIsConnected) {
+  const Graph g = gen::geographic_hierarchical(3000, 23);
+  EXPECT_EQ(g.num_vertices(), 3000u);
+  EXPECT_EQ(compute_stats(g).num_components, 1u);
+}
+
+TEST(Geographic, SeedDeterminism) {
+  EXPECT_EQ(gen::geographic_flat(400, 5), gen::geographic_flat(400, 5));
+  EXPECT_EQ(gen::geographic_hierarchical(400, 5),
+            gen::geographic_hierarchical(400, 5));
+}
+
+TEST(Simple, ChainStructure) {
+  const Graph g = gen::chain(5);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_EQ(compute_stats(g).diameter_lower_bound, 4u);
+}
+
+TEST(Simple, StarAndComplete) {
+  EXPECT_EQ(gen::star(10).num_edges(), 9u);
+  EXPECT_EQ(gen::star(10).degree(0), 9u);
+  EXPECT_EQ(gen::complete(6).num_edges(), 15u);
+}
+
+TEST(Simple, BinaryTreeAndRing) {
+  const Graph t = gen::binary_tree(7);
+  EXPECT_EQ(t.num_edges(), 6u);
+  EXPECT_EQ(t.degree(0), 2u);
+  const Graph r = gen::ring(8);
+  for (VertexId v = 0; v < 8; ++v) EXPECT_EQ(r.degree(v), 2u);
+}
+
+TEST(Simple, DisjointChainsAndIsolated) {
+  const Graph g = gen::disjoint_chains(3, 4, 2);
+  EXPECT_EQ(g.num_vertices(), 14u);
+  EXPECT_EQ(compute_stats(g).num_components, 5u);
+}
+
+TEST(Simple, Lollipop) {
+  const Graph g = gen::lollipop(5, 10);
+  EXPECT_EQ(g.num_vertices(), 15u);
+  EXPECT_EQ(compute_stats(g).num_components, 1u);
+  EXPECT_EQ(g.degree(14), 1u);  // tail end
+}
+
+TEST(Rmat, SizeAndSkew) {
+  const Graph g = gen::rmat(10, 8, 31);
+  EXPECT_EQ(g.num_vertices(), 1024u);
+  EXPECT_GT(g.num_edges(), 1024u);  // most of 8*1024 survive dedup
+  const auto s = compute_stats(g);
+  EXPECT_GT(s.max_degree, 4 * static_cast<EdgeId>(s.avg_degree));
+}
+
+TEST(Registry, AllFamiliesBuildSmallInstances) {
+  for (const auto& fam : gen::families()) {
+    const Graph g = gen::make_family(fam.name, 256, 77);
+    EXPECT_GE(g.num_vertices(), 16u) << fam.name;
+  }
+}
+
+TEST(Registry, PaperFamiliesAreConnected) {
+  // AD3 is deliberately absent: a 3-nearest-neighbour graph carries no
+  // connectivity guarantee (the paper's algorithms return spanning forests
+  // on it; ours do too).
+  for (const char* name :
+       {"torus-rowmajor", "torus-random", "random-nlogn", "geo-flat",
+        "geo-hier", "chain-seq", "chain-random"}) {
+    const Graph g = gen::make_family(name, 400, 99);
+    EXPECT_EQ(compute_stats(g).num_components, 1u) << name;
+  }
+}
+
+TEST(Registry, UnknownFamilyThrows) {
+  EXPECT_THROW(gen::make_family("no-such-family", 100, 1),
+               std::invalid_argument);
+  EXPECT_FALSE(gen::is_family("no-such-family"));
+  EXPECT_TRUE(gen::is_family("ad3"));
+}
+
+TEST(Registry, TorusLabelingsAreIsomorphicNotEqual) {
+  const Graph a = gen::make_family("torus-rowmajor", 256, 5);
+  const Graph b = gen::make_family("torus-random", 256, 5);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace smpst

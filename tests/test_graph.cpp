@@ -1,0 +1,243 @@
+// Unit tests for the graph substrate: edge lists, CSR construction, I/O,
+// relabelling, and statistics.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/builder.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+#include "graph/relabel.hpp"
+#include "graph/stats.hpp"
+
+namespace smpst {
+namespace {
+
+Graph triangle_plus_pendant() {
+  // 0-1-2 triangle with pendant 3 off vertex 2.
+  return GraphBuilder::from_edges(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+}
+
+TEST(EdgeList, CanonicalizeDropsLoopsAndDuplicates) {
+  EdgeList list(4);
+  list.add_edge(1, 0);
+  list.add_edge(0, 1);
+  list.add_edge(2, 2);  // self loop
+  list.add_edge(3, 2);
+  const std::size_t removed = list.canonicalize();
+  EXPECT_EQ(removed, 2u);
+  EXPECT_EQ(list.num_edges(), 2u);
+  EXPECT_TRUE(list.is_canonical());
+  EXPECT_EQ(list.edges()[0], (Edge{0, 1}));
+  EXPECT_EQ(list.edges()[1], (Edge{2, 3}));
+}
+
+TEST(EdgeList, IsCanonicalRejectsUnsorted) {
+  EdgeList list(4);
+  list.add_edge(2, 3);
+  list.add_edge(0, 1);
+  EXPECT_FALSE(list.is_canonical());
+}
+
+TEST(EdgeList, EnsureVerticesGrowsOnly) {
+  EdgeList list(4);
+  list.ensure_vertices(2);
+  EXPECT_EQ(list.num_vertices(), 4u);
+  list.ensure_vertices(9);
+  EXPECT_EQ(list.num_vertices(), 9u);
+}
+
+TEST(GraphBuilder, BuildsExpectedCsr) {
+  const Graph g = triangle_plus_pendant();
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.num_arcs(), 8u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(2), 3u);
+  EXPECT_EQ(g.degree(3), 1u);
+  const auto n2 = g.neighbors(2);
+  EXPECT_EQ(std::vector<VertexId>(n2.begin(), n2.end()),
+            (std::vector<VertexId>{0, 1, 3}));
+}
+
+TEST(GraphBuilder, DedupsParallelEdges) {
+  const Graph g = GraphBuilder::from_edges(3, {{0, 1}, {1, 0}, {0, 1}});
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphBuilder, KeepsParallelEdgesWhenAsked) {
+  BuildOptions opts;
+  opts.dedup_parallel_edges = false;
+  const Graph g = GraphBuilder::from_edges(3, {{0, 1}, {1, 0}}, opts);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Graph, HasEdge) {
+  const Graph g = triangle_plus_pendant();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_FALSE(g.has_edge(0, 0));
+  EXPECT_FALSE(g.has_edge(0, 99));
+}
+
+TEST(Graph, EmptyGraph) {
+  const Graph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Graph, MemoryBytesPositive) {
+  EXPECT_GT(triangle_plus_pendant().memory_bytes(), 0u);
+}
+
+TEST(GraphIo, TextRoundTrip) {
+  EdgeList list(5);
+  list.add_edge(0, 1);
+  list.add_edge(3, 4);
+  std::stringstream ss;
+  io::write_edge_list_text(list, ss);
+  const EdgeList back = io::read_edge_list_text(ss);
+  EXPECT_EQ(back.num_vertices(), 5u);
+  EXPECT_EQ(back.edges(), list.edges());
+}
+
+TEST(GraphIo, BinaryRoundTrip) {
+  EdgeList list(1000);
+  for (VertexId v = 1; v < 1000; ++v) list.add_edge(v - 1, v);
+  std::stringstream ss;
+  io::write_edge_list_binary(list, ss);
+  const EdgeList back = io::read_edge_list_binary(ss);
+  EXPECT_EQ(back.num_vertices(), list.num_vertices());
+  EXPECT_EQ(back.edges(), list.edges());
+}
+
+TEST(GraphIo, BinaryRejectsBadMagic) {
+  std::stringstream ss;
+  ss << "NOTMAGIC garbage";
+  EXPECT_THROW(io::read_edge_list_binary(ss), std::runtime_error);
+}
+
+TEST(GraphIo, TextRejectsOutOfRangeEndpoint) {
+  std::stringstream ss;
+  ss << "3 1\n0 7\n";
+  EXPECT_THROW(io::read_edge_list_text(ss), std::runtime_error);
+}
+
+TEST(GraphIo, FileRoundTripBothFormats) {
+  const Graph g = triangle_plus_pendant();
+  for (const char* path : {"/tmp/smpst_io_test.txt", "/tmp/smpst_io_test.bin"}) {
+    io::save_graph(g, path);
+    const Graph back = io::load_graph(path);
+    EXPECT_EQ(back, g) << path;
+  }
+}
+
+TEST(GraphIo, ToEdgeListIsCanonical) {
+  const auto list = io::to_edge_list(triangle_plus_pendant());
+  EXPECT_TRUE(list.is_canonical());
+  EXPECT_EQ(list.num_edges(), 4u);
+}
+
+TEST(Relabel, IdentityAndReverse) {
+  const auto id = identity_permutation(4);
+  EXPECT_EQ(id, (Permutation{0, 1, 2, 3}));
+  const auto rev = reverse_permutation(4);
+  EXPECT_EQ(rev, (Permutation{3, 2, 1, 0}));
+}
+
+TEST(Relabel, RandomIsPermutation) {
+  const auto perm = random_permutation(1000, 42);
+  EXPECT_TRUE(is_permutation(perm));
+  EXPECT_NE(perm, identity_permutation(1000));  // overwhelming probability
+}
+
+TEST(Relabel, RandomIsSeedDeterministic) {
+  EXPECT_EQ(random_permutation(100, 7), random_permutation(100, 7));
+  EXPECT_NE(random_permutation(100, 7), random_permutation(100, 8));
+}
+
+TEST(Relabel, BfsPermutationCoversAllVertices) {
+  const Graph g = triangle_plus_pendant();
+  const auto perm = bfs_permutation(g, 0);
+  EXPECT_TRUE(is_permutation(perm));
+  EXPECT_EQ(perm[0], 0u);
+}
+
+TEST(Relabel, BfsPermutationHandlesDisconnected) {
+  const Graph g = GraphBuilder::from_edges(4, {{0, 1}});  // 2, 3 isolated
+  const auto perm = bfs_permutation(g, 0);
+  EXPECT_TRUE(is_permutation(perm));
+}
+
+TEST(Relabel, ApplyPermutationPreservesStructure) {
+  const Graph g = triangle_plus_pendant();
+  const auto perm = reverse_permutation(4);
+  const Graph h = apply_permutation(g, perm);
+  EXPECT_EQ(h.num_vertices(), g.num_vertices());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  for (VertexId u = 0; u < 4; ++u) {
+    for (VertexId v = 0; v < 4; ++v) {
+      EXPECT_EQ(g.has_edge(u, v), h.has_edge(perm[u], perm[v]));
+    }
+  }
+}
+
+TEST(Relabel, IsPermutationRejectsBad) {
+  EXPECT_FALSE(is_permutation({0, 0}));
+  EXPECT_FALSE(is_permutation({0, 2}));
+  EXPECT_TRUE(is_permutation({1, 0}));
+}
+
+TEST(Stats, TriangleWithPendant) {
+  const auto s = compute_stats(triangle_plus_pendant());
+  EXPECT_EQ(s.num_vertices, 4u);
+  EXPECT_EQ(s.num_edges, 4u);
+  EXPECT_EQ(s.num_components, 1u);
+  EXPECT_EQ(s.largest_component, 4u);
+  EXPECT_EQ(s.min_degree, 1u);
+  EXPECT_EQ(s.max_degree, 3u);
+  EXPECT_EQ(s.degree2_vertices, 2u);
+  EXPECT_EQ(s.diameter_lower_bound, 2u);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 2.0);
+}
+
+TEST(Stats, CountsComponentsAndIsolated) {
+  const Graph g = GraphBuilder::from_edges(5, {{0, 1}, {2, 3}});
+  const auto s = compute_stats(g);
+  EXPECT_EQ(s.num_components, 3u);
+  EXPECT_EQ(s.isolated_vertices, 1u);
+  EXPECT_EQ(s.largest_component, 2u);
+}
+
+TEST(Stats, ComponentLabelsAreDense) {
+  const Graph g = GraphBuilder::from_edges(5, {{0, 1}, {2, 3}});
+  VertexId count = 0;
+  const auto labels = component_labels(g, &count);
+  EXPECT_EQ(count, 3u);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[2], labels[3]);
+  EXPECT_NE(labels[0], labels[2]);
+  EXPECT_NE(labels[4], labels[0]);
+}
+
+TEST(Stats, DegreeHistogram) {
+  const auto hist = degree_histogram(triangle_plus_pendant());
+  ASSERT_EQ(hist.size(), 4u);  // max degree 3
+  EXPECT_EQ(hist[1], 1u);
+  EXPECT_EQ(hist[2], 2u);
+  EXPECT_EQ(hist[3], 1u);
+}
+
+TEST(Stats, ChainDiameterExact) {
+  // A path's double sweep finds the true diameter.
+  EdgeList list(10);
+  for (VertexId v = 1; v < 10; ++v) list.add_edge(v - 1, v);
+  const auto s = compute_stats(GraphBuilder::build(std::move(list)));
+  EXPECT_EQ(s.diameter_lower_bound, 9u);
+}
+
+}  // namespace
+}  // namespace smpst

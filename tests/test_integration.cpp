@@ -1,0 +1,131 @@
+// Integration tests across modules: preprocessing + parallel traversal +
+// expansion pipelines, the algorithm registry, cross-algorithm agreement on
+// component structure, and I/O round trips through the full stack.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "cc/connected_components.hpp"
+#include "core/algorithms.hpp"
+#include "gen/registry.hpp"
+#include "gen/simple.hpp"
+#include "graph/io.hpp"
+#include "graph/relabel.hpp"
+#include "graph/transform.hpp"
+#include "msf/boruvka.hpp"
+#include "msf/kruskal.hpp"
+#include "sched/thread_pool.hpp"
+
+namespace smpst {
+namespace {
+
+TEST(Registry, AlgorithmListAndDispatch) {
+  EXPECT_TRUE(is_algorithm("bader-cong"));
+  EXPECT_TRUE(is_algorithm("bfs"));
+  EXPECT_FALSE(is_algorithm("quantum"));
+  ThreadPool pool(2);
+  const Graph g = gen::make_family("ad3", 300, 4);
+  for (const auto& spec : algorithms()) {
+    const auto f = run_algorithm(spec.name, g, pool);
+    const auto report = validate_spanning_forest(g, f);
+    EXPECT_TRUE(report) << spec.name << ": " << report.error;
+  }
+  EXPECT_THROW(run_algorithm("quantum", g, pool), std::invalid_argument);
+}
+
+TEST(Integration, AllAlgorithmsAgreeOnComponentStructure) {
+  const Graph g = gen::disjoint_chains(4, 100, 7);
+  ThreadPool pool(4);
+  const auto truth = cc::cc_union_find(g);
+  for (const auto& spec : algorithms()) {
+    const auto f = run_algorithm(spec.name, g, pool);
+    const auto labels = cc::cc_from_forest(f);
+    EXPECT_EQ(labels.count, truth.count) << spec.name;
+    EXPECT_TRUE(cc::same_partition(labels.label, truth.label)) << spec.name;
+  }
+}
+
+TEST(Integration, Degree2PipelineWithParallelTraversal) {
+  // Preprocess (degree-2 elimination) -> parallel spanning tree on the
+  // reduced graph -> expansion back to the original: the full §2 pipeline.
+  const Graph g = gen::make_family("geo-hier", 2000, 21);
+  const auto red = eliminate_degree2(g);
+  EXPECT_LT(red.reduced.num_vertices(), g.num_vertices());
+
+  BaderCongOptions o;
+  o.num_threads = 4;
+  const auto reduced_forest = bader_cong_spanning_tree(red.reduced, o);
+  ASSERT_TRUE(validate_spanning_forest(red.reduced, reduced_forest));
+
+  SpanningForest full;
+  full.parent = expand_parent_forest(g, red, reduced_forest.parent);
+  const auto report = validate_spanning_forest(g, full);
+  ASSERT_TRUE(report) << report.error;
+}
+
+TEST(Integration, Degree2PipelineOnEveryFamily) {
+  ThreadPool pool(4);
+  for (const char* family : {"ad3", "chain-seq", "geo-flat", "2d60"}) {
+    const Graph g = gen::make_family(family, 800, 13);
+    const auto red = eliminate_degree2(g);
+    BaderCongOptions o;
+    o.num_threads = 4;
+    const auto rf = bader_cong_spanning_tree(red.reduced, pool, o);
+    SpanningForest full;
+    full.parent = expand_parent_forest(g, red, rf.parent);
+    const auto report = validate_spanning_forest(g, full);
+    ASSERT_TRUE(report) << family << ": " << report.error;
+  }
+}
+
+TEST(Integration, RelabelInvariance) {
+  // The traversal algorithm's validity is labelling-independent; run it on
+  // several permutations of the same graph.
+  const Graph base = gen::make_family("torus-rowmajor", 400, 2);
+  ThreadPool pool(4);
+  for (std::uint64_t s : {1ULL, 2ULL, 3ULL}) {
+    const Graph g =
+        apply_permutation(base, random_permutation(base.num_vertices(), s));
+    BaderCongOptions o;
+    o.num_threads = 4;
+    const auto f = bader_cong_spanning_tree(g, pool, o);
+    ASSERT_TRUE(validate_spanning_forest(g, f)) << "perm seed " << s;
+  }
+}
+
+TEST(Integration, SaveLoadThenSolve) {
+  const Graph g = gen::make_family("geo-flat", 500, 31);
+  const std::string path = "/tmp/smpst_integration.bin";
+  io::save_graph(g, path);
+  const Graph loaded = io::load_graph(path);
+  EXPECT_EQ(loaded, g);
+  BaderCongOptions o;
+  o.num_threads = 2;
+  const auto f = bader_cong_spanning_tree(loaded, o);
+  ASSERT_TRUE(validate_spanning_forest(loaded, f));
+  std::remove(path.c_str());
+}
+
+TEST(Integration, SpanningTreeIsMsfWithUnitWeights) {
+  // With all weights equal the MSF edge count equals any spanning forest's.
+  const Graph g = gen::make_family("random-1.5n", 600, 8);
+  auto wg = msf::with_random_weights(g, 3);
+  const auto msf_edges = msf::kruskal(wg);
+  BaderCongOptions o;
+  o.num_threads = 4;
+  const auto f = bader_cong_spanning_tree(g, o);
+  EXPECT_EQ(msf_edges.size(), f.num_tree_edges());
+}
+
+TEST(Integration, BoruvkaLabelsMatchTraversalComponents) {
+  const Graph g = gen::disjoint_chains(3, 40, 5);
+  const auto wg = msf::with_random_weights(g, 9);
+  const auto b = msf::boruvka(wg, {.num_threads = 4});
+  BaderCongOptions o;
+  o.num_threads = 4;
+  const auto f = bader_cong_spanning_tree(g, o);
+  EXPECT_EQ(b.size(), f.num_tree_edges());
+}
+
+}  // namespace
+}  // namespace smpst

@@ -1,0 +1,176 @@
+// Tests for the Helman–JáJá cost model and the E4500 simulator: formula
+// sanity, monotonicity in p, and agreement between the closed forms and the
+// counter-replay on instrumented runs.
+#include <gtest/gtest.h>
+
+#include "core/bader_cong.hpp"
+#include "core/shiloach_vishkin.hpp"
+#include "core/validate.hpp"
+#include "gen/registry.hpp"
+#include "gen/simple.hpp"
+#include "model/cost_model.hpp"
+#include "model/simulator.hpp"
+#include "model/virtual_smp.hpp"
+
+namespace smpst {
+namespace {
+
+TEST(CostModel, BfsCostMatchesClosedForm) {
+  const auto c = model::bfs_cost(1000, 1500);
+  EXPECT_DOUBLE_EQ(c.mem_accesses, 1000.0 + 2.0 * 1500.0);
+  EXPECT_DOUBLE_EQ(c.barriers, 0.0);
+}
+
+TEST(CostModel, PredictSecondsIsLinearInParams) {
+  model::CostTriple c;
+  c.mem_accesses = 1e6;
+  auto m = model::sun_e4500();
+  const double base = model::predict_seconds(c, m);
+  m.noncontig_access_ns *= 2.0;
+  EXPECT_DOUBLE_EQ(model::predict_seconds(c, m), 2.0 * base);
+}
+
+TEST(CostModel, TraversalCostScalesWithP) {
+  const VertexId n = 1 << 20;
+  const EdgeId m = 1 << 21;
+  const auto p1 = model::bader_cong_cost(n, m, 1);
+  const auto p8 = model::bader_cong_cost(n, m, 8);
+  // Near-linear scaling: p=8 does ~1/8 the per-processor accesses (plus the
+  // O(p) stub term).
+  EXPECT_LT(p8.mem_accesses, p1.mem_accesses / 7.0);
+  EXPECT_DOUBLE_EQ(p1.barriers, p8.barriers);
+}
+
+TEST(CostModel, SvCostsMoreThanTraversal) {
+  // The paper's central comparison: even a single SV iteration does ~log n
+  // more work per vertex, and the worst case carries log^2 n.
+  const VertexId n = 1 << 20;
+  const EdgeId m = 3 * (1 << 20);
+  for (std::size_t p : {std::size_t{1}, std::size_t{8}}) {
+    const auto bc = model::bader_cong_cost(n, m, p);
+    const auto sv = model::sv_worst_case_cost(n, m, p);
+    EXPECT_GT(sv.mem_accesses, 5.0 * bc.mem_accesses) << p;
+    EXPECT_GT(sv.barriers, bc.barriers) << p;
+  }
+}
+
+TEST(CostModel, MachinePresetsAreOrdered) {
+  // The modern machine is faster across the board.
+  const auto old_m = model::sun_e4500();
+  const auto new_m = model::modern_smp();
+  EXPECT_LT(new_m.noncontig_access_ns, old_m.noncontig_access_ns);
+  EXPECT_LT(new_m.barrier_ns, old_m.barrier_ns);
+  EXPECT_FALSE(old_m.name.empty());
+}
+
+TEST(VirtualSmp, SpeedupGrowsWithProcessors) {
+  // The virtual execution spreads work across p processors deterministically;
+  // simulated speedup over sequential BFS must grow with p — exactly the
+  // shape of the paper's Fig. 3/4 curves.
+  const Graph g = gen::make_family("random-nlogn", 20000, 5);
+  const auto machine = model::sun_e4500();
+  const double seq =
+      model::simulate_bfs_seconds(g.num_vertices(), g.num_edges(), machine);
+
+  double prev_speedup = 0.0;
+  for (std::size_t p : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                        std::size_t{8}}) {
+    model::VirtualRunOptions o;
+    o.processors = p;
+    const auto run = model::virtual_traversal(g, o);
+    const double s = seq / run.seconds_on(machine);
+    EXPECT_GT(s, prev_speedup * 1.3)
+        << "speedup should grow near-linearly, p=" << p;
+    prev_speedup = s;
+  }
+  // At p=8 the paper reports speedups of 4.5-5.5 on random graphs.
+  EXPECT_GT(prev_speedup, 3.0);
+  EXPECT_LT(prev_speedup, 9.0);
+}
+
+TEST(VirtualSmp, IsDeterministic) {
+  const Graph g = gen::make_family("ad3", 3000, 7);
+  model::VirtualRunOptions o;
+  o.processors = 4;
+  const auto a = model::virtual_traversal(g, o);
+  const auto b = model::virtual_traversal(g, o);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.total_work, b.total_work);
+  EXPECT_EQ(a.stub_vertices, b.stub_vertices);
+}
+
+TEST(VirtualSmp, ProcessesEveryVertexExactlyOnce) {
+  // The virtual machine is single-threaded, so there are no benign races:
+  // total processed must equal n exactly, across components too.
+  const Graph g = gen::disjoint_chains(5, 100, 7);
+  model::VirtualRunOptions o;
+  o.processors = 4;
+  const auto run = model::virtual_traversal(g, o);
+  std::uint64_t total = 0;
+  std::uint64_t claimed = 0;
+  for (const auto& t : run.per_thread) {
+    total += t.vertices_processed;
+    claimed += t.roots_claimed;
+  }
+  EXPECT_EQ(total, g.num_vertices());
+  EXPECT_GE(claimed, 11u);  // at least the other chains + isolated vertices
+}
+
+TEST(VirtualSmp, WorkStealingBalancesLoad) {
+  // The paper's central load-balancing claim: with work stealing every
+  // processor ends up with ~n/p vertices. On a random graph the imbalance
+  // factor should be close to 1.
+  const Graph g = gen::make_family("random-nlogn", 30000, 9);
+  model::VirtualRunOptions o;
+  o.processors = 8;
+  const auto run = model::virtual_traversal(g, o);
+  EXPECT_LT(run.load_imbalance(), 1.5);
+  std::uint64_t steals = 0;
+  for (const auto& t : run.per_thread) steals += t.steals_succeeded;
+  EXPECT_GT(steals, 0u);
+}
+
+TEST(VirtualSmp, ChainStillCompletes) {
+  // The pathological low-connectivity case: queues hold one vertex, thieves
+  // thrash, but the run still terminates and covers everything.
+  const Graph g = gen::chain(20000);
+  model::VirtualRunOptions o;
+  o.processors = 8;
+  const auto run = model::virtual_traversal(g, o);
+  std::uint64_t total = 0;
+  for (const auto& t : run.per_thread) total += t.vertices_processed;
+  EXPECT_EQ(total, g.num_vertices());
+  // And the makespan shows little parallel benefit (diameter-bound work).
+  EXPECT_GT(run.makespan, run.total_work / 16.0);
+}
+
+TEST(Simulator, SvSlowerThanTraversalOnE4500) {
+  const Graph g = gen::make_family("torus-rowmajor", 10000, 5);
+  const auto machine = model::sun_e4500();
+  const std::size_t p = 8;
+
+  model::VirtualRunOptions vo;
+  vo.processors = p;
+  const double bc_s = model::virtual_traversal(g, vo).seconds_on(machine);
+
+  SvStats sstats;
+  SvOptions so;
+  so.num_threads = p;
+  so.stats = &sstats;
+  sv_spanning_tree(g, so);
+  const double sv_s = model::simulate_sv_seconds(
+      sstats, g.num_vertices(), g.num_edges(), p, machine);
+
+  EXPECT_GT(sv_s, bc_s);
+}
+
+TEST(Simulator, BfsSecondsPositiveAndScalesWithSize) {
+  const auto machine = model::sun_e4500();
+  const double small = model::simulate_bfs_seconds(1000, 1500, machine);
+  const double large = model::simulate_bfs_seconds(100000, 150000, machine);
+  EXPECT_GT(small, 0.0);
+  EXPECT_NEAR(large / small, 100.0, 1.0);
+}
+
+}  // namespace
+}  // namespace smpst

@@ -1,0 +1,144 @@
+// Tests for the minimum-spanning-forest extension: Kruskal, Prim, and
+// parallel Borůvka must produce identical forests (weights are distinct, so
+// the MSF is unique).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "gen/registry.hpp"
+#include "gen/simple.hpp"
+#include "graph/builder.hpp"
+#include "graph/stats.hpp"
+#include "msf/boruvka.hpp"
+#include "msf/kruskal.hpp"
+#include "msf/prim.hpp"
+#include "msf/weighted.hpp"
+
+namespace smpst {
+namespace {
+
+using msf::WeightedEdge;
+
+std::vector<WeightedEdge> sorted_by_endpoints(std::vector<WeightedEdge> edges) {
+  std::sort(edges.begin(), edges.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              if (a.u != b.u) return a.u < b.u;
+              return a.v < b.v;
+            });
+  return edges;
+}
+
+TEST(Weighted, RandomWeightsAreDeterministicAndDistinct) {
+  const Graph g = gen::make_family("random-1.5n", 300, 7);
+  const auto a = msf::with_random_weights(g, 1);
+  const auto b = msf::with_random_weights(g, 1);
+  EXPECT_EQ(a.edges, b.edges);
+  const auto c = msf::with_random_weights(g, 2);
+  EXPECT_NE(a.edges, c.edges);
+  // Distinct weights (almost surely).
+  std::vector<double> ws;
+  for (const auto& e : a.edges) ws.push_back(e.w);
+  std::sort(ws.begin(), ws.end());
+  EXPECT_EQ(std::adjacent_find(ws.begin(), ws.end()), ws.end());
+}
+
+TEST(Kruskal, HandComputedExample) {
+  // Square 0-1-2-3 with diagonal: MST picks the three lightest non-cyclic.
+  msf::WeightedEdgeList wg;
+  wg.num_vertices = 4;
+  wg.edges = {{0, 1, 1.0}, {1, 2, 2.0}, {2, 3, 3.0}, {0, 3, 4.0}, {0, 2, 5.0}};
+  const auto msf_edges = msf::kruskal(wg);
+  ASSERT_EQ(msf_edges.size(), 3u);
+  EXPECT_DOUBLE_EQ(msf::total_weight(msf_edges), 6.0);
+}
+
+TEST(Prim, MatchesKruskalOnHandExample) {
+  msf::WeightedEdgeList wg;
+  wg.num_vertices = 5;
+  wg.edges = {{0, 1, 0.9}, {1, 2, 0.1}, {2, 3, 0.5}, {3, 4, 0.2},
+              {0, 4, 0.3}, {1, 3, 0.8}};
+  EXPECT_EQ(sorted_by_endpoints(msf::kruskal(wg)),
+            sorted_by_endpoints(msf::prim(wg)));
+}
+
+TEST(Boruvka, SingleEdge) {
+  msf::WeightedEdgeList wg;
+  wg.num_vertices = 2;
+  wg.edges = {{0, 1, 0.5}};
+  const auto result = msf::boruvka(wg, {.num_threads = 2});
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0], (WeightedEdge{0, 1, 0.5}));
+}
+
+TEST(Boruvka, EmptyAndSingleton) {
+  msf::WeightedEdgeList empty;
+  EXPECT_TRUE(msf::boruvka(empty, {.num_threads = 2}).empty());
+  msf::WeightedEdgeList one;
+  one.num_vertices = 1;
+  EXPECT_TRUE(msf::boruvka(one, {.num_threads = 2}).empty());
+}
+
+class MsfAgreement : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(MsfAgreement, AllThreeAlgorithmsProduceTheUniqueMsf) {
+  const Graph g = gen::make_family(GetParam(), 400, 99);
+  const auto wg = msf::with_random_weights(g, 17);
+  const auto k = sorted_by_endpoints(msf::kruskal(wg));
+  const auto pr = sorted_by_endpoints(msf::prim(wg));
+  EXPECT_EQ(k, pr);
+  for (std::size_t p : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    const auto b =
+        sorted_by_endpoints(msf::boruvka(wg, {.num_threads = p}));
+    EXPECT_EQ(k, b) << "boruvka p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, MsfAgreement,
+                         ::testing::Values("torus-rowmajor", "random-nlogn",
+                                           "ad3", "geo-flat", "2d60",
+                                           "chain-seq", "star", "rmat"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (auto& c : name) {
+                             if (c == '-' || c == '.') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(Boruvka, DisconnectedGraphGivesForest) {
+  const Graph g = gen::disjoint_chains(3, 10, 2);
+  const auto wg = msf::with_random_weights(g, 5);
+  const auto b = msf::boruvka(wg, {.num_threads = 4});
+  // 3 chains of 10 vertices: 9 edges each; isolated vertices add nothing.
+  EXPECT_EQ(b.size(), 27u);
+  EXPECT_EQ(sorted_by_endpoints(msf::kruskal(wg)), sorted_by_endpoints(b));
+}
+
+TEST(Boruvka, RoundCountIsLogarithmic) {
+  const Graph g = gen::make_family("random-nlogn", 2000, 3);
+  const auto wg = msf::with_random_weights(g, 11);
+  msf::BoruvkaStats stats;
+  msf::BoruvkaOptions opts;
+  opts.num_threads = 4;
+  opts.stats = &stats;
+  const auto b = msf::boruvka(wg, opts);
+  EXPECT_FALSE(b.empty());
+  // Components at least halve per round: <= log2(n) + slack.
+  EXPECT_LE(stats.rounds, 16u);
+  EXPECT_EQ(stats.hooks, b.size());
+}
+
+TEST(Boruvka, MsfWeightIsMinimal) {
+  // Compare against brute force on a tiny instance: every spanning tree of
+  // K_5 enumerated via Kruskal on shuffled orders would be heavier.
+  const Graph g = gen::complete(5);
+  const auto wg = msf::with_random_weights(g, 23);
+  const auto b = msf::boruvka(wg, {.num_threads = 2});
+  const auto k = msf::kruskal(wg);
+  EXPECT_DOUBLE_EQ(msf::total_weight(b), msf::total_weight(k));
+  EXPECT_EQ(b.size(), 4u);
+}
+
+}  // namespace
+}  // namespace smpst

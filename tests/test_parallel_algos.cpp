@@ -1,0 +1,155 @@
+// Tests for the extension algorithms: level-synchronous parallel BFS, the
+// modified HCS spanning tree, and random-mating connectivity.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "cc/connected_components.hpp"
+#include "core/bfs.hpp"
+#include "core/hcs.hpp"
+#include "core/parallel_bfs.hpp"
+#include "core/validate.hpp"
+#include "gen/registry.hpp"
+#include "gen/simple.hpp"
+#include "graph/builder.hpp"
+#include "graph/stats.hpp"
+#include "sched/thread_pool.hpp"
+
+namespace smpst {
+namespace {
+
+using AlgoParam = std::tuple<std::string, int>;
+
+class ParallelBfsSweep : public ::testing::TestWithParam<AlgoParam> {};
+
+TEST_P(ParallelBfsSweep, ProducesValidForest) {
+  const auto& [family, threads] = GetParam();
+  const Graph g = gen::make_family(family, 500, 77);
+  ParallelBfsOptions opts;
+  opts.num_threads = static_cast<std::size_t>(threads);
+  const auto f = parallel_bfs_spanning_tree(g, opts);
+  const auto report = validate_spanning_forest(g, f);
+  ASSERT_TRUE(report) << family << " p=" << threads << ": " << report.error;
+}
+
+class HcsSweep : public ::testing::TestWithParam<AlgoParam> {};
+
+TEST_P(HcsSweep, ProducesValidForest) {
+  const auto& [family, threads] = GetParam();
+  const Graph g = gen::make_family(family, 500, 77);
+  HcsOptions opts;
+  opts.num_threads = static_cast<std::size_t>(threads);
+  const auto f = hcs_spanning_tree(g, opts);
+  const auto report = validate_spanning_forest(g, f);
+  ASSERT_TRUE(report) << family << " p=" << threads << ": " << report.error;
+}
+
+const auto kFamilies =
+    ::testing::Values("torus-rowmajor", "torus-random", "random-nlogn", "2d60",
+                      "ad3", "geo-hier", "chain-seq", "chain-random", "star",
+                      "rmat");
+const auto kThreads = ::testing::Values(1, 2, 4, 8);
+
+const auto name_fn = [](const auto& info) {
+  std::string name = std::get<0>(info.param);
+  for (auto& c : name) {
+    if (c == '-' || c == '.') c = '_';
+  }
+  return name + "_p" + std::to_string(std::get<1>(info.param));
+};
+
+INSTANTIATE_TEST_SUITE_P(Families, ParallelBfsSweep,
+                         ::testing::Combine(kFamilies, kThreads), name_fn);
+INSTANTIATE_TEST_SUITE_P(Families, HcsSweep,
+                         ::testing::Combine(kFamilies, kThreads), name_fn);
+
+TEST(ParallelBfs, TreeDepthsAreBfsDistances) {
+  // Level-synchronous BFS produces shortest-path trees (per source), unlike
+  // the work-stealing traversal whose trees have no depth guarantee.
+  const Graph g = gen::make_family("torus-rowmajor", 400, 3);
+  ParallelBfsOptions opts;
+  opts.num_threads = 4;
+  const auto f = parallel_bfs_spanning_tree(g, opts);
+  ASSERT_TRUE(validate_spanning_forest(g, f));
+  const auto root = f.roots().front();
+  const auto levels = bfs_levels(g, root);
+  const auto depths = f.depths();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(depths[v], levels[v]) << v;
+  }
+}
+
+TEST(ParallelBfs, StatsReportLevels) {
+  const Graph g = gen::chain(200);
+  ParallelBfsStats stats;
+  ParallelBfsOptions opts;
+  opts.num_threads = 2;
+  opts.stats = &stats;
+  const auto f = parallel_bfs_spanning_tree(g, opts);
+  ASSERT_TRUE(validate_spanning_forest(g, f));
+  EXPECT_EQ(stats.levels, 200u);  // a chain has n levels from one end
+  EXPECT_GE(stats.barriers, stats.levels);
+  EXPECT_EQ(stats.max_frontier, 1u);
+}
+
+TEST(ParallelBfs, EmptyAndSingleton) {
+  ParallelBfsOptions opts;
+  opts.num_threads = 2;
+  EXPECT_EQ(parallel_bfs_spanning_tree(Graph{}, opts).num_vertices(), 0u);
+  const Graph one = GraphBuilder::from_edges(1, {});
+  EXPECT_EQ(parallel_bfs_spanning_tree(one, opts).num_trees(), 1u);
+}
+
+TEST(Hcs, IterationCountReported) {
+  const Graph g = gen::make_family("torus-random", 400, 5);
+  SvStats stats;
+  HcsOptions opts;
+  opts.num_threads = 4;
+  opts.stats = &stats;
+  const auto f = hcs_spanning_tree(g, opts);
+  ASSERT_TRUE(validate_spanning_forest(g, f));
+  EXPECT_GE(stats.iterations, 1u);
+  EXPECT_EQ(stats.grafts, f.num_tree_edges());
+  EXPECT_GT(stats.barriers, 0u);
+}
+
+TEST(Hcs, MinHookingConvergesFastOnStar) {
+  // Every leaf's only neighbour is the centre: one iteration suffices.
+  const Graph g = gen::star(100);
+  SvStats stats;
+  HcsOptions opts;
+  opts.num_threads = 4;
+  opts.stats = &stats;
+  ASSERT_TRUE(validate_spanning_forest(g, hcs_spanning_tree(g, opts)));
+  EXPECT_LE(stats.iterations, 2u);
+}
+
+TEST(RandomMate, MatchesGroundTruthAcrossFamilies) {
+  for (const char* family :
+       {"torus-rowmajor", "random-1.5n", "ad3", "geo-hier", "chain-seq"}) {
+    const Graph g = gen::make_family(family, 500, 11);
+    const auto truth = cc::cc_union_find(g);
+    for (std::size_t p : {std::size_t{1}, std::size_t{4}}) {
+      const auto rm = cc::cc_random_mate(g, {.num_threads = p});
+      EXPECT_EQ(rm.count, truth.count) << family << " p=" << p;
+      EXPECT_TRUE(cc::same_partition(rm.label, truth.label))
+          << family << " p=" << p;
+    }
+  }
+}
+
+TEST(RandomMate, DifferentSeedsSamePartition) {
+  const Graph g = gen::make_family("2d60", 400, 21);
+  const auto a = cc::cc_random_mate(g, {.num_threads = 2}, /*seed=*/1);
+  const auto b = cc::cc_random_mate(g, {.num_threads = 2}, /*seed=*/999);
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_TRUE(cc::same_partition(a.label, b.label));
+}
+
+TEST(RandomMate, EmptyGraph) {
+  EXPECT_EQ(cc::cc_random_mate(Graph{}, {.num_threads = 2}).count, 0u);
+}
+
+}  // namespace
+}  // namespace smpst

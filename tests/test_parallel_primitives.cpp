@@ -1,0 +1,120 @@
+// Tests for the data-parallel primitives: parallel_for (static and dynamic),
+// parallel_reduce, and the Helman-JáJá prefix sums.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "sched/parallel_for.hpp"
+#include "sched/prefix_sum.hpp"
+#include "sched/thread_pool.hpp"
+
+namespace smpst {
+namespace {
+
+TEST(ParallelFor, StaticCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for_static(pool, 0, hits.size(),
+                      [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, StaticHandlesEmptyAndOffsetRanges) {
+  ThreadPool pool(3);
+  int count = 0;
+  parallel_for_static(pool, 5, 5, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  std::atomic<std::size_t> sum{0};
+  parallel_for_static(pool, 10, 20, [&](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 145u);  // 10+11+...+19
+}
+
+TEST(ParallelFor, StaticWithMoreThreadsThanWork) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  parallel_for_static(pool, 0, 3,
+                      [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, DynamicCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(997);  // prime: uneven grains
+  parallel_for_dynamic(pool, 0, hits.size(), 16,
+                       [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, DynamicEmptyRange) {
+  ThreadPool pool(2);
+  int count = 0;
+  parallel_for_dynamic(pool, 7, 7, 4, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(ParallelReduce, SumAndMax) {
+  ThreadPool pool(4);
+  const auto sum = parallel_reduce<long>(
+      pool, 0, 10001, 0L, [](std::size_t i) { return static_cast<long>(i); },
+      [](long a, long b) { return a + b; });
+  EXPECT_EQ(sum, 10000L * 10001 / 2);
+
+  const auto mx = parallel_reduce<std::size_t>(
+      pool, 0, 1000, std::size_t{0},
+      [](std::size_t i) { return (i * 7919) % 1000; },
+      [](std::size_t a, std::size_t b) { return std::max(a, b); });
+  EXPECT_EQ(mx, 999u);  // 7919 is coprime with 1000: all residues appear
+}
+
+TEST(ParallelReduce, EmptyRangeGivesIdentity) {
+  ThreadPool pool(4);
+  const auto sum = parallel_reduce<int>(
+      pool, 3, 3, -42, [](std::size_t) { return 1; },
+      [](int a, int b) { return a + b; });
+  EXPECT_EQ(sum, -42);
+}
+
+TEST(PrefixSum, ExclusiveMatchesSerialReference) {
+  ThreadPool pool(4);
+  std::vector<long> data(1237);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<long>((i * 31) % 17) - 8;
+  }
+  std::vector<long> reference(data.size());
+  std::exclusive_scan(data.begin(), data.end(), reference.begin(), 0L);
+  const long expected_total = std::accumulate(data.begin(), data.end(), 0L);
+
+  const long total = parallel_exclusive_scan(pool, data);
+  EXPECT_EQ(total, expected_total);
+  EXPECT_EQ(data, reference);
+}
+
+TEST(PrefixSum, InclusiveMatchesSerialReference) {
+  ThreadPool pool(3);
+  std::vector<int> data(500, 2);
+  const int total = parallel_inclusive_scan(pool, data);
+  EXPECT_EQ(total, 1000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(data[i], static_cast<int>(2 * (i + 1)));
+  }
+}
+
+TEST(PrefixSum, EmptyAndSingle) {
+  ThreadPool pool(4);
+  std::vector<int> empty;
+  EXPECT_EQ(parallel_exclusive_scan(pool, empty), 0);
+  std::vector<int> one = {7};
+  EXPECT_EQ(parallel_exclusive_scan(pool, one), 7);
+  EXPECT_EQ(one[0], 0);
+}
+
+TEST(PrefixSum, MoreThreadsThanElements) {
+  ThreadPool pool(8);
+  std::vector<int> data = {1, 2, 3};
+  EXPECT_EQ(parallel_exclusive_scan(pool, data), 6);
+  EXPECT_EQ(data, (std::vector<int>{0, 1, 3}));
+}
+
+}  // namespace
+}  // namespace smpst

@@ -1,0 +1,129 @@
+// Model-based randomized tests: the CSR graph against a reference adjacency
+// map, the SplitQueue against std::deque, and end-to-end random pipelines
+// that chain generator -> transform -> algorithm -> validator with randomly
+// drawn parameters.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+#include <set>
+
+#include "core/algorithms.hpp"
+#include "gen/registry.hpp"
+#include "graph/builder.hpp"
+#include "graph/transform.hpp"
+#include "sched/thread_pool.hpp"
+#include "sched/work_queue.hpp"
+#include "support/prng.hpp"
+
+namespace smpst {
+namespace {
+
+TEST(Fuzz, CsrMatchesReferenceAdjacencyMap) {
+  Xoshiro256 rng(0xf00d);
+  for (int round = 0; round < 20; ++round) {
+    const auto n = static_cast<VertexId>(2 + rng.next_bounded(60));
+    const auto m = rng.next_bounded(3 * n);
+
+    std::set<std::pair<VertexId, VertexId>> ref;  // canonical pairs
+    std::vector<Edge> edges;
+    for (EdgeId e = 0; e < m; ++e) {
+      auto u = static_cast<VertexId>(rng.next_bounded(n));
+      auto v = static_cast<VertexId>(rng.next_bounded(n));
+      edges.push_back({u, v});  // may include loops and duplicates
+      if (u == v) continue;
+      if (u > v) std::swap(u, v);
+      ref.insert({u, v});
+    }
+    const Graph g = GraphBuilder::from_edges(n, edges);
+
+    ASSERT_EQ(g.num_edges(), ref.size()) << "round " << round;
+    std::map<VertexId, std::size_t> ref_degree;
+    for (const auto& [u, v] : ref) {
+      ++ref_degree[u];
+      ++ref_degree[v];
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      EXPECT_EQ(g.degree(v), ref_degree[v]) << "round " << round;
+      for (VertexId w = 0; w < n; ++w) {
+        const bool expected =
+            ref.count({std::min(v, w), std::max(v, w)}) > 0 && v != w;
+        ASSERT_EQ(g.has_edge(v, w), expected)
+            << "round " << round << " edge " << v << "," << w;
+      }
+    }
+  }
+}
+
+TEST(Fuzz, SplitQueueMatchesDequeModel) {
+  Xoshiro256 rng(0xbeef);
+  for (int round = 0; round < 30; ++round) {
+    SplitQueue<int> q;
+    std::deque<int> model;
+    int next = 0;
+    for (int op = 0; op < 2000; ++op) {
+      switch (rng.next_bounded(4)) {
+        case 0:  // push
+          q.push(next);
+          model.push_back(next);
+          ++next;
+          break;
+        case 1: {  // pop
+          int got = -1;
+          const bool ok = q.pop(got);
+          ASSERT_EQ(ok, !model.empty());
+          if (ok) {
+            ASSERT_EQ(got, model.front());
+            model.pop_front();
+          }
+          break;
+        }
+        case 2: {  // steal up to k from the front
+          const auto k = static_cast<std::size_t>(rng.next_bounded(8));
+          std::vector<int> loot;
+          const std::size_t took = q.steal(loot, k);
+          ASSERT_EQ(took, std::min(k, model.size()));
+          for (std::size_t i = 0; i < took; ++i) {
+            ASSERT_EQ(loot[i], model.front());
+            model.pop_front();
+          }
+          break;
+        }
+        default:
+          ASSERT_EQ(q.size(), model.size());
+          ASSERT_EQ(q.empty(), model.empty());
+      }
+    }
+  }
+}
+
+TEST(Fuzz, RandomPipelinesAlwaysValidate) {
+  // Random (family, size, algorithm, threads, deg2-preprocessing) pipelines.
+  Xoshiro256 rng(0xcafe);
+  ThreadPool pool(4);
+  const auto& fams = gen::families();
+  const auto& algos = algorithms();
+  for (int round = 0; round < 25; ++round) {
+    const auto& fam = fams[rng.next_bounded(fams.size())];
+    const auto n = static_cast<VertexId>(64 + rng.next_bounded(700));
+    const Graph g = gen::make_family(fam.name, n, rng.next());
+    const auto& algo = algos[rng.next_bounded(algos.size())];
+    const bool preprocess = rng.next_bernoulli(0.5);
+
+    SpanningForest forest;
+    if (preprocess) {
+      const auto red = eliminate_degree2(g);
+      const auto rf = run_algorithm(algo.name, red.reduced, pool, rng.next());
+      forest.parent = expand_parent_forest(g, red, rf.parent);
+    } else {
+      forest = run_algorithm(algo.name, g, pool, rng.next());
+    }
+    const auto report = validate_spanning_forest(g, forest);
+    ASSERT_TRUE(report) << "round " << round << ": " << fam.name << " + "
+                        << algo.name << (preprocess ? " + deg2" : "") << ": "
+                        << report.error;
+  }
+}
+
+}  // namespace
+}  // namespace smpst

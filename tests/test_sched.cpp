@@ -1,0 +1,334 @@
+// Tests for the SMP runtime: spinlock, barriers, thread pool, work-stealing
+// queues, and the termination primitives.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "sched/barrier.hpp"
+#include "sched/spinlock.hpp"
+#include "sched/termination.hpp"
+#include "sched/thread_pool.hpp"
+#include "sched/work_queue.hpp"
+
+namespace smpst {
+namespace {
+
+TEST(SpinLock, MutualExclusionUnderContention) {
+  SpinLock lock;
+  long counter = 0;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        lock.lock();
+        ++counter;
+        lock.unlock();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, static_cast<long>(kThreads) * kIters);
+}
+
+TEST(SpinLock, TryLock) {
+  SpinLock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+template <typename Barrier>
+void barrier_phase_test() {
+  constexpr std::size_t kThreads = 6;
+  constexpr int kPhases = 50;
+  Barrier barrier(kThreads);
+  std::atomic<int> phase_counter{0};
+  std::vector<std::thread> threads;
+  std::atomic<bool> failed{false};
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int ph = 0; ph < kPhases; ++ph) {
+        phase_counter.fetch_add(1);
+        barrier.arrive_and_wait();
+        // After the barrier, all kThreads increments of this phase are done.
+        if (phase_counter.load() < (ph + 1) * static_cast<int>(kThreads)) {
+          failed.store(true);
+        }
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(phase_counter.load(), kPhases * static_cast<int>(kThreads));
+}
+
+TEST(SpinBarrier, SeparatesPhases) { barrier_phase_test<SpinBarrier>(); }
+TEST(BlockingBarrier, SeparatesPhases) { barrier_phase_test<BlockingBarrier>(); }
+
+TEST(SpinBarrier, CountsEpisodes) {
+  SpinBarrier b(1);
+  EXPECT_EQ(b.episodes(), 0u);
+  b.arrive_and_wait();
+  b.arrive_and_wait();
+  EXPECT_EQ(b.episodes(), 2u);
+}
+
+TEST(ThreadPool, RunsBodyOnEveryThread) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<int> hits(4, 0);
+  pool.run([&](std::size_t tid) { hits[tid] = 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 4);
+}
+
+TEST(ThreadPool, ReusableAcrossRegions) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int r = 0; r < 20; ++r) {
+    pool.run([&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 60);
+}
+
+TEST(ThreadPool, PropagatesWorkerException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.run([](std::size_t tid) {
+        if (tid == 1) throw std::runtime_error("boom");
+      }),
+      std::runtime_error);
+  // Pool remains usable after an exception.
+  std::atomic<int> total{0};
+  pool.run([&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 2);
+}
+
+TEST(SplitQueue, FifoOrder) {
+  SplitQueue<int> q;
+  for (int i = 0; i < 10; ++i) q.push(i);
+  EXPECT_EQ(q.size(), 10u);
+  int v = -1;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(q.pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(q.pop(v));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SplitQueue, PushBulk) {
+  SplitQueue<int> q;
+  const int items[] = {1, 2, 3};
+  q.push_bulk(items, 3);
+  EXPECT_EQ(q.size(), 3u);
+}
+
+TEST(SplitQueue, StealTakesFromFront) {
+  SplitQueue<int> q;
+  for (int i = 0; i < 8; ++i) q.push(i);
+  std::vector<int> out;
+  EXPECT_EQ(q.steal(out, 4), 4u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+  int v = -1;
+  ASSERT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 4);
+}
+
+TEST(SplitQueue, StealMoreThanAvailable) {
+  SplitQueue<int> q;
+  q.push(42);
+  std::vector<int> out;
+  EXPECT_EQ(q.steal(out, 100), 1u);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.steal(out, 1), 0u);
+}
+
+TEST(SplitQueue, CompactionKeepsContents) {
+  SplitQueue<int> q;
+  for (int i = 0; i < 1000; ++i) q.push(i);
+  int v = -1;
+  for (int i = 0; i < 900; ++i) ASSERT_TRUE(q.pop(v));
+  for (int i = 1000; i < 1100; ++i) q.push(i);
+  // Remaining: 900..1099 in order.
+  for (int i = 900; i < 1100; ++i) {
+    ASSERT_TRUE(q.pop(v));
+    EXPECT_EQ(v, i);
+  }
+}
+
+TEST(SplitQueue, ConcurrentOwnerAndThieves) {
+  SplitQueue<int> q;
+  constexpr int kItems = 100000;
+  std::atomic<long> consumed_sum{0};
+  std::atomic<int> consumed_count{0};
+
+  std::thread owner([&] {
+    int popped;
+    for (int i = 0; i < kItems; ++i) {
+      q.push(i);
+      if (i % 3 == 0 && q.pop(popped)) {
+        consumed_sum.fetch_add(popped);
+        consumed_count.fetch_add(1);
+      }
+    }
+    while (q.pop(popped)) {
+      consumed_sum.fetch_add(popped);
+      consumed_count.fetch_add(1);
+    }
+  });
+  std::vector<std::thread> thieves;
+  std::atomic<bool> stop{false};
+  for (int t = 0; t < 3; ++t) {
+    thieves.emplace_back([&] {
+      std::vector<int> loot;
+      while (!stop.load()) {
+        loot.clear();
+        if (q.steal(loot, 8) > 0) {
+          for (int v : loot) consumed_sum.fetch_add(v);
+          consumed_count.fetch_add(static_cast<int>(loot.size()));
+        }
+      }
+    });
+  }
+  owner.join();
+  // Let thieves drain anything left, then stop them.
+  std::vector<int> loot;
+  while (q.steal(loot, 1024) > 0) {
+  }
+  for (int v : loot) consumed_sum.fetch_add(v);
+  consumed_count.fetch_add(static_cast<int>(loot.size()));
+  stop.store(true);
+  for (auto& t : thieves) t.join();
+
+  EXPECT_EQ(consumed_count.load(), kItems);
+  EXPECT_EQ(consumed_sum.load(), static_cast<long>(kItems) * (kItems - 1) / 2);
+}
+
+TEST(ChaseLevDeque, OwnerLifoSingleThread) {
+  ChaseLevDeque<int> d;
+  d.push(1);
+  d.push(2);
+  int v = 0;
+  EXPECT_TRUE(d.pop(v));
+  EXPECT_EQ(v, 2);
+  EXPECT_TRUE(d.pop(v));
+  EXPECT_EQ(v, 1);
+  EXPECT_FALSE(d.pop(v));
+}
+
+TEST(ChaseLevDeque, GrowsPastInitialCapacity) {
+  ChaseLevDeque<int> d(8);
+  for (int i = 0; i < 1000; ++i) d.push(i);
+  EXPECT_EQ(d.size_estimate(), 1000u);
+  int v = 0;
+  for (int i = 999; i >= 0; --i) {
+    ASSERT_TRUE(d.pop(v));
+    EXPECT_EQ(v, i);
+  }
+}
+
+TEST(ChaseLevDeque, StealFromOtherEnd) {
+  ChaseLevDeque<int> d;
+  d.push(1);
+  d.push(2);
+  int v = 0;
+  EXPECT_TRUE(d.steal(v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(d.pop(v));
+  EXPECT_EQ(v, 2);
+}
+
+TEST(ChaseLevDeque, ConcurrentStealersSeeEveryItemOnce) {
+  ChaseLevDeque<int> d;
+  constexpr int kItems = 200000;
+  std::atomic<long> sum{0};
+  std::atomic<int> count{0};
+  std::atomic<bool> done_producing{false};
+
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < 3; ++t) {
+    thieves.emplace_back([&] {
+      int v;
+      while (!done_producing.load() || d.size_estimate() > 0) {
+        if (d.steal(v)) {
+          sum.fetch_add(v);
+          count.fetch_add(1);
+        }
+      }
+    });
+  }
+  int popped;
+  for (int i = 0; i < kItems; ++i) {
+    d.push(i);
+    if (i % 2 == 0 && d.pop(popped)) {
+      sum.fetch_add(popped);
+      count.fetch_add(1);
+    }
+  }
+  while (d.pop(popped)) {
+    sum.fetch_add(popped);
+    count.fetch_add(1);
+  }
+  done_producing.store(true);
+  for (auto& t : thieves) t.join();
+
+  EXPECT_EQ(count.load(), kItems);
+  EXPECT_EQ(sum.load(), static_cast<long>(kItems) * (kItems - 1) / 2);
+}
+
+TEST(PendingCounter, TracksProduceConsume) {
+  PendingCounter pc;
+  pc.reset(2);
+  EXPECT_FALSE(pc.drained());
+  pc.consumed_produced(3);  // consumed one, produced three
+  EXPECT_EQ(pc.value(), 4);
+  pc.add(-4);
+  EXPECT_TRUE(pc.drained());
+}
+
+TEST(IdleGate, TimesOutWithoutNotify) {
+  IdleGate gate;
+  const auto sleepers = gate.sleep_for(std::chrono::microseconds(500));
+  EXPECT_EQ(sleepers, 1u);
+  EXPECT_EQ(gate.sleepers(), 0u);
+}
+
+TEST(IdleGate, NotifyWakesSleeper) {
+  IdleGate gate;
+  std::atomic<bool> woke{false};
+  std::thread sleeper([&] {
+    gate.sleep_for(std::chrono::microseconds(500000));
+    woke.store(true);
+  });
+  while (gate.sleepers() == 0) std::this_thread::yield();
+  gate.notify_work();
+  sleeper.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(IdleGate, ReportsSimultaneousSleepers) {
+  IdleGate gate;
+  std::atomic<std::size_t> max_seen{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      const auto seen = gate.sleep_for(std::chrono::microseconds(200000));
+      std::size_t cur = max_seen.load();
+      while (seen > cur && !max_seen.compare_exchange_weak(cur, seen)) {
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_GE(max_seen.load(), 2u);  // at least two overlapped
+}
+
+}  // namespace
+}  // namespace smpst

@@ -1,0 +1,128 @@
+// Tests for the sequential baselines (BFS and DFS spanning forests).
+#include <gtest/gtest.h>
+
+#include "core/bfs.hpp"
+#include "core/dfs.hpp"
+#include "core/validate.hpp"
+#include "gen/mesh.hpp"
+#include "gen/random_graph.hpp"
+#include "gen/registry.hpp"
+#include "gen/simple.hpp"
+#include "gen/torus.hpp"
+#include "graph/stats.hpp"
+
+namespace smpst {
+namespace {
+
+TEST(Bfs, ChainParentsAreSequential) {
+  const auto f = bfs_spanning_tree(gen::chain(6));
+  EXPECT_EQ(f.parent[0], 0u);
+  for (VertexId v = 1; v < 6; ++v) EXPECT_EQ(f.parent[v], v - 1);
+}
+
+TEST(Bfs, TreeDepthMatchesBfsLevels) {
+  const Graph g = gen::torus2d(8, 8);
+  const auto f = bfs_spanning_tree(g, 0);
+  const auto levels = bfs_levels(g, 0);
+  const auto depths = f.depths();
+  // A BFS tree realizes shortest-path distances from the source.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(depths[v], levels[v]) << v;
+  }
+}
+
+TEST(Bfs, CustomSourceBecomesRoot) {
+  const auto f = bfs_spanning_tree(gen::torus2d(4, 4), 7);
+  EXPECT_TRUE(f.is_root(7));
+  EXPECT_EQ(f.num_trees(), 1u);
+}
+
+TEST(Bfs, DisconnectedGetsOneRootPerComponent) {
+  const Graph g = gen::disjoint_chains(3, 5, 2);
+  const auto f = bfs_spanning_tree(g);
+  EXPECT_EQ(f.num_trees(), 5u);
+  EXPECT_TRUE(validate_spanning_forest(g, f));
+}
+
+TEST(Bfs, LevelsUnreachableAreInvalid) {
+  const Graph g = gen::disjoint_chains(2, 2, 0);
+  const auto levels = bfs_levels(g, 0);
+  EXPECT_EQ(levels[1], 1u);
+  EXPECT_EQ(levels[2], kInvalidVertex);
+}
+
+TEST(Dfs, ChainFromEndIsStraightLine) {
+  const auto f = dfs_spanning_tree(gen::chain(6));
+  EXPECT_TRUE(f.is_root(0));
+  for (VertexId v = 1; v < 6; ++v) EXPECT_EQ(f.parent[v], v - 1);
+}
+
+TEST(Dfs, DeepChainDoesNotOverflowStack) {
+  // One million vertices in a path; a recursive DFS would crash here.
+  const auto g = gen::chain(1u << 20);
+  const auto f = dfs_spanning_tree(g);
+  EXPECT_EQ(f.num_trees(), 1u);
+  EXPECT_EQ(f.num_tree_edges(), (1u << 20) - 1);
+}
+
+TEST(Dfs, CompleteGraphIsPath) {
+  // DFS of K_n always descends to an unvisited vertex: depth n-1.
+  const auto f = dfs_spanning_tree(gen::complete(8));
+  const auto depths = f.depths();
+  VertexId max_depth = 0;
+  for (VertexId d : depths) max_depth = std::max(max_depth, d);
+  EXPECT_EQ(max_depth, 7u);
+}
+
+struct SeqCase {
+  const char* family;
+  VertexId n;
+};
+
+class SequentialValidity : public ::testing::TestWithParam<SeqCase> {};
+
+TEST_P(SequentialValidity, BfsAndDfsProduceValidForests) {
+  const auto& param = GetParam();
+  const Graph g = gen::make_family(param.family, param.n, 1234);
+  const auto bfs_report = validate_spanning_forest(g, bfs_spanning_tree(g));
+  EXPECT_TRUE(bfs_report) << param.family << ": " << bfs_report.error;
+  const auto dfs_report = validate_spanning_forest(g, dfs_spanning_tree(g));
+  EXPECT_TRUE(dfs_report) << param.family << ": " << dfs_report.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, SequentialValidity,
+    ::testing::Values(SeqCase{"torus-rowmajor", 400},
+                      SeqCase{"torus-random", 400},
+                      SeqCase{"random-nlogn", 500},
+                      SeqCase{"random-1.5n", 500}, SeqCase{"2d60", 400},
+                      SeqCase{"3d40", 343}, SeqCase{"ad3", 500},
+                      SeqCase{"geo-flat", 500}, SeqCase{"geo-hier", 600},
+                      SeqCase{"chain-seq", 400}, SeqCase{"chain-random", 400},
+                      SeqCase{"rmat", 512}, SeqCase{"star", 300},
+                      SeqCase{"binary-tree", 300}, SeqCase{"ring", 128}),
+    [](const auto& info) {
+      std::string name = info.param.family;
+      for (auto& c : name) {
+        if (c == '-' || c == '.') c = '_';
+      }
+      return name;
+    });
+
+TEST(SequentialAgreement, BfsAndDfsAgreeOnComponentStructure) {
+  const Graph g = gen::random_graph(800, 900, 99);  // likely disconnected
+  const auto fb = bfs_spanning_tree(g);
+  const auto fd = dfs_spanning_tree(g);
+  EXPECT_EQ(fb.num_trees(), fd.num_trees());
+  const auto cb = fb.component_of();
+  const auto cd = fd.component_of();
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.neighbors(u)) {
+      EXPECT_EQ(cb[u], cb[v]);
+      EXPECT_EQ(cd[u], cd[v]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace smpst

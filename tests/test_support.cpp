@@ -1,0 +1,126 @@
+// Unit tests for the support substrate: PRNGs, timers, cache-line padding.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "support/cacheline.hpp"
+#include "support/cpu.hpp"
+#include "support/prng.hpp"
+#include "support/timer.hpp"
+
+namespace smpst {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro256, IsDeterministic) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, BoundedStaysInRange) {
+  Xoshiro256 rng(123);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_bounded(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256, BoundedOneAlwaysZero) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.next_bounded(1), 0u);
+}
+
+TEST(Xoshiro256, DoubleInUnitInterval) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro256, BoundedIsRoughlyUniform) {
+  Xoshiro256 rng(77);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  std::array<int, kBuckets> hist{};
+  for (int i = 0; i < kDraws; ++i) ++hist[rng.next_bounded(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (int b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(hist[b], expected, expected * 0.10) << "bucket " << b;
+  }
+}
+
+TEST(Xoshiro256, BernoulliMatchesProbability) {
+  Xoshiro256 rng(11);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.next_bernoulli(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.25, 0.01);
+}
+
+TEST(StreamSeeds, AreDistinctAcrossStreams) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t s = 0; s < 256; ++s) {
+    seeds.insert(derive_stream_seed(42, s));
+  }
+  EXPECT_EQ(seeds.size(), 256u);
+}
+
+TEST(StreamSeeds, DifferentRootsDiffer) {
+  EXPECT_NE(derive_stream_seed(1, 0), derive_stream_seed(2, 0));
+}
+
+TEST(WallTimer, ElapsedIsMonotonicAndPositive) {
+  WallTimer t;
+  const double a = t.elapsed_seconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const double b = t.elapsed_seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GT(b, a);
+  EXPECT_GE(t.elapsed_millis(), 2.0 * 0.9);
+}
+
+TEST(ScopedAccumulator, AddsOnScopeExit) {
+  double sink = 0.0;
+  {
+    ScopedAccumulator acc(sink);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(sink, 0.0);
+}
+
+TEST(Padded, ElementsOnDistinctCacheLines) {
+  Padded<int> arr[2];
+  const auto a = reinterpret_cast<std::uintptr_t>(&arr[0].value);
+  const auto b = reinterpret_cast<std::uintptr_t>(&arr[1].value);
+  EXPECT_GE(b - a, kCacheLineSize);
+}
+
+TEST(Cpu, HardwareThreadsAtLeastOne) {
+  EXPECT_GE(hardware_threads(), 1u);
+}
+
+TEST(Cpu, PinDoesNotCrash) {
+  pin_current_thread(0);
+  pin_current_thread(12345);
+}
+
+}  // namespace
+}  // namespace smpst

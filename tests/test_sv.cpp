@@ -1,0 +1,158 @@
+// Tests for the Shiloach–Vishkin spanning tree (election and lock variants):
+// validity across families and thread counts, labelling sensitivity of the
+// iteration count, and the seeded-partition entry point.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/shiloach_vishkin.hpp"
+#include "core/validate.hpp"
+#include "gen/registry.hpp"
+#include "gen/simple.hpp"
+#include "graph/builder.hpp"
+#include "graph/relabel.hpp"
+#include "sched/thread_pool.hpp"
+
+namespace smpst {
+namespace {
+
+SvOptions sv_opts(std::size_t threads, bool locks = false) {
+  SvOptions o;
+  o.num_threads = threads;
+  o.use_locks = locks;
+  return o;
+}
+
+TEST(ShiloachVishkin, SingleVertexAndEmpty) {
+  const Graph one = GraphBuilder::from_edges(1, {});
+  EXPECT_EQ(sv_spanning_tree(one, sv_opts(2)).num_trees(), 1u);
+  const Graph empty;
+  EXPECT_EQ(sv_spanning_tree(empty, sv_opts(2)).num_vertices(), 0u);
+}
+
+TEST(ShiloachVishkin, TriangleHasTwoTreeEdges) {
+  const Graph g = GraphBuilder::from_edges(3, {{0, 1}, {1, 2}, {0, 2}});
+  const auto f = sv_spanning_tree(g, sv_opts(2));
+  const auto report = validate_spanning_forest(g, f);
+  ASSERT_TRUE(report) << report.error;
+  EXPECT_EQ(report.tree_edges, 2u);
+}
+
+TEST(ShiloachVishkin, DisconnectedComponents) {
+  const Graph g = gen::disjoint_chains(4, 8, 3);
+  const auto f = sv_spanning_tree(g, sv_opts(4));
+  const auto report = validate_spanning_forest(g, f);
+  ASSERT_TRUE(report) << report.error;
+  EXPECT_EQ(f.num_trees(), 7u);
+}
+
+using SvParam = std::tuple<std::string, int, bool>;
+
+class SvSweep : public ::testing::TestWithParam<SvParam> {};
+
+TEST_P(SvSweep, ProducesValidForest) {
+  const auto& [family, threads, locks] = GetParam();
+  const Graph g = gen::make_family(family, 600, 4242);
+  const auto f =
+      sv_spanning_tree(g, sv_opts(static_cast<std::size_t>(threads), locks));
+  const auto report = validate_spanning_forest(g, f);
+  ASSERT_TRUE(report) << family << " p=" << threads << " locks=" << locks
+                      << ": " << report.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesThreadsVariants, SvSweep,
+    ::testing::Combine(::testing::Values("torus-rowmajor", "torus-random",
+                                         "random-nlogn", "2d60", "3d40", "ad3",
+                                         "geo-flat", "geo-hier", "chain-seq",
+                                         "chain-random", "star", "rmat"),
+                       ::testing::Values(1, 2, 4, 8),
+                       ::testing::Values(false, true)),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param);
+      for (auto& c : name) {
+        if (c == '-' || c == '.') c = '_';
+      }
+      return name + "_p" + std::to_string(std::get<1>(info.param)) +
+             (std::get<2>(info.param) ? "_lock" : "_elect");
+    });
+
+TEST(ShiloachVishkin, RepeatedParallelRunsStayValid) {
+  const Graph g = gen::make_family("random-nlogn", 128, 8);
+  ThreadPool pool(8);
+  for (int run = 0; run < 30; ++run) {
+    const auto f = sv_spanning_tree(g, pool, sv_opts(8));
+    ASSERT_TRUE(validate_spanning_forest(g, f)) << "run " << run;
+  }
+}
+
+TEST(ShiloachVishkin, IterationCountIsLabelingSensitive) {
+  // The paper: "alternative labelings of the vertices may incur different
+  // numbers of iterations". A chain labelled sequentially converges in very
+  // few iterations (every graft hooks v+1 onto v, one shortcut collapse);
+  // adversarial labelings need more.
+  const VertexId n = 4096;
+  const Graph seq = gen::chain(n);
+
+  SvStats seq_stats;
+  SvOptions o = sv_opts(4);
+  o.stats = &seq_stats;
+  ASSERT_TRUE(validate_spanning_forest(seq, sv_spanning_tree(seq, o)));
+
+  SvStats rnd_stats;
+  const Graph rnd = apply_permutation(seq, random_permutation(n, 99));
+  o.stats = &rnd_stats;
+  ASSERT_TRUE(validate_spanning_forest(rnd, sv_spanning_tree(rnd, o)));
+
+  EXPECT_GE(seq_stats.iterations, 1u);
+  EXPECT_GE(rnd_stats.iterations, seq_stats.iterations);
+  EXPECT_GT(rnd_stats.shortcut_passes, 0u);
+}
+
+TEST(ShiloachVishkin, StatsCountGrafts) {
+  const Graph g = gen::make_family("torus-rowmajor", 400, 3);
+  SvStats stats;
+  SvOptions o = sv_opts(4);
+  o.stats = &stats;
+  const auto f = sv_spanning_tree(g, o);
+  ASSERT_TRUE(validate_spanning_forest(g, f));
+  // Every tree edge came from exactly one graft.
+  EXPECT_EQ(stats.grafts, f.num_tree_edges());
+  EXPECT_GE(stats.iterations, 1u);
+  EXPECT_GT(stats.barriers, 0u);
+}
+
+TEST(ShiloachVishkin, SeededPartitionOnlyConnectsGroups) {
+  // Star 0-1, 0-2, 0-3 with initial partition {0,1} | {2} | {3}: SV must add
+  // exactly two edges, never one inside the {0,1} group.
+  const Graph g = gen::star(4);
+  ThreadPool pool(2);
+  std::vector<VertexId> labels = {0, 0, 2, 3};
+  const auto edges = sv_tree_edges(g, pool, labels, sv_opts(2));
+  EXPECT_EQ(edges.size(), 2u);
+  for (const Edge& e : edges) {
+    EXPECT_FALSE(e.u == 0 && e.v == 1);
+  }
+}
+
+TEST(ShiloachVishkin, SeededPartitionAlreadyComplete) {
+  // Whole graph in one group: nothing to connect.
+  const Graph g = gen::chain(5);
+  ThreadPool pool(2);
+  std::vector<VertexId> labels(5, 0);
+  EXPECT_TRUE(sv_tree_edges(g, pool, labels, sv_opts(2)).empty());
+}
+
+TEST(ShiloachVishkin, LockAndElectionAgreeOnStructure) {
+  const Graph g = gen::make_family("geo-flat", 700, 12);
+  const auto fe = sv_spanning_tree(g, sv_opts(4, false));
+  const auto fl = sv_spanning_tree(g, sv_opts(4, true));
+  ASSERT_TRUE(validate_spanning_forest(g, fe));
+  ASSERT_TRUE(validate_spanning_forest(g, fl));
+  EXPECT_EQ(fe.num_trees(), fl.num_trees());
+  EXPECT_EQ(fe.num_tree_edges(), fl.num_tree_edges());
+}
+
+}  // namespace
+}  // namespace smpst

@@ -1,0 +1,127 @@
+// Tests for Tarjan-Vishkin parallel biconnectivity: agreement with the
+// sequential lowpoint oracle across families, spanning tree algorithms, and
+// thread counts.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "apps/biconnectivity.hpp"
+#include "apps/tarjan_vishkin.hpp"
+#include "cc/connected_components.hpp"
+#include "core/algorithms.hpp"
+#include "gen/registry.hpp"
+#include "gen/simple.hpp"
+#include "graph/builder.hpp"
+#include "sched/thread_pool.hpp"
+
+namespace smpst {
+namespace {
+
+/// Per-canonical-edge BCC labels from the sequential lowpoint result, in the
+/// same edge order Tarjan-Vishkin uses.
+std::vector<VertexId> sequential_edge_labels(const Graph& g) {
+  const auto r = apps::biconnectivity(g);
+  std::vector<VertexId> labels;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (EdgeId a = g.offsets()[u]; a < g.offsets()[u + 1]; ++a) {
+      if (u < g.targets()[a]) labels.push_back(r.bcc_of_arc[a]);
+    }
+  }
+  return labels;
+}
+
+void expect_matches_sequential(const Graph& g, const SpanningForest& forest,
+                               std::size_t threads,
+                               const std::string& context) {
+  cc::ParallelCcOptions opts;
+  opts.num_threads = threads;
+  const auto tv = apps::tarjan_vishkin_bcc(g, forest, opts);
+  const auto seq = sequential_edge_labels(g);
+  ASSERT_EQ(tv.bcc_of_edge.size(), seq.size()) << context;
+  EXPECT_TRUE(cc::same_partition(tv.bcc_of_edge, seq)) << context;
+}
+
+TEST(TarjanVishkin, Triangle) {
+  const Graph g = GraphBuilder::from_edges(3, {{0, 1}, {1, 2}, {0, 2}});
+  const auto tv = apps::tarjan_vishkin_bcc(g, bfs_spanning_tree(g));
+  EXPECT_EQ(tv.bcc_count, 1u);
+  EXPECT_TRUE(tv.bridges().empty());
+}
+
+TEST(TarjanVishkin, BarbellSplitsIntoThree) {
+  const Graph g = GraphBuilder::from_edges(
+      6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {2, 3}});
+  const auto tv = apps::tarjan_vishkin_bcc(g, bfs_spanning_tree(g));
+  EXPECT_EQ(tv.bcc_count, 3u);
+  const auto bridges = tv.bridges();
+  ASSERT_EQ(bridges.size(), 1u);
+  EXPECT_EQ(bridges[0], (Edge{2, 3}));
+}
+
+TEST(TarjanVishkin, ChainIsAllSingletons) {
+  const Graph g = gen::chain(10);
+  const auto tv = apps::tarjan_vishkin_bcc(g, bfs_spanning_tree(g));
+  EXPECT_EQ(tv.bcc_count, 9u);
+  EXPECT_EQ(tv.bridges().size(), 9u);
+}
+
+TEST(TarjanVishkin, EmptyAndEdgeless) {
+  const Graph empty;
+  const auto tv = apps::tarjan_vishkin_bcc(empty, SpanningForest{});
+  EXPECT_EQ(tv.bcc_count, 0u);
+  const Graph iso = GraphBuilder::from_edges(3, {});
+  SpanningForest f;
+  f.parent = {0, 1, 2};
+  EXPECT_EQ(apps::tarjan_vishkin_bcc(iso, f).bcc_count, 0u);
+}
+
+class TvFamilies : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TvFamilies, MatchesSequentialOracle) {
+  const Graph g = gen::make_family(GetParam(), 500, 2026);
+  const auto forest = bfs_spanning_tree(g);
+  for (std::size_t p : {std::size_t{1}, std::size_t{4}}) {
+    expect_matches_sequential(g, forest, p,
+                              GetParam() + " p=" + std::to_string(p));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, TvFamilies,
+                         ::testing::Values("torus-rowmajor", "random-nlogn",
+                                           "random-1.5n", "2d60", "3d40",
+                                           "ad3", "geo-flat", "geo-hier",
+                                           "rmat", "star"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (auto& c : name) {
+                             if (c == '-' || c == '.') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(TarjanVishkin, WorksWithAnySpanningTreeAlgorithm) {
+  // The whole point of TV: no DFS tree required. Feed it trees from every
+  // algorithm in the registry (shapes differ wildly; BCCs must not).
+  const Graph g = gen::make_family("geo-flat", 600, 5);
+  ThreadPool pool(4);
+  for (const auto& spec : algorithms()) {
+    const auto forest = run_algorithm(spec.name, g, pool);
+    expect_matches_sequential(g, forest, 4, "tree from " + spec.name);
+  }
+}
+
+TEST(TarjanVishkin, RandomizedTreesAgreeWithEachOther) {
+  const Graph g = gen::make_family("random-1.5n", 800, 31);
+  BaderCongOptions o;
+  o.num_threads = 4;
+  const auto tv1 =
+      apps::tarjan_vishkin_bcc(g, bader_cong_spanning_tree(g, o));
+  o.seed = 999;
+  const auto tv2 =
+      apps::tarjan_vishkin_bcc(g, bader_cong_spanning_tree(g, o));
+  EXPECT_EQ(tv1.bcc_count, tv2.bcc_count);
+  EXPECT_TRUE(cc::same_partition(tv1.bcc_of_edge, tv2.bcc_of_edge));
+}
+
+}  // namespace
+}  // namespace smpst

@@ -1,0 +1,164 @@
+// Tests for degree-2 chain elimination and forest expansion (the paper's
+// preprocessing step).
+#include <gtest/gtest.h>
+
+#include "core/bfs.hpp"
+#include "core/validate.hpp"
+#include "gen/simple.hpp"
+#include "gen/torus.hpp"
+#include "graph/builder.hpp"
+#include "graph/stats.hpp"
+#include "graph/transform.hpp"
+
+namespace smpst {
+namespace {
+
+/// Expand a reduced BFS forest and validate it against the original graph.
+void check_roundtrip(const Graph& g) {
+  const auto red = eliminate_degree2(g);
+  const auto reduced_forest = bfs_spanning_tree(red.reduced);
+  ASSERT_TRUE(validate_spanning_forest(red.reduced, reduced_forest))
+      << "reduced forest invalid";
+  SpanningForest expanded;
+  expanded.parent = expand_parent_forest(g, red, reduced_forest.parent);
+  const auto report = validate_spanning_forest(g, expanded);
+  ASSERT_TRUE(report) << report.error;
+}
+
+TEST(Degree2, PathCollapsesToSingleEdge) {
+  // 0 - 1 - 2 - 3: interior 1, 2 have degree two; endpoints are kept.
+  const Graph g = gen::chain(4);
+  const auto red = eliminate_degree2(g);
+  EXPECT_EQ(red.reduced.num_vertices(), 2u);
+  EXPECT_EQ(red.reduced.num_edges(), 1u);
+  EXPECT_EQ(red.eliminated_vertices(), 2u);
+  ASSERT_EQ(red.chains.size(), 1u);
+  EXPECT_EQ(red.chains[0].interior.size(), 2u);
+  check_roundtrip(g);
+}
+
+TEST(Degree2, PureCycleKeepsAnchor) {
+  const Graph g = gen::ring(6);
+  const auto red = eliminate_degree2(g);
+  EXPECT_EQ(red.reduced.num_vertices(), 1u);
+  EXPECT_EQ(red.reduced.num_edges(), 0u);
+  ASSERT_EQ(red.chains.size(), 1u);
+  EXPECT_EQ(red.chains[0].a, red.chains[0].b);
+  EXPECT_EQ(red.chains[0].interior.size(), 5u);
+  check_roundtrip(g);
+}
+
+TEST(Degree2, AttachedCycle) {
+  // Triangle 0-1-2 plus pendant edges on 0 making 0 degree 4.
+  const Graph g =
+      GraphBuilder::from_edges(5, {{0, 1}, {1, 2}, {0, 2}, {0, 3}, {0, 4}});
+  const auto red = eliminate_degree2(g);
+  // 1 and 2 form a chain from 0 back to 0 (attached cycle).
+  EXPECT_EQ(red.eliminated_vertices(), 2u);
+  check_roundtrip(g);
+}
+
+TEST(Degree2, ParallelChainsBetweenSameEndpoints) {
+  // Two disjoint chains joining 0 and 3: 0-1-3 and 0-2-3, plus degree boosts
+  // on the endpoints so only 1, 2 are eliminated.
+  const Graph g = GraphBuilder::from_edges(
+      6, {{0, 1}, {1, 3}, {0, 2}, {2, 3}, {0, 4}, {3, 5}});
+  const auto red = eliminate_degree2(g);
+  EXPECT_EQ(red.eliminated_vertices(), 2u);
+  check_roundtrip(g);
+}
+
+TEST(Degree2, GraphWithoutDegree2IsUntouched) {
+  const Graph g = gen::star(5);
+  const auto red = eliminate_degree2(g);
+  EXPECT_EQ(red.reduced.num_vertices(), g.num_vertices());
+  EXPECT_EQ(red.reduced.num_edges(), g.num_edges());
+  EXPECT_TRUE(red.chains.empty());
+  check_roundtrip(g);
+}
+
+TEST(Degree2, TorusIsAllDegreeFourUntouched) {
+  const Graph g = gen::torus2d(4, 4);
+  const auto red = eliminate_degree2(g);
+  EXPECT_EQ(red.reduced.num_vertices(), 16u);
+  check_roundtrip(g);
+}
+
+TEST(Degree2, LongChainReducesFully) {
+  const Graph g = gen::chain(1000);
+  const auto red = eliminate_degree2(g);
+  EXPECT_EQ(red.reduced.num_vertices(), 2u);
+  EXPECT_EQ(red.eliminated_vertices(), 998u);
+  check_roundtrip(g);
+}
+
+TEST(Degree2, DisconnectedMix) {
+  // A ring component, a chain component, an isolated vertex.
+  EdgeList list(12);
+  for (VertexId v = 1; v < 5; ++v) list.add_edge(v - 1, v);  // chain 0..4
+  list.add_edge(5, 6);
+  list.add_edge(6, 7);
+  list.add_edge(7, 8);
+  list.add_edge(8, 5);  // ring 5..8
+  // 9, 10, 11 isolated
+  const Graph g = GraphBuilder::build(std::move(list));
+  check_roundtrip(g);
+}
+
+TEST(Degree2, CaterpillarSpineSurvives) {
+  const Graph g = gen::caterpillar(6, 2);
+  check_roundtrip(g);
+}
+
+TEST(Degree2, ExpansionRejectsWrongSize) {
+  const Graph g = gen::chain(4);
+  const auto red = eliminate_degree2(g);
+  std::vector<VertexId> bad(red.reduced.num_vertices() + 1, 0);
+  EXPECT_DEATH(expand_parent_forest(g, red, bad), "reduced forest");
+}
+
+TEST(Contract, QuotientOfBarbell) {
+  // Two triangles {0,1,2} and {3,4,5} joined by edge 2-3; contracting each
+  // triangle gives a single quotient edge witnessed by {2,3}.
+  const Graph g = GraphBuilder::from_edges(
+      6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {2, 3}});
+  const std::vector<VertexId> labels = {7, 7, 7, 9, 9, 9};
+  const auto c = contract_classes(g, labels);
+  EXPECT_EQ(c.quotient.num_vertices(), 2u);
+  EXPECT_EQ(c.quotient.num_edges(), 1u);
+  EXPECT_EQ(c.class_of[0], c.class_of[2]);
+  EXPECT_NE(c.class_of[0], c.class_of[3]);
+  EXPECT_EQ(c.representative.size(), 2u);
+  const auto it = c.witness.find(Contraction::pair_key(0, 1));
+  ASSERT_NE(it, c.witness.end());
+  EXPECT_EQ(it->second, (Edge{2, 3}));
+}
+
+TEST(Contract, IdentityLabelsGiveIsomorphicQuotient) {
+  const Graph g = gen::torus2d(4, 4);
+  std::vector<VertexId> labels(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) labels[v] = v;
+  const auto c = contract_classes(g, labels);
+  EXPECT_EQ(c.quotient, g);
+}
+
+TEST(Contract, AllOneClassGivesSingleton) {
+  const Graph g = gen::torus2d(4, 4);
+  const std::vector<VertexId> labels(g.num_vertices(), 3);
+  const auto c = contract_classes(g, labels);
+  EXPECT_EQ(c.quotient.num_vertices(), 1u);
+  EXPECT_EQ(c.quotient.num_edges(), 0u);
+  EXPECT_TRUE(c.witness.empty());
+}
+
+TEST(Contract, ComponentContractionMatchesComponentCount) {
+  const Graph g = gen::disjoint_chains(3, 5, 2);
+  VertexId count = 0;
+  const auto labels = component_labels(g, &count);
+  const auto c = contract_classes(g, labels);
+  EXPECT_EQ(c.quotient.num_vertices(), count);
+  EXPECT_EQ(c.quotient.num_edges(), 0u);  // no cross-component edges
+}
+
+}  // namespace
+}  // namespace smpst

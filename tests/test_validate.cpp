@@ -1,0 +1,131 @@
+// Negative tests: the validator must reject every kind of broken forest,
+// since the whole experimental methodology leans on it as the oracle.
+#include <gtest/gtest.h>
+
+#include "core/bfs.hpp"
+#include "core/spanning_forest.hpp"
+#include "core/validate.hpp"
+#include "gen/simple.hpp"
+#include "gen/torus.hpp"
+#include "graph/builder.hpp"
+
+namespace smpst {
+namespace {
+
+TEST(Validate, AcceptsBfsTree) {
+  const Graph g = gen::torus2d(6, 6);
+  const auto report = validate_spanning_forest(g, bfs_spanning_tree(g));
+  EXPECT_TRUE(report);
+  EXPECT_EQ(report.num_trees, 1u);
+  EXPECT_EQ(report.tree_edges, 35u);
+  EXPECT_EQ(report.graph_components, 1u);
+}
+
+TEST(Validate, RejectsSizeMismatch) {
+  const Graph g = gen::chain(4);
+  SpanningForest f;
+  f.parent = {0, 0};
+  const auto report = validate_spanning_forest(g, f);
+  EXPECT_FALSE(report);
+  EXPECT_NE(report.error.find("size"), std::string::npos);
+}
+
+TEST(Validate, RejectsOutOfRangeParent) {
+  const Graph g = gen::chain(3);
+  SpanningForest f;
+  f.parent = {0, 0, 99};
+  EXPECT_FALSE(validate_spanning_forest(g, f));
+}
+
+TEST(Validate, RejectsNonEdgeParent) {
+  const Graph g = gen::chain(4);  // 0-1-2-3
+  SpanningForest f;
+  f.parent = {0, 0, 1, 0};  // {3,0} is not an edge
+  const auto report = validate_spanning_forest(g, f);
+  EXPECT_FALSE(report);
+  EXPECT_NE(report.error.find("not a graph edge"), std::string::npos);
+}
+
+TEST(Validate, RejectsTwoCycle) {
+  const Graph g = gen::ring(4);
+  SpanningForest f;
+  f.parent = {1, 0, 1, 2};  // 0 <-> 1 cycle
+  const auto report = validate_spanning_forest(g, f);
+  EXPECT_FALSE(report);
+  EXPECT_NE(report.error.find("cycle"), std::string::npos);
+}
+
+TEST(Validate, RejectsLongCycle) {
+  const Graph g = gen::ring(4);
+  SpanningForest f;
+  f.parent = {3, 0, 1, 2};  // 0 -> 3 -> 2 -> 1 -> 0
+  EXPECT_FALSE(validate_spanning_forest(g, f));
+}
+
+TEST(Validate, RejectsSplitComponent) {
+  const Graph g = gen::chain(4);
+  SpanningForest f;
+  f.parent = {0, 0, 2, 2};  // two trees in one component
+  const auto report = validate_spanning_forest(g, f);
+  EXPECT_FALSE(report);
+}
+
+TEST(Validate, AcceptsForestOnDisconnectedGraph) {
+  const Graph g = gen::disjoint_chains(2, 3, 1);  // two chains + isolated
+  const auto report = validate_spanning_forest(g, bfs_spanning_tree(g));
+  EXPECT_TRUE(report);
+  EXPECT_EQ(report.num_trees, 3u);
+}
+
+TEST(Validate, RejectsTooFewTreesOnDisconnectedGraph) {
+  // Graph: 0-1  2-3 (two components). Forest claims one tree by using a
+  // non-existent edge.
+  const Graph g = GraphBuilder::from_edges(4, {{0, 1}, {2, 3}});
+  SpanningForest f;
+  f.parent = {0, 0, 1, 2};  // {2,1} is not an edge
+  EXPECT_FALSE(validate_spanning_forest(g, f));
+}
+
+TEST(Validate, EmptyGraphValidEmptyForest) {
+  const Graph g;
+  SpanningForest f;
+  EXPECT_TRUE(validate_spanning_forest(g, f));
+}
+
+TEST(SpanningForestType, RootsEdgesDepths) {
+  // Manual forest on 6 vertices: tree 0<-1<-2, tree 3<-4, root 5.
+  SpanningForest f;
+  f.parent = {0, 0, 1, 3, 3, 5};
+  EXPECT_EQ(f.num_trees(), 3u);
+  EXPECT_EQ(f.num_tree_edges(), 3u);
+  EXPECT_EQ(f.roots(), (std::vector<VertexId>{0, 3, 5}));
+  const auto comp = f.component_of();
+  EXPECT_EQ(comp[2], 0u);
+  EXPECT_EQ(comp[4], 3u);
+  EXPECT_EQ(comp[5], 5u);
+  const auto depth = f.depths();
+  EXPECT_EQ(depth[0], 0u);
+  EXPECT_EQ(depth[2], 2u);
+  EXPECT_EQ(depth[4], 1u);
+  const auto edges = f.tree_edges();
+  EXPECT_EQ(edges.size(), 3u);
+}
+
+TEST(SpanningForestType, OrientTreeEdges) {
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}, {3, 4}};
+  const auto f = orient_tree_edges(6, edges);
+  EXPECT_EQ(f.num_trees(), 3u);  // {0,1,2}, {3,4}, {5}
+  EXPECT_EQ(f.num_tree_edges(), 3u);
+  const auto comp = f.component_of();
+  EXPECT_EQ(comp[0], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_TRUE(f.is_root(5));
+}
+
+TEST(SpanningForestType, OrientRejectsBadEndpoint) {
+  EXPECT_DEATH(orient_tree_edges(2, {{0, 5}}), "out of range");
+}
+
+}  // namespace
+}  // namespace smpst
