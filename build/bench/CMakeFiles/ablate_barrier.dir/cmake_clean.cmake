@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_barrier.dir/ablate_barrier.cpp.o"
+  "CMakeFiles/ablate_barrier.dir/ablate_barrier.cpp.o.d"
+  "ablate_barrier"
+  "ablate_barrier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

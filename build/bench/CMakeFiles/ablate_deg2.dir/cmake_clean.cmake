@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_deg2.dir/ablate_deg2.cpp.o"
+  "CMakeFiles/ablate_deg2.dir/ablate_deg2.cpp.o.d"
+  "ablate_deg2"
+  "ablate_deg2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_deg2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

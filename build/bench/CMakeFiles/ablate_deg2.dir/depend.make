@@ -1,0 +1,2 @@
+# Empty dependencies file for ablate_deg2.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_levelsync.dir/ablate_levelsync.cpp.o"
+  "CMakeFiles/ablate_levelsync.dir/ablate_levelsync.cpp.o.d"
+  "ablate_levelsync"
+  "ablate_levelsync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_levelsync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

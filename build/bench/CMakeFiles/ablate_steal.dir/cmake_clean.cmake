@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_steal.dir/ablate_steal.cpp.o"
+  "CMakeFiles/ablate_steal.dir/ablate_steal.cpp.o.d"
+  "ablate_steal"
+  "ablate_steal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_steal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

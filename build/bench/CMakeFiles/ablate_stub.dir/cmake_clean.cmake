@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_stub.dir/ablate_stub.cpp.o"
+  "CMakeFiles/ablate_stub.dir/ablate_stub.cpp.o.d"
+  "ablate_stub"
+  "ablate_stub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_stub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

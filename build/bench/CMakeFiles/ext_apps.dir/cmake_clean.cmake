@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_apps.dir/ext_apps.cpp.o"
+  "CMakeFiles/ext_apps.dir/ext_apps.cpp.o.d"
+  "ext_apps"
+  "ext_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cc_msf.dir/ext_cc_msf.cpp.o"
+  "CMakeFiles/ext_cc_msf.dir/ext_cc_msf.cpp.o.d"
+  "ext_cc_msf"
+  "ext_cc_msf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cc_msf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

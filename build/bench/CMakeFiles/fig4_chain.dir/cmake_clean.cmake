@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_chain.dir/fig4_chain.cpp.o"
+  "CMakeFiles/fig4_chain.dir/fig4_chain.cpp.o.d"
+  "fig4_chain"
+  "fig4_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_geographic.dir/fig4_geographic.cpp.o"
+  "CMakeFiles/fig4_geographic.dir/fig4_geographic.cpp.o.d"
+  "fig4_geographic"
+  "fig4_geographic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_geographic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_geometric.dir/fig4_geometric.cpp.o"
+  "CMakeFiles/fig4_geometric.dir/fig4_geometric.cpp.o.d"
+  "fig4_geometric"
+  "fig4_geometric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_geometric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

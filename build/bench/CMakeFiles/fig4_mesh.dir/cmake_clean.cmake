@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_mesh.dir/fig4_mesh.cpp.o"
+  "CMakeFiles/fig4_mesh.dir/fig4_mesh.cpp.o.d"
+  "fig4_mesh"
+  "fig4_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_random.dir/fig4_random.cpp.o"
+  "CMakeFiles/fig4_random.dir/fig4_random.cpp.o.d"
+  "fig4_random"
+  "fig4_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

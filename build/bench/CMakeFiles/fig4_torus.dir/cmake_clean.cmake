@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_torus.dir/fig4_torus.cpp.o"
+  "CMakeFiles/fig4_torus.dir/fig4_torus.cpp.o.d"
+  "fig4_torus"
+  "fig4_torus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_torus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_load_balance.dir/table_load_balance.cpp.o"
+  "CMakeFiles/table_load_balance.dir/table_load_balance.cpp.o.d"
+  "table_load_balance"
+  "table_load_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_load_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_races.dir/table_races.cpp.o"
+  "CMakeFiles/table_races.dir/table_races.cpp.o.d"
+  "table_races"
+  "table_races.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_races.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_sv_labeling.dir/table_sv_labeling.cpp.o"
+  "CMakeFiles/table_sv_labeling.dir/table_sv_labeling.cpp.o.d"
+  "table_sv_labeling"
+  "table_sv_labeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_sv_labeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/internet_topology.dir/internet_topology.cpp.o"
+  "CMakeFiles/internet_topology.dir/internet_topology.cpp.o.d"
+  "internet_topology"
+  "internet_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/internet_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

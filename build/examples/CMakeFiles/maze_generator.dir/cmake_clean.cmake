@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maze_generator.dir/maze_generator.cpp.o"
+  "CMakeFiles/maze_generator.dir/maze_generator.cpp.o.d"
+  "maze_generator"
+  "maze_generator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maze_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

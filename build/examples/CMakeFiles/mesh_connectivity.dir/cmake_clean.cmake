@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_connectivity.dir/mesh_connectivity.cpp.o"
+  "CMakeFiles/mesh_connectivity.dir/mesh_connectivity.cpp.o.d"
+  "mesh_connectivity"
+  "mesh_connectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_connectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_cut_analysis.dir/network_cut_analysis.cpp.o"
+  "CMakeFiles/network_cut_analysis.dir/network_cut_analysis.cpp.o.d"
+  "network_cut_analysis"
+  "network_cut_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_cut_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

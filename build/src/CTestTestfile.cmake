@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("graph")
+subdirs("gen")
+subdirs("sched")
+subdirs("core")
+subdirs("cc")
+subdirs("msf")
+subdirs("apps")
+subdirs("model")
+subdirs("bench_util")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/biconnectivity.cpp" "src/apps/CMakeFiles/smpst_apps.dir/biconnectivity.cpp.o" "gcc" "src/apps/CMakeFiles/smpst_apps.dir/biconnectivity.cpp.o.d"
+  "/root/repo/src/apps/ear_decomposition.cpp" "src/apps/CMakeFiles/smpst_apps.dir/ear_decomposition.cpp.o" "gcc" "src/apps/CMakeFiles/smpst_apps.dir/ear_decomposition.cpp.o.d"
+  "/root/repo/src/apps/tarjan_vishkin.cpp" "src/apps/CMakeFiles/smpst_apps.dir/tarjan_vishkin.cpp.o" "gcc" "src/apps/CMakeFiles/smpst_apps.dir/tarjan_vishkin.cpp.o.d"
+  "/root/repo/src/apps/tree_algebra.cpp" "src/apps/CMakeFiles/smpst_apps.dir/tree_algebra.cpp.o" "gcc" "src/apps/CMakeFiles/smpst_apps.dir/tree_algebra.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/smpst_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/smpst_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/smpst_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/smpst_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/smpst_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

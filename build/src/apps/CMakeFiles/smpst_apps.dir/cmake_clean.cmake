@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smpst_apps.dir/biconnectivity.cpp.o"
+  "CMakeFiles/smpst_apps.dir/biconnectivity.cpp.o.d"
+  "CMakeFiles/smpst_apps.dir/ear_decomposition.cpp.o"
+  "CMakeFiles/smpst_apps.dir/ear_decomposition.cpp.o.d"
+  "CMakeFiles/smpst_apps.dir/tarjan_vishkin.cpp.o"
+  "CMakeFiles/smpst_apps.dir/tarjan_vishkin.cpp.o.d"
+  "CMakeFiles/smpst_apps.dir/tree_algebra.cpp.o"
+  "CMakeFiles/smpst_apps.dir/tree_algebra.cpp.o.d"
+  "libsmpst_apps.a"
+  "libsmpst_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smpst_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

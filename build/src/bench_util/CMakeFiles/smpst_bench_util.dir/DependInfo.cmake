@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bench_util/cli.cpp" "src/bench_util/CMakeFiles/smpst_bench_util.dir/cli.cpp.o" "gcc" "src/bench_util/CMakeFiles/smpst_bench_util.dir/cli.cpp.o.d"
+  "/root/repo/src/bench_util/runner.cpp" "src/bench_util/CMakeFiles/smpst_bench_util.dir/runner.cpp.o" "gcc" "src/bench_util/CMakeFiles/smpst_bench_util.dir/runner.cpp.o.d"
+  "/root/repo/src/bench_util/stats.cpp" "src/bench_util/CMakeFiles/smpst_bench_util.dir/stats.cpp.o" "gcc" "src/bench_util/CMakeFiles/smpst_bench_util.dir/stats.cpp.o.d"
+  "/root/repo/src/bench_util/table.cpp" "src/bench_util/CMakeFiles/smpst_bench_util.dir/table.cpp.o" "gcc" "src/bench_util/CMakeFiles/smpst_bench_util.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/smpst_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/smpst_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/smpst_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/smpst_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/smpst_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/smpst_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smpst_bench_util.dir/cli.cpp.o"
+  "CMakeFiles/smpst_bench_util.dir/cli.cpp.o.d"
+  "CMakeFiles/smpst_bench_util.dir/runner.cpp.o"
+  "CMakeFiles/smpst_bench_util.dir/runner.cpp.o.d"
+  "CMakeFiles/smpst_bench_util.dir/stats.cpp.o"
+  "CMakeFiles/smpst_bench_util.dir/stats.cpp.o.d"
+  "CMakeFiles/smpst_bench_util.dir/table.cpp.o"
+  "CMakeFiles/smpst_bench_util.dir/table.cpp.o.d"
+  "libsmpst_bench_util.a"
+  "libsmpst_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smpst_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

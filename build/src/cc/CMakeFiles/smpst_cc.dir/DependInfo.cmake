@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc/connected_components.cpp" "src/cc/CMakeFiles/smpst_cc.dir/connected_components.cpp.o" "gcc" "src/cc/CMakeFiles/smpst_cc.dir/connected_components.cpp.o.d"
+  "/root/repo/src/cc/union_find.cpp" "src/cc/CMakeFiles/smpst_cc.dir/union_find.cpp.o" "gcc" "src/cc/CMakeFiles/smpst_cc.dir/union_find.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/smpst_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/smpst_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/smpst_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/smpst_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smpst_cc.dir/connected_components.cpp.o"
+  "CMakeFiles/smpst_cc.dir/connected_components.cpp.o.d"
+  "CMakeFiles/smpst_cc.dir/union_find.cpp.o"
+  "CMakeFiles/smpst_cc.dir/union_find.cpp.o.d"
+  "libsmpst_cc.a"
+  "libsmpst_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smpst_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/algorithms.cpp" "src/core/CMakeFiles/smpst_core.dir/algorithms.cpp.o" "gcc" "src/core/CMakeFiles/smpst_core.dir/algorithms.cpp.o.d"
+  "/root/repo/src/core/bader_cong.cpp" "src/core/CMakeFiles/smpst_core.dir/bader_cong.cpp.o" "gcc" "src/core/CMakeFiles/smpst_core.dir/bader_cong.cpp.o.d"
+  "/root/repo/src/core/bfs.cpp" "src/core/CMakeFiles/smpst_core.dir/bfs.cpp.o" "gcc" "src/core/CMakeFiles/smpst_core.dir/bfs.cpp.o.d"
+  "/root/repo/src/core/dfs.cpp" "src/core/CMakeFiles/smpst_core.dir/dfs.cpp.o" "gcc" "src/core/CMakeFiles/smpst_core.dir/dfs.cpp.o.d"
+  "/root/repo/src/core/hcs.cpp" "src/core/CMakeFiles/smpst_core.dir/hcs.cpp.o" "gcc" "src/core/CMakeFiles/smpst_core.dir/hcs.cpp.o.d"
+  "/root/repo/src/core/parallel_bfs.cpp" "src/core/CMakeFiles/smpst_core.dir/parallel_bfs.cpp.o" "gcc" "src/core/CMakeFiles/smpst_core.dir/parallel_bfs.cpp.o.d"
+  "/root/repo/src/core/shiloach_vishkin.cpp" "src/core/CMakeFiles/smpst_core.dir/shiloach_vishkin.cpp.o" "gcc" "src/core/CMakeFiles/smpst_core.dir/shiloach_vishkin.cpp.o.d"
+  "/root/repo/src/core/spanning_forest.cpp" "src/core/CMakeFiles/smpst_core.dir/spanning_forest.cpp.o" "gcc" "src/core/CMakeFiles/smpst_core.dir/spanning_forest.cpp.o.d"
+  "/root/repo/src/core/validate.cpp" "src/core/CMakeFiles/smpst_core.dir/validate.cpp.o" "gcc" "src/core/CMakeFiles/smpst_core.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/smpst_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/smpst_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/smpst_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smpst_core.dir/algorithms.cpp.o"
+  "CMakeFiles/smpst_core.dir/algorithms.cpp.o.d"
+  "CMakeFiles/smpst_core.dir/bader_cong.cpp.o"
+  "CMakeFiles/smpst_core.dir/bader_cong.cpp.o.d"
+  "CMakeFiles/smpst_core.dir/bfs.cpp.o"
+  "CMakeFiles/smpst_core.dir/bfs.cpp.o.d"
+  "CMakeFiles/smpst_core.dir/dfs.cpp.o"
+  "CMakeFiles/smpst_core.dir/dfs.cpp.o.d"
+  "CMakeFiles/smpst_core.dir/hcs.cpp.o"
+  "CMakeFiles/smpst_core.dir/hcs.cpp.o.d"
+  "CMakeFiles/smpst_core.dir/parallel_bfs.cpp.o"
+  "CMakeFiles/smpst_core.dir/parallel_bfs.cpp.o.d"
+  "CMakeFiles/smpst_core.dir/shiloach_vishkin.cpp.o"
+  "CMakeFiles/smpst_core.dir/shiloach_vishkin.cpp.o.d"
+  "CMakeFiles/smpst_core.dir/spanning_forest.cpp.o"
+  "CMakeFiles/smpst_core.dir/spanning_forest.cpp.o.d"
+  "CMakeFiles/smpst_core.dir/validate.cpp.o"
+  "CMakeFiles/smpst_core.dir/validate.cpp.o.d"
+  "libsmpst_core.a"
+  "libsmpst_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smpst_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/geographic.cpp" "src/gen/CMakeFiles/smpst_gen.dir/geographic.cpp.o" "gcc" "src/gen/CMakeFiles/smpst_gen.dir/geographic.cpp.o.d"
+  "/root/repo/src/gen/geometric.cpp" "src/gen/CMakeFiles/smpst_gen.dir/geometric.cpp.o" "gcc" "src/gen/CMakeFiles/smpst_gen.dir/geometric.cpp.o.d"
+  "/root/repo/src/gen/kronecker.cpp" "src/gen/CMakeFiles/smpst_gen.dir/kronecker.cpp.o" "gcc" "src/gen/CMakeFiles/smpst_gen.dir/kronecker.cpp.o.d"
+  "/root/repo/src/gen/mesh.cpp" "src/gen/CMakeFiles/smpst_gen.dir/mesh.cpp.o" "gcc" "src/gen/CMakeFiles/smpst_gen.dir/mesh.cpp.o.d"
+  "/root/repo/src/gen/random_graph.cpp" "src/gen/CMakeFiles/smpst_gen.dir/random_graph.cpp.o" "gcc" "src/gen/CMakeFiles/smpst_gen.dir/random_graph.cpp.o.d"
+  "/root/repo/src/gen/registry.cpp" "src/gen/CMakeFiles/smpst_gen.dir/registry.cpp.o" "gcc" "src/gen/CMakeFiles/smpst_gen.dir/registry.cpp.o.d"
+  "/root/repo/src/gen/simple.cpp" "src/gen/CMakeFiles/smpst_gen.dir/simple.cpp.o" "gcc" "src/gen/CMakeFiles/smpst_gen.dir/simple.cpp.o.d"
+  "/root/repo/src/gen/torus.cpp" "src/gen/CMakeFiles/smpst_gen.dir/torus.cpp.o" "gcc" "src/gen/CMakeFiles/smpst_gen.dir/torus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/smpst_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/smpst_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

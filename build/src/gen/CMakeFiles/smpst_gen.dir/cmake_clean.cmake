@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smpst_gen.dir/geographic.cpp.o"
+  "CMakeFiles/smpst_gen.dir/geographic.cpp.o.d"
+  "CMakeFiles/smpst_gen.dir/geometric.cpp.o"
+  "CMakeFiles/smpst_gen.dir/geometric.cpp.o.d"
+  "CMakeFiles/smpst_gen.dir/kronecker.cpp.o"
+  "CMakeFiles/smpst_gen.dir/kronecker.cpp.o.d"
+  "CMakeFiles/smpst_gen.dir/mesh.cpp.o"
+  "CMakeFiles/smpst_gen.dir/mesh.cpp.o.d"
+  "CMakeFiles/smpst_gen.dir/random_graph.cpp.o"
+  "CMakeFiles/smpst_gen.dir/random_graph.cpp.o.d"
+  "CMakeFiles/smpst_gen.dir/registry.cpp.o"
+  "CMakeFiles/smpst_gen.dir/registry.cpp.o.d"
+  "CMakeFiles/smpst_gen.dir/simple.cpp.o"
+  "CMakeFiles/smpst_gen.dir/simple.cpp.o.d"
+  "CMakeFiles/smpst_gen.dir/torus.cpp.o"
+  "CMakeFiles/smpst_gen.dir/torus.cpp.o.d"
+  "libsmpst_gen.a"
+  "libsmpst_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smpst_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

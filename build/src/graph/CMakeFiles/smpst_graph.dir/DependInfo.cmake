@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/builder.cpp" "src/graph/CMakeFiles/smpst_graph.dir/builder.cpp.o" "gcc" "src/graph/CMakeFiles/smpst_graph.dir/builder.cpp.o.d"
+  "/root/repo/src/graph/edge_list.cpp" "src/graph/CMakeFiles/smpst_graph.dir/edge_list.cpp.o" "gcc" "src/graph/CMakeFiles/smpst_graph.dir/edge_list.cpp.o.d"
+  "/root/repo/src/graph/formats.cpp" "src/graph/CMakeFiles/smpst_graph.dir/formats.cpp.o" "gcc" "src/graph/CMakeFiles/smpst_graph.dir/formats.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/smpst_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/smpst_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/graph/CMakeFiles/smpst_graph.dir/io.cpp.o" "gcc" "src/graph/CMakeFiles/smpst_graph.dir/io.cpp.o.d"
+  "/root/repo/src/graph/relabel.cpp" "src/graph/CMakeFiles/smpst_graph.dir/relabel.cpp.o" "gcc" "src/graph/CMakeFiles/smpst_graph.dir/relabel.cpp.o.d"
+  "/root/repo/src/graph/stats.cpp" "src/graph/CMakeFiles/smpst_graph.dir/stats.cpp.o" "gcc" "src/graph/CMakeFiles/smpst_graph.dir/stats.cpp.o.d"
+  "/root/repo/src/graph/subgraph.cpp" "src/graph/CMakeFiles/smpst_graph.dir/subgraph.cpp.o" "gcc" "src/graph/CMakeFiles/smpst_graph.dir/subgraph.cpp.o.d"
+  "/root/repo/src/graph/transform.cpp" "src/graph/CMakeFiles/smpst_graph.dir/transform.cpp.o" "gcc" "src/graph/CMakeFiles/smpst_graph.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/smpst_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

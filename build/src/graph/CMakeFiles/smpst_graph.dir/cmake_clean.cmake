@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smpst_graph.dir/builder.cpp.o"
+  "CMakeFiles/smpst_graph.dir/builder.cpp.o.d"
+  "CMakeFiles/smpst_graph.dir/edge_list.cpp.o"
+  "CMakeFiles/smpst_graph.dir/edge_list.cpp.o.d"
+  "CMakeFiles/smpst_graph.dir/formats.cpp.o"
+  "CMakeFiles/smpst_graph.dir/formats.cpp.o.d"
+  "CMakeFiles/smpst_graph.dir/graph.cpp.o"
+  "CMakeFiles/smpst_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/smpst_graph.dir/io.cpp.o"
+  "CMakeFiles/smpst_graph.dir/io.cpp.o.d"
+  "CMakeFiles/smpst_graph.dir/relabel.cpp.o"
+  "CMakeFiles/smpst_graph.dir/relabel.cpp.o.d"
+  "CMakeFiles/smpst_graph.dir/stats.cpp.o"
+  "CMakeFiles/smpst_graph.dir/stats.cpp.o.d"
+  "CMakeFiles/smpst_graph.dir/subgraph.cpp.o"
+  "CMakeFiles/smpst_graph.dir/subgraph.cpp.o.d"
+  "CMakeFiles/smpst_graph.dir/transform.cpp.o"
+  "CMakeFiles/smpst_graph.dir/transform.cpp.o.d"
+  "libsmpst_graph.a"
+  "libsmpst_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smpst_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smpst_model.dir/cost_model.cpp.o"
+  "CMakeFiles/smpst_model.dir/cost_model.cpp.o.d"
+  "CMakeFiles/smpst_model.dir/simulator.cpp.o"
+  "CMakeFiles/smpst_model.dir/simulator.cpp.o.d"
+  "CMakeFiles/smpst_model.dir/virtual_smp.cpp.o"
+  "CMakeFiles/smpst_model.dir/virtual_smp.cpp.o.d"
+  "libsmpst_model.a"
+  "libsmpst_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smpst_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

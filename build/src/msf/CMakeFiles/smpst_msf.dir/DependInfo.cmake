@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/msf/boruvka.cpp" "src/msf/CMakeFiles/smpst_msf.dir/boruvka.cpp.o" "gcc" "src/msf/CMakeFiles/smpst_msf.dir/boruvka.cpp.o.d"
+  "/root/repo/src/msf/kruskal.cpp" "src/msf/CMakeFiles/smpst_msf.dir/kruskal.cpp.o" "gcc" "src/msf/CMakeFiles/smpst_msf.dir/kruskal.cpp.o.d"
+  "/root/repo/src/msf/prim.cpp" "src/msf/CMakeFiles/smpst_msf.dir/prim.cpp.o" "gcc" "src/msf/CMakeFiles/smpst_msf.dir/prim.cpp.o.d"
+  "/root/repo/src/msf/weighted.cpp" "src/msf/CMakeFiles/smpst_msf.dir/weighted.cpp.o" "gcc" "src/msf/CMakeFiles/smpst_msf.dir/weighted.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/smpst_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/smpst_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/smpst_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/smpst_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/smpst_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smpst_msf.dir/boruvka.cpp.o"
+  "CMakeFiles/smpst_msf.dir/boruvka.cpp.o.d"
+  "CMakeFiles/smpst_msf.dir/kruskal.cpp.o"
+  "CMakeFiles/smpst_msf.dir/kruskal.cpp.o.d"
+  "CMakeFiles/smpst_msf.dir/prim.cpp.o"
+  "CMakeFiles/smpst_msf.dir/prim.cpp.o.d"
+  "CMakeFiles/smpst_msf.dir/weighted.cpp.o"
+  "CMakeFiles/smpst_msf.dir/weighted.cpp.o.d"
+  "libsmpst_msf.a"
+  "libsmpst_msf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smpst_msf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsmpst_msf.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/barrier.cpp" "src/sched/CMakeFiles/smpst_sched.dir/barrier.cpp.o" "gcc" "src/sched/CMakeFiles/smpst_sched.dir/barrier.cpp.o.d"
+  "/root/repo/src/sched/termination.cpp" "src/sched/CMakeFiles/smpst_sched.dir/termination.cpp.o" "gcc" "src/sched/CMakeFiles/smpst_sched.dir/termination.cpp.o.d"
+  "/root/repo/src/sched/thread_pool.cpp" "src/sched/CMakeFiles/smpst_sched.dir/thread_pool.cpp.o" "gcc" "src/sched/CMakeFiles/smpst_sched.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/smpst_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

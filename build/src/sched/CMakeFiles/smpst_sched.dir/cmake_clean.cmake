@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smpst_sched.dir/barrier.cpp.o"
+  "CMakeFiles/smpst_sched.dir/barrier.cpp.o.d"
+  "CMakeFiles/smpst_sched.dir/termination.cpp.o"
+  "CMakeFiles/smpst_sched.dir/termination.cpp.o.d"
+  "CMakeFiles/smpst_sched.dir/thread_pool.cpp.o"
+  "CMakeFiles/smpst_sched.dir/thread_pool.cpp.o.d"
+  "libsmpst_sched.a"
+  "libsmpst_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smpst_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

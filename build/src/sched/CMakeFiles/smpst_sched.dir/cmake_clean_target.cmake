@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsmpst_sched.a"
+)

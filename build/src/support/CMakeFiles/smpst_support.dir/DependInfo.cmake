@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/cpu.cpp" "src/support/CMakeFiles/smpst_support.dir/cpu.cpp.o" "gcc" "src/support/CMakeFiles/smpst_support.dir/cpu.cpp.o.d"
+  "/root/repo/src/support/prng.cpp" "src/support/CMakeFiles/smpst_support.dir/prng.cpp.o" "gcc" "src/support/CMakeFiles/smpst_support.dir/prng.cpp.o.d"
+  "/root/repo/src/support/timer.cpp" "src/support/CMakeFiles/smpst_support.dir/timer.cpp.o" "gcc" "src/support/CMakeFiles/smpst_support.dir/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

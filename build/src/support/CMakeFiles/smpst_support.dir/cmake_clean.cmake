@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smpst_support.dir/cpu.cpp.o"
+  "CMakeFiles/smpst_support.dir/cpu.cpp.o.d"
+  "CMakeFiles/smpst_support.dir/prng.cpp.o"
+  "CMakeFiles/smpst_support.dir/prng.cpp.o.d"
+  "CMakeFiles/smpst_support.dir/timer.cpp.o"
+  "CMakeFiles/smpst_support.dir/timer.cpp.o.d"
+  "libsmpst_support.a"
+  "libsmpst_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smpst_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

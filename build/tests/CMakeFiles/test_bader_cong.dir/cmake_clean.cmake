@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bader_cong.dir/test_bader_cong.cpp.o"
+  "CMakeFiles/test_bader_cong.dir/test_bader_cong.cpp.o.d"
+  "test_bader_cong"
+  "test_bader_cong.pdb"
+  "test_bader_cong[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bader_cong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

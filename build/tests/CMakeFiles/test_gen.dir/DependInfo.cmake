@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_gen.cpp" "tests/CMakeFiles/test_gen.dir/test_gen.cpp.o" "gcc" "tests/CMakeFiles/test_gen.dir/test_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/smpst_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/bench_util/CMakeFiles/smpst_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/msf/CMakeFiles/smpst_msf.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/smpst_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/smpst_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/smpst_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/smpst_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/smpst_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/smpst_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/smpst_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

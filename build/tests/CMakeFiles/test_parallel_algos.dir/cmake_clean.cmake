@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_algos.dir/test_parallel_algos.cpp.o"
+  "CMakeFiles/test_parallel_algos.dir/test_parallel_algos.cpp.o.d"
+  "test_parallel_algos"
+  "test_parallel_algos.pdb"
+  "test_parallel_algos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

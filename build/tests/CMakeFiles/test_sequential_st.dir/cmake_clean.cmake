@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sequential_st.dir/test_sequential_st.cpp.o"
+  "CMakeFiles/test_sequential_st.dir/test_sequential_st.cpp.o.d"
+  "test_sequential_st"
+  "test_sequential_st.pdb"
+  "test_sequential_st[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sequential_st.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

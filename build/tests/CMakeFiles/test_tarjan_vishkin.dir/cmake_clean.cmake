@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tarjan_vishkin.dir/test_tarjan_vishkin.cpp.o"
+  "CMakeFiles/test_tarjan_vishkin.dir/test_tarjan_vishkin.cpp.o.d"
+  "test_tarjan_vishkin"
+  "test_tarjan_vishkin.pdb"
+  "test_tarjan_vishkin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tarjan_vishkin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
