@@ -29,11 +29,20 @@ bool is_algorithm(const std::string& name) {
 
 SpanningForest run_algorithm(const std::string& name, const Graph& g,
                              ThreadPool& pool, std::uint64_t seed) {
-  if (name == "bfs") return bfs_spanning_tree(g);
-  if (name == "dfs") return dfs_spanning_tree(g);
+  RunOptions opts;
+  opts.seed = seed;
+  return run_algorithm(name, g, pool, opts);
+}
+
+SpanningForest run_algorithm(const std::string& name, const Graph& g,
+                             ThreadPool& pool, const RunOptions& run) {
+  if (name == "bfs") return bfs_spanning_tree(g, 0, run.cancel);
+  if (name == "dfs") return dfs_spanning_tree(g, 0, run.cancel);
   if (name == "bader-cong") {
     BaderCongOptions opts;
-    opts.seed = seed;
+    opts.seed = run.seed;
+    opts.cancel = run.cancel;
+    opts.stats = run.stats;
     return bader_cong_spanning_tree(g, pool, opts);
   }
   if (name == "sv") {
@@ -48,7 +57,9 @@ SpanningForest run_algorithm(const std::string& name, const Graph& g,
     return hcs_spanning_tree(g, pool, HcsOptions{});
   }
   if (name == "parallel-bfs") {
-    return parallel_bfs_spanning_tree(g, pool, ParallelBfsOptions{});
+    ParallelBfsOptions opts;
+    opts.cancel = run.cancel;
+    return parallel_bfs_spanning_tree(g, pool, opts);
   }
   throw std::invalid_argument("unknown algorithm: " + name);
 }

@@ -36,4 +36,21 @@ bool is_algorithm(const std::string& name);
 SpanningForest run_algorithm(const std::string& name, const Graph& g,
                              ThreadPool& pool, std::uint64_t seed = 0x5eed);
 
+/// Per-run knobs threaded through to the algorithm's own options struct.
+struct RunOptions {
+  std::uint64_t seed = 0x5eed;
+
+  /// Cooperative cancellation, honoured by bfs/dfs/bader-cong/parallel-bfs
+  /// (the SV family and HCS run to completion; the serving layer applies
+  /// their deadline after the fact). Expiry throws CancelledError.
+  const CancelToken* cancel = nullptr;
+
+  /// When non-null and the algorithm is "bader-cong", filled with traversal
+  /// statistics.
+  TraversalStats* stats = nullptr;
+};
+
+SpanningForest run_algorithm(const std::string& name, const Graph& g,
+                             ThreadPool& pool, const RunOptions& opts);
+
 }  // namespace smpst

@@ -44,6 +44,7 @@ struct TraversalState {
   std::atomic<VertexId> root_cursor{0};
   std::atomic<bool> done{false};
   std::atomic<bool> starved{false};
+  std::atomic<bool> cancelled{false};
 };
 
 /// Claims the next uncoloured vertex as a fresh component root. Returns true
@@ -125,9 +126,19 @@ void traversal_worker(TraversalState& st, std::size_t tid,
   children.reserve(1024);
   std::vector<VertexId> stolen;
   std::size_t starving_rounds = 0;
+  std::size_t cancel_check = 0;
 
   while (!st.done.load(std::memory_order_acquire) &&
-         !st.starved.load(std::memory_order_acquire)) {
+         !st.starved.load(std::memory_order_acquire) &&
+         !st.cancelled.load(std::memory_order_acquire)) {
+    // Deadline poll, amortized so the clock read stays off the per-vertex
+    // fast path (a first-iteration check keeps pre-expired tokens exact).
+    if (opts.cancel != nullptr && (cancel_check++ & 63) == 0 &&
+        opts.cancel->expired()) {
+      st.cancelled.store(true, std::memory_order_release);
+      st.gate.notify_work();
+      break;
+    }
     VertexId v;
     if (st.queues[tid]->pop(v)) {
       starving_rounds = 0;
@@ -306,6 +317,15 @@ SpanningForest bader_cong_spanning_tree(const Graph& g, ThreadPool& pool,
     traversal_worker(st, tid, opts, p, local_stats.per_thread[tid]);
   });
   local_stats.traversal_seconds = trav_timer.elapsed_seconds();
+
+  // A worker observed the token expire before the traversal drained: the
+  // partial forest is not a valid result, so surface the cancellation (unless
+  // another worker completed the drain concurrently, in which case the forest
+  // is whole and worth returning).
+  if (st.cancelled.load(std::memory_order_relaxed) &&
+      !st.done.load(std::memory_order_relaxed)) {
+    throw CancelledError();
+  }
 
   if (st.starved.load(std::memory_order_relaxed)) {
     // Detection mechanism fired: merge and finish with SV.

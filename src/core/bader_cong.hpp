@@ -24,6 +24,7 @@
 #include <chrono>
 #include <cstdint>
 
+#include "core/cancellation.hpp"
 #include "core/instrumentation.hpp"
 #include "core/spanning_forest.hpp"
 #include "graph/graph.hpp"
@@ -67,6 +68,10 @@ struct BaderCongOptions {
 
   /// When non-null, filled with per-thread and phase statistics.
   TraversalStats* stats = nullptr;
+
+  /// When non-null, every worker polls the token between dequeues; if it
+  /// expires mid-traversal the call throws CancelledError.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Computes a spanning forest of g with the Bader–Cong SMP algorithm.

@@ -4,13 +4,15 @@
 
 namespace smpst {
 
-SpanningForest bfs_spanning_tree(const Graph& g, VertexId source) {
+SpanningForest bfs_spanning_tree(const Graph& g, VertexId source,
+                                 const CancelToken* cancel) {
   const VertexId n = g.num_vertices();
   SMPST_CHECK(source < n || n == 0, "bfs_spanning_tree: source out of range");
 
   SpanningForest forest;
   forest.parent.assign(n, kInvalidVertex);
   if (n == 0) return forest;
+  if (cancel != nullptr) cancel->poll();
 
   std::vector<VertexId> queue;
   queue.reserve(n);
@@ -20,6 +22,7 @@ SpanningForest bfs_spanning_tree(const Graph& g, VertexId source) {
     queue.clear();
     queue.push_back(s);
     for (std::size_t head = 0; head < queue.size(); ++head) {
+      if (cancel != nullptr && (head & 0xfff) == 0) cancel->poll();
       const VertexId v = queue[head];
       for (VertexId w : g.neighbors(v)) {
         if (forest.parent[w] == kInvalidVertex) {

@@ -3,14 +3,17 @@
 // access pattern is as cache-friendly as the problem allows.
 #pragma once
 
+#include "core/cancellation.hpp"
 #include "core/spanning_forest.hpp"
 #include "graph/graph.hpp"
 
 namespace smpst {
 
 /// BFS spanning forest over all components, starting from `source` and then
-/// from every still-unvisited vertex in id order.
-SpanningForest bfs_spanning_tree(const Graph& g, VertexId source = 0);
+/// from every still-unvisited vertex in id order. A non-null `cancel` token
+/// is polled every few thousand expansions; expiry throws CancelledError.
+SpanningForest bfs_spanning_tree(const Graph& g, VertexId source = 0,
+                                 const CancelToken* cancel = nullptr);
 
 /// BFS levels (distance from source) over source's component only;
 /// unreachable vertices get kInvalidVertex. Utility for tests and stats.

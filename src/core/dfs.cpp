@@ -4,13 +4,15 @@
 
 namespace smpst {
 
-SpanningForest dfs_spanning_tree(const Graph& g, VertexId source) {
+SpanningForest dfs_spanning_tree(const Graph& g, VertexId source,
+                                 const CancelToken* cancel) {
   const VertexId n = g.num_vertices();
   SMPST_CHECK(source < n || n == 0, "dfs_spanning_tree: source out of range");
 
   SpanningForest forest;
   forest.parent.assign(n, kInvalidVertex);
   if (n == 0) return forest;
+  if (cancel != nullptr) cancel->poll();
 
   // Explicit stack of (vertex, next-neighbour-offset) frames.
   struct Frame {
@@ -18,11 +20,13 @@ SpanningForest dfs_spanning_tree(const Graph& g, VertexId source) {
     EdgeId next;
   };
   std::vector<Frame> stack;
+  std::size_t steps = 0;
 
   auto run = [&](VertexId s) {
     forest.parent[s] = s;
     stack.push_back({s, g.offsets()[s]});
     while (!stack.empty()) {
+      if (cancel != nullptr && (steps++ & 0xfff) == 0) cancel->poll();
       // Work on a copy of the cursor: pushing a child frame may reallocate
       // the stack and invalidate references into it.
       const VertexId v = stack.back().v;

@@ -4,11 +4,15 @@
 // has identical asymptotics and is included for completeness.
 #pragma once
 
+#include "core/cancellation.hpp"
 #include "core/spanning_forest.hpp"
 #include "graph/graph.hpp"
 
 namespace smpst {
 
-SpanningForest dfs_spanning_tree(const Graph& g, VertexId source = 0);
+/// A non-null `cancel` token is polled every few thousand descents; expiry
+/// throws CancelledError.
+SpanningForest dfs_spanning_tree(const Graph& g, VertexId source = 0,
+                                 const CancelToken* cancel = nullptr);
 
 }  // namespace smpst

@@ -72,6 +72,7 @@ SpanningForest parallel_bfs_spanning_tree(const Graph& g, ThreadPool& pool,
   SpanningForest forest;
   forest.parent.assign(n, kInvalidVertex);
   if (n == 0) return forest;
+  if (opts.cancel != nullptr) opts.cancel->poll();
 
   BfsState st(g, p);
   ParallelBfsStats stats;
@@ -87,6 +88,7 @@ SpanningForest parallel_bfs_spanning_tree(const Graph& g, ThreadPool& pool,
     st.frontier.assign(1, root);
 
     while (!st.frontier.empty()) {
+      if (opts.cancel != nullptr) opts.cancel->poll();
       ++stats.levels;
       stats.max_frontier =
           std::max<std::uint64_t>(stats.max_frontier, st.frontier.size());

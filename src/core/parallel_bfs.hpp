@@ -15,6 +15,7 @@
 
 #include <cstdint>
 
+#include "core/cancellation.hpp"
 #include "core/instrumentation.hpp"
 #include "core/spanning_forest.hpp"
 #include "graph/graph.hpp"
@@ -33,6 +34,10 @@ struct ParallelBfsOptions {
   std::size_t num_threads = 0;  ///< 0 = hardware_threads()
   std::size_t grain = 64;       ///< frontier vertices claimed per cursor grab
   ParallelBfsStats* stats = nullptr;
+
+  /// Polled once per level on the coordinating thread (between parallel
+  /// regions, so the check is barrier-safe); expiry throws CancelledError.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Spanning forest via level-synchronous parallel BFS over all components.

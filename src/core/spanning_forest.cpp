@@ -79,6 +79,22 @@ std::vector<VertexId> SpanningForest::depths() const {
   return depth;
 }
 
+void reroot(SpanningForest& forest, VertexId new_root) {
+  SMPST_CHECK(new_root < forest.num_vertices(), "reroot: vertex out of range");
+  VertexId cur = new_root;
+  VertexId prev = new_root;  // becomes cur's new parent (self for the root)
+  std::size_t steps = 0;
+  for (;;) {
+    const VertexId next = forest.parent[cur];
+    forest.parent[cur] = prev;
+    if (next == cur) break;  // reached the old root
+    prev = cur;
+    cur = next;
+    SMPST_CHECK(++steps <= forest.parent.size(),
+                "reroot: parent cycle detected");
+  }
+}
+
 SpanningForest orient_tree_edges(VertexId num_vertices,
                                  const std::vector<Edge>& edges) {
   // Adjacency over the tree edges only (CSR, both directions).

@@ -40,6 +40,12 @@ struct SpanningForest {
   [[nodiscard]] std::vector<VertexId> depths() const;
 };
 
+/// Re-roots the tree containing `new_root` at `new_root` by reversing the
+/// parent chain from it up to its current root; other trees are untouched.
+/// O(depth of new_root). The serving layer uses this to answer rooted
+/// spanning tree queries from any algorithm's arbitrarily-rooted output.
+void reroot(SpanningForest& forest, VertexId new_root);
+
 /// Builds a rooted forest from an unoriented set of tree edges by BFS
 /// orientation. Vertices not covered by any edge become singleton roots.
 /// Used by the Shiloach–Vishkin family (which produces unoriented tree edges)

@@ -23,6 +23,9 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run(const std::function<void(std::size_t)>& body) {
+  // One region at a time: without this, a second caller would overwrite job_
+  // and remaining_ while workers are still inside the first region.
+  std::lock_guard<std::mutex> region(region_mutex_);
   std::unique_lock<std::mutex> lk(mutex_);
   job_ = &body;
   remaining_ = threads_.size();

@@ -31,6 +31,11 @@ class ThreadPool {
   /// Runs `body(tid)` on every worker, tid in [0, size()), and blocks until
   /// all return. If any worker throws, the first exception is rethrown on the
   /// caller after the region completes.
+  ///
+  /// Safe to call from multiple threads: concurrent callers are serialized,
+  /// each getting the whole pool for its region. This is what lets the query
+  /// service share one pool between request handlers instead of spawning
+  /// threads per query.
   void run(const std::function<void(std::size_t)>& body);
 
  private:
@@ -38,6 +43,7 @@ class ThreadPool {
 
   std::vector<std::thread> threads_;
 
+  std::mutex region_mutex_;  ///< serializes concurrent run() callers
   std::mutex mutex_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;

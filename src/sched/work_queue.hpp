@@ -175,18 +175,24 @@ class ChaseLevDeque {
 
  private:
   struct Buffer {
-    explicit Buffer(std::size_t cap) : capacity(cap), data(new T[cap]) {}
+    explicit Buffer(std::size_t cap)
+        : capacity(cap), data(new std::atomic<T>[cap]) {}
     ~Buffer() { delete[] data; }
 
+    // Cells are atomic with relaxed ordering (Le et al. 2013): a thief may
+    // read a cell the owner is concurrently overwriting; the CAS on top_
+    // rejects the stale value, but the access itself must not be a race.
     [[nodiscard]] T get(std::int64_t i) const {
-      return data[static_cast<std::size_t>(i) & (capacity - 1)];
+      return data[static_cast<std::size_t>(i) & (capacity - 1)].load(
+          std::memory_order_relaxed);
     }
     void put(std::int64_t i, T v) {
-      data[static_cast<std::size_t>(i) & (capacity - 1)] = v;
+      data[static_cast<std::size_t>(i) & (capacity - 1)].store(
+          v, std::memory_order_relaxed);
     }
 
     const std::size_t capacity;  // power of two
-    T* data;
+    std::atomic<T>* data;
   };
 
   static std::size_t round_up(std::size_t n) {

@@ -1,0 +1,92 @@
+// Bounded MPMC blocking queue — the admission-control buffer between request
+// producers (submit() callers) and the executor's worker threads.
+//
+// Unlike sched/work_queue.hpp's SplitQueue (single-owner, steal-from-front,
+// built for the traversal inner loop), this queue is a classic
+// mutex-and-condvar channel: any thread may push, any thread may pop, and
+// capacity is a hard bound — try_push never blocks, it reports "full" so the
+// service can shed load instead of queueing unboundedly.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace smpst::service {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Non-blocking enqueue. Returns false (and leaves `item` untouched) when
+  /// the queue is full or closed.
+  bool try_push(T&& item) {
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// All-or-nothing bulk enqueue: either every item fits (and `items` is
+  /// moved from) or none is taken. Backs atomic batch admission.
+  bool try_push_all(std::vector<T>& items) {
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      if (closed_ || items_.size() + items.size() > capacity_) return false;
+      for (T& item : items) items_.push_back(std::move(item));
+    }
+    cv_.notify_all();
+    return true;
+  }
+
+  /// Blocking dequeue. Returns false once the queue is closed *and* drained;
+  /// items pushed before close() are still delivered.
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lk(mutex_);
+    cv_.wait(lk, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Stops admissions and wakes every blocked consumer.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mutex_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lk(mutex_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace smpst::service

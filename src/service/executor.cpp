@@ -1,0 +1,221 @@
+#include "service/executor.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/algorithms.hpp"
+#include "core/cancellation.hpp"
+#include "sched/thread_pool.hpp"
+#include "support/cpu.hpp"
+#include "support/timer.hpp"
+
+namespace smpst::service {
+
+namespace {
+
+double ms_between(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) noexcept {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace
+
+QueryExecutor::QueryExecutor(GraphRegistry& registry, ExecutorOptions opts)
+    : registry_(registry),
+      queue_(std::max<std::size_t>(1, opts.queue_capacity)),
+      paused_(opts.start_paused) {
+  const std::size_t workers = std::max<std::size_t>(1, opts.num_workers);
+  threads_per_query_ =
+      opts.threads_per_query != 0
+          ? opts.threads_per_query
+          : std::max<std::size_t>(1, hardware_threads() / workers);
+  pools_.reserve(workers);
+  for (std::size_t s = 0; s < workers; ++s) {
+    pools_.push_back(std::make_unique<ThreadPool>(threads_per_query_));
+  }
+  workers_.reserve(workers);
+  for (std::size_t s = 0; s < workers; ++s) {
+    workers_.emplace_back([this, s] { worker_loop(s); });
+  }
+}
+
+QueryExecutor::~QueryExecutor() { shutdown(); }
+
+std::future<QueryResult> QueryExecutor::submit(SpanningTreeRequest req) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  Item item{std::move(req), {}, std::chrono::steady_clock::now()};
+  auto future = item.promise.get_future();
+  if (!queue_.try_push(std::move(item))) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    QueryResult r;
+    r.status = QueryStatus::kRejected;
+    r.error = "request queue full";
+    r.graph = item.req.graph;
+    r.algorithm = item.req.algorithm;
+    item.promise.set_value(std::move(r));
+    return future;
+  }
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  return future;
+}
+
+std::vector<std::future<QueryResult>> QueryExecutor::submit_batch(
+    std::vector<SpanningTreeRequest> reqs) {
+  submitted_.fetch_add(reqs.size(), std::memory_order_relaxed);
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<Item> items;
+  std::vector<std::future<QueryResult>> futures;
+  items.reserve(reqs.size());
+  futures.reserve(reqs.size());
+  for (auto& req : reqs) {
+    items.push_back(Item{std::move(req), {}, now});
+    futures.push_back(items.back().promise.get_future());
+  }
+  if (!queue_.try_push_all(items)) {
+    rejected_.fetch_add(items.size(), std::memory_order_relaxed);
+    for (auto& item : items) {
+      QueryResult r;
+      r.status = QueryStatus::kRejected;
+      r.error = "request queue cannot take the whole batch";
+      r.graph = item.req.graph;
+      r.algorithm = item.req.algorithm;
+      item.promise.set_value(std::move(r));
+    }
+    return futures;
+  }
+  accepted_.fetch_add(futures.size(), std::memory_order_relaxed);
+  return futures;
+}
+
+void QueryExecutor::resume() {
+  {
+    std::lock_guard<std::mutex> lk(pause_mutex_);
+    paused_ = false;
+  }
+  pause_cv_.notify_all();
+}
+
+void QueryExecutor::shutdown() {
+  if (shut_down_.exchange(true)) return;
+  queue_.close();
+  resume();  // a paused worker must still drain and exit
+  for (auto& w : workers_) w.join();
+}
+
+ServiceStats QueryExecutor::stats() const {
+  ServiceStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.served_ok = served_ok_.load(std::memory_order_relaxed);
+  s.timed_out = timed_out_.load(std::memory_order_relaxed);
+  s.not_found = not_found_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.latency = latency_.snapshot();
+  s.registry = registry_.stats();
+  return s;
+}
+
+void QueryExecutor::wait_if_paused() {
+  std::unique_lock<std::mutex> lk(pause_mutex_);
+  pause_cv_.wait(lk, [&] { return !paused_; });
+}
+
+void QueryExecutor::worker_loop(std::size_t slot) {
+  for (;;) {
+    wait_if_paused();
+    Item item;
+    if (!queue_.pop(item)) return;
+    QueryResult result = execute(item, *pools_[slot]);
+    switch (result.status) {
+      case QueryStatus::kOk:
+        served_ok_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case QueryStatus::kTimedOut:
+        timed_out_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case QueryStatus::kNotFound:
+        not_found_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      default:
+        failed_.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+    latency_.record_ms(result.total_ms);
+    item.promise.set_value(std::move(result));
+  }
+}
+
+QueryResult QueryExecutor::execute(Item& item, ThreadPool& pool) {
+  const SpanningTreeRequest& req = item.req;
+  QueryResult r;
+  r.graph = req.graph;
+  r.algorithm = req.algorithm;
+  r.queue_ms = ms_between(item.enqueued, std::chrono::steady_clock::now());
+
+  const bool has_deadline = req.timeout_ms >= 0;
+  const auto deadline =
+      item.enqueued + std::chrono::milliseconds(has_deadline ? req.timeout_ms
+                                                             : 0);
+  auto finish = [&](QueryStatus status, std::string error) -> QueryResult& {
+    r.status = status;
+    r.error = std::move(error);
+    r.total_ms = ms_between(item.enqueued, std::chrono::steady_clock::now());
+    return r;
+  };
+
+  if (!is_algorithm(req.algorithm)) {
+    return finish(QueryStatus::kInvalidArgument,
+                  "unknown algorithm: " + req.algorithm);
+  }
+  const std::shared_ptr<const Graph> graph = registry_.get(req.graph);
+  if (graph == nullptr) {
+    return finish(QueryStatus::kNotFound,
+                  "graph not in registry: " + req.graph);
+  }
+  if (req.root != kInvalidVertex && req.root >= graph->num_vertices()) {
+    return finish(QueryStatus::kInvalidArgument, "root vertex out of range");
+  }
+  // Pre-dispatch admission: an already-expired deadline (notably 0 ms) never
+  // starts the traversal, so the timed-out outcome is deterministic.
+  CancelToken token;
+  if (has_deadline) {
+    token.set_deadline(deadline);
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return finish(QueryStatus::kTimedOut, "deadline expired in queue");
+    }
+  }
+
+  try {
+    WallTimer exec_timer;
+    RunOptions run;
+    run.seed = req.seed;
+    run.cancel = &token;
+    run.stats = req.want_stats ? &r.stats : nullptr;
+    r.forest = run_algorithm(req.algorithm, *graph, pool, run);
+    r.exec_ms = exec_timer.elapsed_millis();
+  } catch (const CancelledError&) {
+    return finish(QueryStatus::kTimedOut, "deadline expired mid-traversal");
+  } catch (const std::exception& e) {
+    return finish(QueryStatus::kError, e.what());
+  }
+
+  if (req.root != kInvalidVertex) reroot(r.forest, req.root);
+  if (req.validate) {
+    r.validated = true;
+    r.validation = validate_spanning_forest(*graph, r.forest);
+    if (!r.validation.ok) {
+      return finish(QueryStatus::kError,
+                    "validation failed: " + r.validation.error);
+    }
+  }
+  r.num_trees = r.forest.num_trees();
+  if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+    // Completed late (the algorithm may lack a cancellation hook); the forest
+    // is kept but the latency contract was missed.
+    return finish(QueryStatus::kTimedOut, "completed after deadline");
+  }
+  return finish(QueryStatus::kOk, {});
+}
+
+}  // namespace smpst::service

@@ -1,0 +1,108 @@
+#include "service/graph_registry.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "gen/registry.hpp"
+#include "graph/io.hpp"
+
+namespace smpst::service {
+
+std::shared_ptr<const Graph> GraphRegistry::put(const std::string& name,
+                                                Graph g) {
+  auto stored = std::make_shared<const Graph>(std::move(g));
+  std::lock_guard<std::mutex> lk(mutex_);
+  auto [it, inserted] = entries_.try_emplace(name);
+  if (!inserted) resident_bytes_ -= it->second.graph->memory_bytes();
+  it->second.graph = stored;
+  it->second.last_use = ++tick_;
+  resident_bytes_ += stored->memory_bytes();
+  ++insertions_;
+  enforce_budget_locked(name);
+  return stored;
+}
+
+std::shared_ptr<const Graph> GraphRegistry::get(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  it->second.last_use = ++tick_;
+  return it->second.graph;
+}
+
+std::shared_ptr<const Graph> GraphRegistry::load_file(const std::string& name,
+                                                      const std::string& path) {
+  // Build outside the lock: disk I/O and CSR construction are the slow part.
+  return put(name, io::load_graph(path));
+}
+
+std::shared_ptr<const Graph> GraphRegistry::generate(const std::string& name,
+                                                     const std::string& family,
+                                                     VertexId n,
+                                                     std::uint64_t seed) {
+  return put(name, gen::make_family(family, n, seed));
+}
+
+bool GraphRegistry::evict(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return false;
+  resident_bytes_ -= it->second.graph->memory_bytes();
+  entries_.erase(it);
+  ++evictions_;
+  return true;
+}
+
+std::vector<GraphRegistry::EntryInfo> GraphRegistry::list() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  std::vector<std::pair<std::uint64_t, EntryInfo>> with_tick;
+  with_tick.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    with_tick.push_back({entry.last_use,
+                         {name, entry.graph->memory_bytes(),
+                          entry.graph->num_vertices(),
+                          entry.graph->num_edges()}});
+  }
+  std::sort(with_tick.begin(), with_tick.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<EntryInfo> result;
+  result.reserve(with_tick.size());
+  for (auto& [tick, info] : with_tick) result.push_back(std::move(info));
+  return result;
+}
+
+GraphRegistry::Stats GraphRegistry::stats() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.insertions = insertions_;
+  s.evictions = evictions_;
+  s.resident_bytes = resident_bytes_;
+  s.entries = entries_.size();
+  return s;
+}
+
+void GraphRegistry::enforce_budget_locked(const std::string& keep) {
+  if (opts_.memory_budget_bytes == 0) return;
+  while (resident_bytes_ > opts_.memory_budget_bytes && entries_.size() > 1) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->first == keep) continue;
+      if (victim == entries_.end() ||
+          it->second.last_use < victim->second.last_use) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) return;
+    resident_bytes_ -= victim->second.graph->memory_bytes();
+    entries_.erase(victim);
+    ++evictions_;
+  }
+}
+
+}  // namespace smpst::service

@@ -1,0 +1,105 @@
+// Named, shared, memory-budgeted graph store for the query service.
+//
+// Graphs are immutable CSR structures (graph/graph.hpp), so many concurrent
+// queries can traverse one instance; the registry hands out
+// shared_ptr<const Graph> so an in-flight query pins its graph even if the
+// entry is evicted or replaced underneath it. Eviction is LRU by a logical
+// use tick, triggered when resident bytes exceed the configured budget; the
+// most recently inserted entry is never evicted, so a single over-budget
+// graph can still be served.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace smpst::service {
+
+class GraphRegistry {
+ public:
+  struct Options {
+    /// Resident-set budget in bytes; 0 means unlimited.
+    std::size_t memory_budget_bytes = 0;
+  };
+
+  struct EntryInfo {
+    std::string name;
+    std::size_t bytes = 0;
+    VertexId vertices = 0;
+    EdgeId edges = 0;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;  ///< budget evictions + explicit evict()s
+    std::size_t resident_bytes = 0;
+    std::size_t entries = 0;
+
+    [[nodiscard]] double hit_rate() const noexcept {
+      const std::uint64_t total = hits + misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(total);
+    }
+  };
+
+  GraphRegistry() : GraphRegistry(Options{}) {}
+  explicit GraphRegistry(Options opts) : opts_(opts) {}
+
+  GraphRegistry(const GraphRegistry&) = delete;
+  GraphRegistry& operator=(const GraphRegistry&) = delete;
+
+  /// Inserts (or replaces) `name`, then evicts least-recently-used entries
+  /// while over budget. Returns the stored pointer.
+  std::shared_ptr<const Graph> put(const std::string& name, Graph g);
+
+  /// Looks up `name`, refreshing its recency. nullptr on miss.
+  std::shared_ptr<const Graph> get(const std::string& name);
+
+  /// Loads a graph from disk (graph/io formats, chosen by extension) and
+  /// registers it under `name`. Throws std::runtime_error on I/O failure.
+  std::shared_ptr<const Graph> load_file(const std::string& name,
+                                         const std::string& path);
+
+  /// Synthesizes a generator-registry family (gen/registry.hpp) and registers
+  /// it under `name`. Throws std::invalid_argument for unknown families.
+  std::shared_ptr<const Graph> generate(const std::string& name,
+                                        const std::string& family, VertexId n,
+                                        std::uint64_t seed);
+
+  /// Explicitly removes `name`. Returns false if absent. In-flight queries
+  /// holding the shared_ptr keep the graph alive.
+  bool evict(const std::string& name);
+
+  /// All resident entries, most recently used first.
+  [[nodiscard]] std::vector<EntryInfo> list() const;
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const Graph> graph;
+    std::uint64_t last_use = 0;
+  };
+
+  void enforce_budget_locked(const std::string& keep);
+
+  const Options opts_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+  std::uint64_t tick_ = 0;
+  std::size_t resident_bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t insertions_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace smpst::service

@@ -1,0 +1,85 @@
+// Request and result types of the spanning-tree query service.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/instrumentation.hpp"
+#include "core/spanning_forest.hpp"
+#include "core/validate.hpp"
+#include "graph/types.hpp"
+
+namespace smpst::service {
+
+struct SpanningTreeRequest {
+  /// Registry key of the graph to query.
+  std::string graph;
+
+  /// Name from core/algorithms.hpp ("bader-cong", "bfs", "sv", ...).
+  std::string algorithm = "bader-cong";
+
+  /// When not kInvalidVertex, the returned tree containing this vertex is
+  /// re-rooted at it (the "rooted spanning tree from v" query shape).
+  VertexId root = kInvalidVertex;
+
+  std::uint64_t seed = 0x5eed;
+
+  /// Deadline measured from submission, covering queue wait plus execution.
+  /// Negative = none. 0 = already expired (useful to probe the timeout path).
+  std::int64_t timeout_ms = -1;
+
+  /// Run core/validate on the result; failures surface as kError.
+  bool validate = false;
+
+  /// Collect TraversalStats (bader-cong only).
+  bool want_stats = false;
+};
+
+enum class QueryStatus {
+  kOk,
+  kRejected,         ///< queue full or executor shut down; never executed
+  kTimedOut,         ///< deadline expired before or during execution
+  kNotFound,         ///< graph name not in the registry
+  kInvalidArgument,  ///< unknown algorithm, root out of range, ...
+  kError,            ///< execution threw or validation failed
+};
+
+[[nodiscard]] constexpr const char* to_string(QueryStatus s) noexcept {
+  switch (s) {
+    case QueryStatus::kOk: return "ok";
+    case QueryStatus::kRejected: return "rejected";
+    case QueryStatus::kTimedOut: return "timed-out";
+    case QueryStatus::kNotFound: return "not-found";
+    case QueryStatus::kInvalidArgument: return "invalid-argument";
+    case QueryStatus::kError: return "error";
+  }
+  return "unknown";
+}
+
+struct QueryResult {
+  QueryStatus status = QueryStatus::kError;
+  std::string error;  ///< empty unless the status carries a message
+
+  std::string graph;
+  std::string algorithm;
+
+  /// Empty unless the traversal ran to completion. A kTimedOut result may
+  /// still carry a complete forest: algorithms without a cooperative
+  /// cancellation hook finish late, and the deadline verdict is applied
+  /// afterwards.
+  SpanningForest forest;
+  VertexId num_trees = 0;
+
+  bool validated = false;        ///< validate was requested and ran
+  ValidationReport validation;   ///< meaningful when validated
+
+  TraversalStats stats;  ///< filled when want_stats and algorithm supports it
+
+  double queue_ms = 0.0;  ///< submission -> dequeue by a worker
+  double exec_ms = 0.0;   ///< algorithm run time
+  double total_ms = 0.0;  ///< submission -> result ready
+
+  [[nodiscard]] bool ok() const noexcept { return status == QueryStatus::kOk; }
+};
+
+}  // namespace smpst::service

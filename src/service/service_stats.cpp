@@ -1,0 +1,80 @@
+#include "service/service_stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace smpst::service {
+
+namespace {
+
+/// Inclusive value range [lo, hi] of bucket `idx` in nanoseconds.
+void bucket_range(std::size_t idx, double& lo, double& hi) noexcept {
+  if (idx == 0) {
+    lo = hi = 0.0;
+    return;
+  }
+  lo = std::ldexp(1.0, static_cast<int>(idx) - 1);  // 2^(idx-1)
+  hi = std::ldexp(1.0, static_cast<int>(idx)) - 1.0;
+}
+
+}  // namespace
+
+void LatencyHistogram::record_ms(double ms) noexcept {
+  if (!(ms >= 0.0)) ms = 0.0;  // NaN and negatives clamp to zero
+  const auto ns = static_cast<std::uint64_t>(ms * 1e6);
+  const std::size_t idx = std::bit_width(ns);  // 0 for ns==0
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+  std::uint64_t seen = min_ns_.load(std::memory_order_relaxed);
+  while (ns < seen &&
+         !min_ns_.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+  }
+  seen = max_ns_.load(std::memory_order_relaxed);
+  while (ns > seen &&
+         !max_ns_.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+  }
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const noexcept {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  if (s.count > 0) {
+    s.mean_ms = static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) /
+                static_cast<double>(s.count) / 1e6;
+    s.min_ms =
+        static_cast<double>(min_ns_.load(std::memory_order_relaxed)) / 1e6;
+    s.max_ms =
+        static_cast<double>(max_ns_.load(std::memory_order_relaxed)) / 1e6;
+  }
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+double LatencyHistogram::Snapshot::percentile(double p) const noexcept {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // 1-based rank of the order statistic we want.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(p / 100.0 *
+                                              static_cast<double>(count))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    if (seen + buckets[i] >= rank) {
+      double lo, hi;
+      bucket_range(i, lo, hi);
+      const double within = static_cast<double>(rank - seen) /
+                            static_cast<double>(buckets[i]);
+      const double ns = lo + (hi - lo) * within;
+      return std::clamp(ns / 1e6, min_ms, max_ms);
+    }
+    seen += buckets[i];
+  }
+  return max_ms;
+}
+
+}  // namespace smpst::service

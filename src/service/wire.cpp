@@ -1,0 +1,232 @@
+#include "service/wire.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <stdexcept>
+
+namespace smpst::service {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, std::size_t pos) {
+  throw std::invalid_argument("wire: " + what + " at column " +
+                              std::to_string(pos + 1));
+}
+
+struct JsonScanner {
+  const std::string& s;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < s.size() &&
+           std::isspace(static_cast<unsigned char>(s[pos])) != 0) {
+      ++pos;
+    }
+  }
+
+  char peek() {
+    if (pos >= s.size()) fail("unexpected end of line", pos);
+    return s[pos];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'", pos);
+    ++pos;
+  }
+
+  std::string string_value() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos >= s.size()) fail("unterminated string", pos);
+      const char c = s[pos++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos >= s.size()) fail("dangling escape", pos);
+      const char e = s[pos++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        default: fail("unsupported escape", pos - 1);
+      }
+    }
+  }
+
+  /// Number, true/false, or null — returned in normalized string form.
+  std::string scalar_value() {
+    const std::size_t start = pos;
+    while (pos < s.size() && s[pos] != ',' && s[pos] != '}' &&
+           std::isspace(static_cast<unsigned char>(s[pos])) == 0) {
+      ++pos;
+    }
+    std::string tok = s.substr(start, pos - start);
+    if (tok.empty()) fail("expected a value", start);
+    if (tok == "true") return "1";
+    if (tok == "false") return "0";
+    if (tok == "null") return "";
+    // Validate as a JSON number so typos fail loudly.
+    std::size_t i = 0;
+    if (tok[i] == '-' || tok[i] == '+') ++i;
+    bool digits = false;
+    bool dot = false;
+    bool exp = false;
+    for (; i < tok.size(); ++i) {
+      const char c = tok[i];
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        digits = true;
+      } else if (c == '.' && !dot && !exp) {
+        dot = true;
+      } else if ((c == 'e' || c == 'E') && digits && !exp) {
+        exp = true;
+        if (i + 1 < tok.size() && (tok[i + 1] == '-' || tok[i + 1] == '+')) {
+          ++i;
+        }
+      } else {
+        fail("not a number: " + tok, start);
+      }
+    }
+    if (!digits) fail("not a number: " + tok, start);
+    return tok;
+  }
+};
+
+Fields parse_json_object(const std::string& line) {
+  JsonScanner sc{line};
+  Fields fields;
+  sc.skip_ws();
+  sc.expect('{');
+  sc.skip_ws();
+  if (sc.peek() == '}') return fields;
+  while (true) {
+    sc.skip_ws();
+    const std::string key = sc.string_value();
+    sc.skip_ws();
+    sc.expect(':');
+    sc.skip_ws();
+    fields[key] = sc.peek() == '"' ? sc.string_value() : sc.scalar_value();
+    sc.skip_ws();
+    if (sc.peek() == ',') {
+      ++sc.pos;
+      continue;
+    }
+    sc.expect('}');
+    sc.skip_ws();
+    if (sc.pos != line.size()) fail("trailing characters", sc.pos);
+    return fields;
+  }
+}
+
+Fields parse_word_form(const std::string& line) {
+  Fields fields;
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos < line.size()) {
+    while (pos < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[pos])) != 0) {
+      ++pos;
+    }
+    if (pos >= line.size()) break;
+    const std::size_t start = pos;
+    while (pos < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[pos])) == 0) {
+      ++pos;
+    }
+    const std::string tok = line.substr(start, pos - start);
+    const std::size_t eq = tok.find('=');
+    if (first) {
+      if (eq != std::string::npos) fail("first token must be the command",
+                                        start);
+      fields["cmd"] = tok;
+      first = false;
+    } else {
+      if (eq == std::string::npos || eq == 0) {
+        fail("expected key=value: " + tok, start);
+      }
+      fields[tok.substr(0, eq)] = tok.substr(eq + 1);
+    }
+  }
+  if (fields.empty()) fail("empty request", 0);
+  return fields;
+}
+
+}  // namespace
+
+Fields parse_line(const std::string& line) {
+  std::size_t i = 0;
+  while (i < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[i])) != 0) {
+    ++i;
+  }
+  if (i < line.size() && line[i] == '{') return parse_json_object(line);
+  return parse_word_form(line);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+JsonWriter& JsonWriter::raw(const std::string& name,
+                            const std::string& rendered) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"' + json_escape(name) + "\":" + rendered;
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& name,
+                              const std::string& value) {
+  return raw(name, '"' + json_escape(value) + '"');
+}
+
+JsonWriter& JsonWriter::field(const std::string& name, const char* value) {
+  return field(name, std::string(value));
+}
+
+JsonWriter& JsonWriter::field(const std::string& name, std::int64_t value) {
+  return raw(name, std::to_string(value));
+}
+
+JsonWriter& JsonWriter::field(const std::string& name, std::uint64_t value) {
+  return raw(name, std::to_string(value));
+}
+
+JsonWriter& JsonWriter::field(const std::string& name, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  return raw(name, buf);
+}
+
+JsonWriter& JsonWriter::field(const std::string& name, bool value) {
+  return raw(name, value ? "true" : "false");
+}
+
+std::string JsonWriter::str() const { return "{" + body_ + "}"; }
+
+}  // namespace smpst::service

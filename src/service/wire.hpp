@@ -1,0 +1,48 @@
+// Line protocol of the smpst_serve front end.
+//
+// One request per line, in either of two equivalent shapes:
+//   {"cmd":"query","graph":"g1","algo":"bader-cong","timeout":50}
+//   query graph=g1 algo=bader-cong timeout=50
+// Requests parse to a flat string->string field map (the executor's types do
+// the real typing); responses are emitted as one flat JSON object per line.
+// The JSON subset is deliberately small — flat objects, string/number/bool/
+// null values, standard string escapes — so the server needs no third-party
+// dependency.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace smpst::service {
+
+using Fields = std::map<std::string, std::string>;
+
+/// Parses one request line (JSON object or "cmd key=value ..." form) into a
+/// field map; the command word lands under key "cmd". Booleans normalize to
+/// "1"/"0"; null to "". Throws std::invalid_argument on malformed input.
+Fields parse_line(const std::string& line);
+
+/// JSON string escaping (quotes, backslash, control characters).
+std::string json_escape(const std::string& s);
+
+/// Accumulates one flat JSON object, e.g.
+///   JsonWriter w; w.field("status", "ok"); w.field("ms", 1.25); w.str()
+class JsonWriter {
+ public:
+  JsonWriter& field(const std::string& name, const std::string& value);
+  JsonWriter& field(const std::string& name, const char* value);
+  JsonWriter& field(const std::string& name, std::int64_t value);
+  JsonWriter& field(const std::string& name, std::uint64_t value);
+  JsonWriter& field(const std::string& name, double value);
+  JsonWriter& field(const std::string& name, bool value);
+
+  /// The completed object, "{...}".
+  [[nodiscard]] std::string str() const;
+
+ private:
+  JsonWriter& raw(const std::string& name, const std::string& rendered);
+  std::string body_;
+};
+
+}  // namespace smpst::service

@@ -98,6 +98,28 @@ TEST(ThreadPool, ReusableAcrossRegions) {
   EXPECT_EQ(total.load(), 60);
 }
 
+TEST(ThreadPool, ConcurrentCallersAreSerialized) {
+  // The query service shares one pool between request handlers; regions from
+  // different caller threads must not interleave or lose work.
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  std::atomic<int> inside{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 4; ++c) {
+    callers.emplace_back([&] {
+      for (int r = 0; r < 25; ++r) {
+        pool.run([&](std::size_t) {
+          EXPECT_LE(inside.fetch_add(1) + 1, 3);  // one region at a time
+          total.fetch_add(1);
+          inside.fetch_sub(1);
+        });
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(total.load(), 4 * 25 * 3);
+}
+
 TEST(ThreadPool, PropagatesWorkerException) {
   ThreadPool pool(2);
   EXPECT_THROW(

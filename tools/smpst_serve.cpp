@@ -1,0 +1,257 @@
+// smpst_serve — line-protocol front end of the spanning-tree query service.
+//
+// Reads one request per line from stdin (flat JSON or "cmd key=value ..."),
+// writes one JSON response per line to stdout. Commands:
+//
+//   load name=g1 path=graph.bin          register a graph from disk
+//   gen name=g1 family=random-nlogn n=65536 [seed=1]
+//                                        synthesize a generator family
+//   query graph=g1 [algo=bader-cong] [root=0] [timeout=50] [seed=1]
+//         [validate=true] [stats=true]  spanning-tree query ("algorithm" and
+//                                       "timeout_ms" are accepted aliases)
+//   batch count=K                        submit the next K query lines
+//                                        as one atomically-admitted batch
+//   stats                                service + registry counters, tail
+//                                        latency percentiles
+//   list                                 resident graphs, MRU first
+//   evict name=g1                        drop a graph from the registry
+//   quit                                 drain and exit
+//
+// Example session:
+//   $ build/tools/smpst_serve --workers=2
+//   gen name=g family=torus-rowmajor n=16384
+//   {"ok":true,"name":"g","vertices":16384,...}
+//   query graph=g algo=bader-cong validate=1
+//   {"status":"ok","graph":"g",...}
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util/cli.hpp"
+#include "core/algorithms.hpp"
+#include "gen/registry.hpp"
+#include "service/executor.hpp"
+#include "service/wire.hpp"
+
+namespace {
+
+using namespace smpst;
+using namespace smpst::service;
+
+std::string get(const Fields& f, const std::string& key,
+                const std::string& fallback) {
+  const auto it = f.find(key);
+  return it == f.end() ? fallback : it->second;
+}
+
+std::int64_t get_int(const Fields& f, const std::string& key,
+                     std::int64_t fallback) {
+  const auto it = f.find(key);
+  if (it == f.end() || it->second.empty()) return fallback;
+  std::size_t consumed = 0;
+  std::int64_t value = 0;
+  try {
+    value = std::stoll(it->second, &consumed);
+  } catch (const std::exception&) {
+  }
+  if (consumed != it->second.size()) {
+    throw std::invalid_argument(key + " must be an integer, got: " +
+                                it->second);
+  }
+  return value;
+}
+
+bool get_bool(const Fields& f, const std::string& key, bool fallback) {
+  const auto it = f.find(key);
+  if (it == f.end() || it->second.empty()) return fallback;
+  if (it->second == "true" || it->second == "1") return true;
+  if (it->second == "false" || it->second == "0") return false;
+  throw std::invalid_argument(key + " must be a boolean, got: " + it->second);
+}
+
+std::string require(const Fields& f, const std::string& key) {
+  const auto it = f.find(key);
+  if (it == f.end() || it->second.empty()) {
+    throw std::invalid_argument("missing required field: " + key);
+  }
+  return it->second;
+}
+
+SpanningTreeRequest request_from(const Fields& f) {
+  // A typo in a field name must not silently drop (say) the timeout: reject
+  // anything we would otherwise ignore.
+  static const char* const known[] = {"cmd",     "graph",      "algo",
+                                      "algorithm", "root",     "timeout",
+                                      "timeout_ms", "seed",    "validate",
+                                      "stats"};
+  for (const auto& [key, value] : f) {
+    bool ok = false;
+    for (const char* k : known) ok = ok || key == k;
+    if (!ok) throw std::invalid_argument("unknown query field: " + key);
+  }
+  SpanningTreeRequest req;
+  req.graph = require(f, "graph");
+  req.algorithm = get(f, "algo", get(f, "algorithm", "bader-cong"));
+  req.root = f.count("root") != 0
+                 ? static_cast<VertexId>(get_int(f, "root", 0))
+                 : kInvalidVertex;
+  req.seed = static_cast<std::uint64_t>(get_int(f, "seed", 0x5eed));
+  req.timeout_ms = get_int(f, "timeout", get_int(f, "timeout_ms", -1));
+  req.validate = get_bool(f, "validate", false);
+  req.want_stats = get_bool(f, "stats", false);
+  return req;
+}
+
+std::string render_result(const QueryResult& r) {
+  JsonWriter w;
+  w.field("status", to_string(r.status));
+  w.field("graph", r.graph);
+  w.field("algo", r.algorithm);
+  if (!r.error.empty()) w.field("error", r.error);
+  if (r.forest.num_vertices() > 0) {
+    w.field("vertices", static_cast<std::uint64_t>(r.forest.num_vertices()));
+    w.field("trees", static_cast<std::uint64_t>(r.num_trees));
+  }
+  if (r.validated) w.field("valid", r.validation.ok);
+  if (r.stats.per_thread.size() > 0) {
+    w.field("load_imbalance", r.stats.load_imbalance());
+    w.field("steals", r.stats.total_steals());
+    w.field("duplicate_expansions", r.stats.duplicate_expansions);
+  }
+  w.field("queue_ms", r.queue_ms);
+  w.field("exec_ms", r.exec_ms);
+  w.field("total_ms", r.total_ms);
+  return w.str();
+}
+
+std::string render_stats(const ServiceStats& s) {
+  JsonWriter w;
+  w.field("submitted", s.submitted);
+  w.field("accepted", s.accepted);
+  w.field("rejected", s.rejected);
+  w.field("served_ok", s.served_ok);
+  w.field("timed_out", s.timed_out);
+  w.field("not_found", s.not_found);
+  w.field("failed", s.failed);
+  w.field("latency_count", s.latency.count);
+  w.field("latency_mean_ms", s.latency.mean_ms);
+  w.field("latency_p50_ms", s.latency.percentile(50));
+  w.field("latency_p95_ms", s.latency.percentile(95));
+  w.field("latency_p99_ms", s.latency.percentile(99));
+  w.field("registry_entries", static_cast<std::uint64_t>(s.registry.entries));
+  w.field("registry_bytes",
+          static_cast<std::uint64_t>(s.registry.resident_bytes));
+  w.field("registry_hit_rate", s.registry.hit_rate());
+  w.field("registry_evictions", s.registry.evictions);
+  return w.str();
+}
+
+std::string describe(const GraphRegistry::EntryInfo& e) {
+  JsonWriter w;
+  w.field("name", e.name);
+  w.field("vertices", static_cast<std::uint64_t>(e.vertices));
+  w.field("edges", e.edges);
+  w.field("bytes", static_cast<std::uint64_t>(e.bytes));
+  return w.str();
+}
+
+int serve(GraphRegistry& registry, QueryExecutor& executor) {
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    try {
+      const Fields f = parse_line(line);
+      const std::string cmd = require(f, "cmd");
+      if (cmd == "quit" || cmd == "exit") {
+        std::cout << JsonWriter().field("ok", true).field("bye", true).str()
+                  << "\n";
+        return 0;
+      }
+      if (cmd == "load" || cmd == "gen") {
+        const std::string name = require(f, "name");
+        const auto graph =
+            cmd == "load"
+                ? registry.load_file(name, require(f, "path"))
+                : registry.generate(
+                      name, require(f, "family"),
+                      static_cast<VertexId>(get_int(f, "n", 1 << 16)),
+                      static_cast<std::uint64_t>(get_int(f, "seed", 0x5eed)));
+        JsonWriter w;
+        w.field("ok", true);
+        w.field("name", name);
+        w.field("vertices", static_cast<std::uint64_t>(graph->num_vertices()));
+        w.field("edges", graph->num_edges());
+        w.field("bytes", static_cast<std::uint64_t>(graph->memory_bytes()));
+        std::cout << w.str() << "\n";
+      } else if (cmd == "query") {
+        std::cout << render_result(executor.submit(request_from(f)).get())
+                  << "\n";
+      } else if (cmd == "batch") {
+        const auto count = get_int(f, "count", 0);
+        if (count <= 0) throw std::invalid_argument("batch needs count>=1");
+        std::vector<SpanningTreeRequest> reqs;
+        std::string sub;
+        for (std::int64_t i = 0; i < count; ++i) {
+          if (!std::getline(std::cin, sub)) {
+            throw std::invalid_argument("batch truncated by end of input");
+          }
+          reqs.push_back(request_from(parse_line(sub)));
+        }
+        auto futures = executor.submit_batch(std::move(reqs));
+        for (auto& fut : futures) {
+          std::cout << render_result(fut.get()) << "\n";
+        }
+      } else if (cmd == "stats") {
+        std::cout << render_stats(executor.stats()) << "\n";
+      } else if (cmd == "list") {
+        for (const auto& e : registry.list()) {
+          std::cout << describe(e) << "\n";
+        }
+        std::cout << JsonWriter()
+                         .field("ok", true)
+                         .field("entries", static_cast<std::uint64_t>(
+                                               registry.list().size()))
+                         .str()
+                  << "\n";
+      } else if (cmd == "evict") {
+        std::cout << JsonWriter()
+                         .field("ok", registry.evict(require(f, "name")))
+                         .str()
+                  << "\n";
+      } else {
+        throw std::invalid_argument("unknown command: " + cmd);
+      }
+    } catch (const std::exception& e) {
+      std::cout << JsonWriter()
+                       .field("ok", false)
+                       .field("error", e.what())
+                       .str()
+                << "\n";
+    }
+    std::cout.flush();
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const bench::Cli cli(argc, argv);
+  GraphRegistry::Options reg_opts;
+  reg_opts.memory_budget_bytes =
+      static_cast<std::size_t>(cli.get_int("registry-budget-mb", 0)) << 20;
+  ExecutorOptions exec_opts;
+  exec_opts.num_workers = static_cast<std::size_t>(cli.get_int("workers", 2));
+  exec_opts.threads_per_query =
+      static_cast<std::size_t>(cli.get_int("threads-per-query", 0));
+  exec_opts.queue_capacity =
+      static_cast<std::size_t>(cli.get_int("queue-capacity", 64));
+  cli.reject_unknown();
+
+  GraphRegistry registry(reg_opts);
+  QueryExecutor executor(registry, exec_opts);
+  return serve(registry, executor);
+} catch (const std::exception& e) {
+  std::cerr << "smpst_serve: " << e.what() << "\n";
+  return 1;
+}
