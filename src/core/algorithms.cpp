@@ -46,15 +46,20 @@ SpanningForest run_algorithm(const std::string& name, const Graph& g,
     return bader_cong_spanning_tree(g, pool, opts);
   }
   if (name == "sv") {
-    return sv_spanning_tree(g, pool, SvOptions{});
+    SvOptions opts;
+    opts.cancel = run.cancel;
+    return sv_spanning_tree(g, pool, opts);
   }
   if (name == "sv-lock") {
     SvOptions opts;
     opts.use_locks = true;
+    opts.cancel = run.cancel;
     return sv_spanning_tree(g, pool, opts);
   }
   if (name == "hcs") {
-    return hcs_spanning_tree(g, pool, HcsOptions{});
+    HcsOptions opts;
+    opts.cancel = run.cancel;
+    return hcs_spanning_tree(g, pool, opts);
   }
   if (name == "parallel-bfs") {
     ParallelBfsOptions opts;

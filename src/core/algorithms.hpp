@@ -40,9 +40,11 @@ SpanningForest run_algorithm(const std::string& name, const Graph& g,
 struct RunOptions {
   std::uint64_t seed = 0x5eed;
 
-  /// Cooperative cancellation, honoured by bfs/dfs/bader-cong/parallel-bfs
-  /// (the SV family and HCS run to completion; the serving layer applies
-  /// their deadline after the fact). Expiry throws CancelledError.
+  /// Cooperative cancellation, honoured by every algorithm. Sequential
+  /// traversals poll inline; bader-cong and parallel-bfs poll at dequeue and
+  /// level boundaries; the SV family and HCS poll once per
+  /// graft-and-shortcut round via a barrier consensus. Expiry throws
+  /// CancelledError.
   const CancelToken* cancel = nullptr;
 
   /// When non-null and the algorithm is "bader-cong", filled with traversal

@@ -10,6 +10,7 @@
 #include "support/assert.hpp"
 #include "support/cacheline.hpp"
 #include "support/cpu.hpp"
+#include "support/failpoint.hpp"
 #include "support/prng.hpp"
 #include "support/timer.hpp"
 
@@ -131,6 +132,11 @@ void traversal_worker(TraversalState& st, std::size_t tid,
   while (!st.done.load(std::memory_order_acquire) &&
          !st.starved.load(std::memory_order_acquire) &&
          !st.cancelled.load(std::memory_order_acquire)) {
+    // Fault site at the loop boundary: this worker holds no claimed vertex
+    // here, so an injected throw only removes the worker from the traversal —
+    // its queue stays stealable and the drain still completes (or the
+    // starvation fallback fires), both of which the merge path handles.
+    SMPST_FAILPOINT("core.bader_cong.expand");
     // Deadline poll, amortized so the clock read stays off the per-vertex
     // fast path (a first-iteration check keeps pre-expired tokens exact).
     if (opts.cancel != nullptr && (cancel_check++ & 63) == 0 &&
@@ -278,10 +284,10 @@ SpanningForest finish_with_sv(TraversalState& st, ThreadPool& pool,
 
   SvOptions sv_opts;
   sv_opts.num_threads = pool.size();
+  sv_opts.cancel = opts.cancel;  // the fallback still honours the deadline
   const std::vector<Edge> sv_edges =
       sv_tree_edges(st.g, pool, std::move(labels), sv_opts);
   edges.insert(edges.end(), sv_edges.begin(), sv_edges.end());
-  (void)opts;
   return orient_tree_edges(n, edges);
 }
 

@@ -4,6 +4,7 @@
 #include <limits>
 #include <memory>
 
+#include "core/cancellation.hpp"
 #include "sched/barrier.hpp"
 #include "sched/thread_pool.hpp"
 #include "support/cpu.hpp"
@@ -61,15 +62,24 @@ struct HcsState {
   SpinBarrier barrier;
   std::atomic<bool> hooked_flag{false};
   std::atomic<bool> shortcut_flag{false};
+  std::atomic<bool> cancel_flag{false};
 };
 
-void hcs_worker(HcsState& st, std::size_t tid, std::size_t p, SvStats& stats,
+void hcs_worker(HcsState& st, std::size_t tid, std::size_t p,
+                const CancelToken* cancel, SvStats& stats,
                 bool collect_stats) {
   const Range vr = chunk_of(st.n, tid, p);
   const Range er = chunk_of(st.edges.size(), tid, p);
   auto& tree_edges = st.per_thread_edges[tid];
 
   for (;;) {
+    // Cancellation consensus (see shiloach_vishkin.cpp): thread 0 reads the
+    // clock, the vote_or barrier shares the verdict, all exit together.
+    if (cancel != nullptr &&
+        vote_or(st.barrier, st.cancel_flag, tid,
+                tid == 0 && cancel->expired())) {
+      return;
+    }
     for (std::size_t v = vr.begin; v < vr.end; ++v) {
       st.cand[v].store(kNoEdge, std::memory_order_relaxed);
     }
@@ -153,7 +163,11 @@ SpanningForest hcs_spanning_tree(const Graph& g, ThreadPool& pool,
   HcsState st(g, p);
   SvStats stats;
   const bool collect = opts.stats != nullptr;
-  pool.run([&](std::size_t tid) { hcs_worker(st, tid, p, stats, collect); });
+  pool.run([&](std::size_t tid) {
+    hcs_worker(st, tid, p, opts.cancel, stats, collect);
+  });
+  // A cancelled run left the forest incomplete; throw rather than return it.
+  if (opts.cancel != nullptr) opts.cancel->poll();
 
   std::vector<Edge> edges;
   std::size_t count = 0;

@@ -18,11 +18,15 @@
 
 namespace smpst {
 
+class CancelToken;
 class ThreadPool;
 
 struct HcsOptions {
   std::size_t num_threads = 0;  ///< 0 = hardware_threads()
   SvStats* stats = nullptr;     ///< same shape as SV's statistics
+  /// Optional cooperative cancellation, polled once per hook-and-shortcut
+  /// round through a barrier consensus (see SvOptions::cancel).
+  const CancelToken* cancel = nullptr;
 };
 
 SpanningForest hcs_spanning_tree(const Graph& g, const HcsOptions& opts = {});

@@ -7,6 +7,7 @@
 #include "sched/thread_pool.hpp"
 #include "support/cacheline.hpp"
 #include "support/cpu.hpp"
+#include "support/failpoint.hpp"
 
 namespace smpst {
 
@@ -89,6 +90,9 @@ SpanningForest parallel_bfs_spanning_tree(const Graph& g, ThreadPool& pool,
 
     while (!st.frontier.empty()) {
       if (opts.cancel != nullptr) opts.cancel->poll();
+      // Fault site on the calling thread between parallel regions: no worker
+      // is inside the level barrier, so a throw here is always clean.
+      SMPST_FAILPOINT("core.parallel_bfs.level");
       ++stats.levels;
       stats.max_frontier =
           std::max<std::uint64_t>(stats.max_frontier, st.frontier.size());

@@ -4,6 +4,7 @@
 #include <limits>
 #include <memory>
 
+#include "core/cancellation.hpp"
 #include "sched/barrier.hpp"
 #include "sched/spinlock.hpp"
 #include "sched/thread_pool.hpp"
@@ -59,11 +60,23 @@ struct SvState {
   SpinBarrier barrier;
   std::atomic<bool> grafted_flag{false};
   std::atomic<bool> shortcut_flag{false};
+  std::atomic<bool> cancel_flag{false};
   std::atomic<std::uint64_t> graft_count{0};
 
   // Lock table for the lock-based variant (hashed by root id).
   std::vector<Padded<SpinLock>> locks;
 };
+
+/// Cancellation consensus at a round boundary. Only thread 0 reads the
+/// clock; the vote_or barrier publishes one shared verdict, so either every
+/// worker starts the round or every worker returns — a lone early exit
+/// would deadlock the others at the next barrier.
+bool cancelled_by_consensus(SvState& st, std::size_t tid,
+                            const CancelToken* cancel) {
+  if (cancel == nullptr) return false;
+  return vote_or(st.barrier, st.cancel_flag, tid,
+                 tid == 0 && cancel->expired());
+}
 
 /// Pointer jumping until every component is a rooted star. Termination is a
 /// barrier-consensus OR over per-thread "changed" votes. This full collapse
@@ -94,12 +107,14 @@ void shortcut_to_stars(SvState& st, std::size_t tid, const Range& vr,
 /// elections on the larger-labelled root of every crossing edge), apply
 /// (winning edges graft their root and join the spanning forest), shortcut.
 void sv_worker_election(SvState& st, std::size_t tid, std::size_t p,
-                        SvStats& stats, bool collect_stats) {
+                        const CancelToken* cancel, SvStats& stats,
+                        bool collect_stats) {
   const Range vr = chunk_of(st.n, tid, p);
   const Range er = chunk_of(st.edges.size(), tid, p);
   auto& tree_edges = st.per_thread_edges[tid];
 
   for (;;) {
+    if (cancelled_by_consensus(st, tid, cancel)) return;
     for (std::size_t v = vr.begin; v < vr.end; ++v) {
       st.winner[v].store(kNoWinner, std::memory_order_relaxed);
     }
@@ -151,12 +166,14 @@ void sv_worker_election(SvState& st, std::size_t tid, std::size_t p,
 /// grafted under a hashed per-root lock the moment a crossing edge is found;
 /// the still-a-root re-check under the lock prevents double grafts.
 void sv_worker_locked(SvState& st, std::size_t tid, std::size_t p,
-                      SvStats& stats, bool collect_stats) {
+                      const CancelToken* cancel, SvStats& stats,
+                      bool collect_stats) {
   const Range vr = chunk_of(st.n, tid, p);
   const Range er = chunk_of(st.edges.size(), tid, p);
   auto& tree_edges = st.per_thread_edges[tid];
 
   for (;;) {
+    if (cancelled_by_consensus(st, tid, cancel)) return;
     WallTimer phase_timer;
     bool grafted = false;
     for (std::size_t e = er.begin; e < er.end; ++e) {
@@ -213,11 +230,14 @@ std::vector<Edge> sv_tree_edges(const Graph& g, ThreadPool& pool,
   const bool collect = opts.stats != nullptr;
   pool.run([&](std::size_t tid) {
     if (opts.use_locks) {
-      sv_worker_locked(st, tid, p, local_stats, collect);
+      sv_worker_locked(st, tid, p, opts.cancel, local_stats, collect);
     } else {
-      sv_worker_election(st, tid, p, local_stats, collect);
+      sv_worker_election(st, tid, p, opts.cancel, local_stats, collect);
     }
   });
+  // Workers that lost the cancellation vote left the forest incomplete;
+  // surface that to the caller instead of returning a partial edge set.
+  if (opts.cancel != nullptr) opts.cancel->poll();
 
   std::vector<Edge> result;
   for (auto& te : st.per_thread_edges) {

@@ -26,12 +26,17 @@
 
 namespace smpst {
 
+class CancelToken;
 class ThreadPool;
 
 struct SvOptions {
   std::size_t num_threads = 0;  ///< 0 = hardware_threads()
   bool use_locks = false;       ///< lock-based grafting instead of election
   SvStats* stats = nullptr;
+  /// Optional cooperative cancellation. Polled once per graft-and-shortcut
+  /// round by thread 0 and propagated through a barrier consensus so every
+  /// worker exits together; the caller then observes CancelledError.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Spanning forest via parallel Shiloach–Vishkin.

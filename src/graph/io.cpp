@@ -1,5 +1,6 @@
 #include "graph/io.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 #include <fstream>
@@ -9,6 +10,7 @@
 
 #include "graph/builder.hpp"
 #include "support/assert.hpp"
+#include "support/failpoint.hpp"
 
 namespace smpst::io {
 
@@ -17,7 +19,7 @@ namespace {
 constexpr std::array<char, 8> kMagic = {'S', 'M', 'P', 'S', 'T', 'G', 'R', '1'};
 
 [[noreturn]] void fail(const std::string& what) {
-  throw std::runtime_error("smpst::io: " + what);
+  throw ParseError("smpst::io: " + what);
 }
 
 bool has_suffix(const std::string& s, const std::string& suffix) {
@@ -37,11 +39,21 @@ EdgeList read_edge_list_text(std::istream& is) {
   if (!(is >> n >> m)) fail("bad text header");
   if (n > kInvalidVertex) fail("vertex count exceeds 32-bit id space");
   EdgeList list(static_cast<VertexId>(n));
-  list.reserve(m);
+  // The header's m is untrusted until the edges actually parse: cap the
+  // speculative reservation so a lying header cannot demand the allocator
+  // commit gigabytes up front.
+  list.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(m, 1u << 20)));
   for (std::uint64_t i = 0; i < m; ++i) {
     std::uint64_t u = 0, v = 0;
-    if (!(is >> u >> v)) fail("truncated edge list");
-    if (u >= n || v >= n) fail("edge endpoint out of range");
+    if (!(is >> u >> v)) {
+      fail("truncated edge list: header promised " + std::to_string(m) +
+           " edges, input ended at edge " + std::to_string(i));
+    }
+    if (u >= n || v >= n) {
+      fail("edge " + std::to_string(i) + " endpoint out of range: " +
+           std::to_string(u) + " " + std::to_string(v) + " with n=" +
+           std::to_string(n));
+    }
     list.add_edge(static_cast<VertexId>(u), static_cast<VertexId>(v));
   }
   return list;
@@ -69,12 +81,32 @@ EdgeList read_edge_list_binary(std::istream& is) {
   if (!is) fail("truncated binary header");
   if (n > kInvalidVertex) fail("vertex count exceeds 32-bit id space");
   EdgeList list(static_cast<VertexId>(n));
-  list.edges().resize(m);
-  is.read(reinterpret_cast<char*>(list.edges().data()),
-          static_cast<std::streamsize>(m * sizeof(Edge)));
-  if (!is) fail("truncated binary edge data");
-  for (const Edge& e : list.edges()) {
-    if (e.u >= n || e.v >= n) fail("edge endpoint out of range");
+  // Grow in bounded chunks instead of resize(m): a hostile header can claim
+  // petabytes of edges, and a single up-front allocation (or the
+  // m * sizeof(Edge) byte count, which can overflow) would trust it. With
+  // chunks, a lying m fails on the truncated stream, not in the allocator.
+  auto& edges = list.edges();
+  constexpr std::uint64_t kChunkEdges = std::uint64_t{1} << 20;
+  std::uint64_t done = 0;
+  while (done < m) {
+    const std::uint64_t take = std::min(kChunkEdges, m - done);
+    edges.resize(static_cast<std::size_t>(done + take));
+    is.read(reinterpret_cast<char*>(edges.data() + done),
+            static_cast<std::streamsize>(take * sizeof(Edge)));
+    if (!is) {
+      fail("truncated binary edge data: header promised " +
+           std::to_string(m) + " edges, stream ended near edge " +
+           std::to_string(done));
+    }
+    done += take;
+  }
+  for (std::uint64_t i = 0; i < m; ++i) {
+    const Edge& e = edges[static_cast<std::size_t>(i)];
+    if (e.u >= n || e.v >= n) {
+      fail("edge " + std::to_string(i) + " endpoint out of range: " +
+           std::to_string(e.u) + " " + std::to_string(e.v) + " with n=" +
+           std::to_string(n));
+    }
   }
   return list;
 }
@@ -91,6 +123,7 @@ void save_edge_list(const EdgeList& list, const std::string& path) {
 }
 
 EdgeList load_edge_list(const std::string& path) {
+  SMPST_FAILPOINT("graph.io.load");
   std::ifstream is(path, std::ios::binary);
   if (!is) fail("cannot open for read: " + path);
   return has_suffix(path, ".bin") ? read_edge_list_binary(is)

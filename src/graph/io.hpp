@@ -6,12 +6,21 @@
 #pragma once
 
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 
 #include "graph/edge_list.hpp"
 #include "graph/graph.hpp"
 
 namespace smpst::io {
+
+/// Malformed or hostile input: bad header, out-of-range endpoint, truncated
+/// stream. Derives from std::runtime_error so existing catch sites and the
+/// service's error mapping keep working unchanged.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
 
 void write_edge_list_text(const EdgeList& list, std::ostream& os);
 EdgeList read_edge_list_text(std::istream& is);

@@ -1,11 +1,23 @@
 #include "sched/termination.hpp"
 
+#include "support/failpoint.hpp"
+
 namespace smpst {
 
 std::size_t IdleGate::sleep_for(std::chrono::microseconds timeout) {
   const std::size_t observed =
       sleepers_.fetch_add(1, std::memory_order_acq_rel) + 1;
-  {
+  // Spurious-wakeup injection ("wake" action): return immediately, exactly as
+  // if the condition variable woke without a notify. The starvation detector
+  // must tolerate this — the sleeper count was still published.
+  bool spurious = false;
+  try {
+    spurious = SMPST_FAILPOINT_TRIGGERED("sched.termination.sleep");
+  } catch (...) {
+    sleepers_.fetch_sub(1, std::memory_order_acq_rel);
+    throw;
+  }
+  if (!spurious) {
     std::unique_lock<std::mutex> lk(mutex_);
     const std::uint64_t epoch = wake_epoch_;
     cv_.wait_for(lk, timeout, [&] { return wake_epoch_ != epoch; });

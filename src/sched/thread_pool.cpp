@@ -2,6 +2,7 @@
 
 #include "support/assert.hpp"
 #include "support/cpu.hpp"
+#include "support/failpoint.hpp"
 
 namespace smpst {
 
@@ -23,6 +24,9 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run(const std::function<void(std::size_t)>& body) {
+  // Fault site: before any region state is touched, so a throw leaves the
+  // pool ready for the next caller.
+  SMPST_FAILPOINT("sched.thread_pool.region");
   // One region at a time: without this, a second caller would overwrite job_
   // and remaining_ while workers are still inside the first region.
   std::lock_guard<std::mutex> region(region_mutex_);
@@ -51,6 +55,9 @@ void ThreadPool::worker_loop(std::size_t tid) {
     }
     std::exception_ptr err;
     try {
+      // Fault site inside the catch net: an injected worker throw exercises
+      // the first-exception capture and the rethrow on the region caller.
+      SMPST_FAILPOINT("sched.thread_pool.worker");
       (*job)(tid);
     } catch (...) {
       err = std::current_exception();

@@ -19,6 +19,7 @@
 #include "sched/spinlock.hpp"
 #include "support/assert.hpp"
 #include "support/cacheline.hpp"
+#include "support/failpoint.hpp"
 
 namespace smpst {
 
@@ -46,6 +47,9 @@ class SplitQueue {
 
   /// Owner: remove the front element (BFS order). Returns false when empty.
   bool pop(T& out) {
+    // Fault site before the lock and before any element moves: a throw or
+    // delay here leaves every queued vertex in place for thieves.
+    SMPST_FAILPOINT("sched.work_queue.pop");
     std::lock_guard<SpinLock> lk(lock_);
     if (head_ == buf_.size()) return false;
     out = buf_[head_++];
@@ -57,6 +61,7 @@ class SplitQueue {
   /// Returns the number taken. Never blocks on the thief's own queue, so
   /// steals cannot deadlock.
   std::size_t steal(std::vector<T>& out, std::size_t max_take) {
+    SMPST_FAILPOINT("sched.work_queue.steal");
     std::lock_guard<SpinLock> lk(lock_);
     const std::size_t avail = buf_.size() - head_;
     const std::size_t take = std::min(avail, max_take);

@@ -15,6 +15,8 @@
 #include <utility>
 #include <vector>
 
+#include "support/failpoint.hpp"
+
 namespace smpst::service {
 
 template <typename T>
@@ -28,6 +30,9 @@ class BoundedQueue {
   /// Non-blocking enqueue. Returns false (and leaves `item` untouched) when
   /// the queue is full or closed.
   bool try_push(T&& item) {
+    // Fault site before the item moves: a throw leaves `item` with the
+    // caller, who can resolve its promise. submit() relies on this.
+    SMPST_FAILPOINT("service.bounded_queue.push");
     {
       std::lock_guard<std::mutex> lk(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
@@ -52,6 +57,7 @@ class BoundedQueue {
   /// Blocking dequeue. Returns false once the queue is closed *and* drained;
   /// items pushed before close() are still delivered.
   bool pop(T& out) {
+    SMPST_FAILPOINT("service.bounded_queue.pop");
     std::unique_lock<std::mutex> lk(mutex_);
     cv_.wait(lk, [&] { return closed_ || !items_.empty(); });
     if (items_.empty()) return false;

@@ -7,6 +7,7 @@
 #include "core/cancellation.hpp"
 #include "sched/thread_pool.hpp"
 #include "support/cpu.hpp"
+#include "support/failpoint.hpp"
 #include "support/timer.hpp"
 
 namespace smpst::service {
@@ -18,24 +19,90 @@ double ms_between(std::chrono::steady_clock::time_point from,
   return std::chrono::duration<double, std::milli>(to - from).count();
 }
 
+/// Internal marker: the algorithm completed but produced a forest that fails
+/// validation. Retried like a thrown attempt; surfaces as kInvalid when every
+/// attempt (including degradation) produces invalid results.
+class InvalidResultError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+ExecutorOptions sanitized(ExecutorOptions opts) {
+  opts.num_workers = std::max<std::size_t>(1, opts.num_workers);
+  opts.queue_capacity = std::max<std::size_t>(1, opts.queue_capacity);
+  opts.watchdog_poll_ms = std::max<std::size_t>(1, opts.watchdog_poll_ms);
+  return opts;
+}
+
+bool is_sequential(const std::string& algorithm) {
+  return algorithm == "bfs" || algorithm == "dfs";
+}
+
 }  // namespace
+
+/// Publishes the in-flight query's CancelToken and hard deadline to the
+/// slot's watch entry so the watchdog thread can hard-cancel an overrun; the
+/// destructor withdraws it before the token leaves scope.
+class QueryExecutor::WatchGuard {
+ public:
+  WatchGuard(QueryExecutor& executor, std::size_t slot, CancelToken& token,
+             bool has_deadline, std::chrono::steady_clock::time_point enqueued,
+             std::int64_t timeout_ms)
+      : watch_(*executor.watches_[slot]) {
+    if (!has_deadline || executor.opts_.watchdog_factor <= 1.0) return;
+    const auto budget = std::chrono::duration<double, std::milli>(
+        static_cast<double>(timeout_ms) * executor.opts_.watchdog_factor);
+    std::lock_guard<std::mutex> lk(watch_.mutex);
+    watch_.token = &token;
+    watch_.hard_deadline =
+        enqueued +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            budget);
+    watch_.cancelled = false;
+    active_ = true;
+  }
+
+  ~WatchGuard() {
+    if (!active_) return;
+    std::lock_guard<std::mutex> lk(watch_.mutex);
+    watch_.token = nullptr;
+  }
+
+  WatchGuard(const WatchGuard&) = delete;
+  WatchGuard& operator=(const WatchGuard&) = delete;
+
+  [[nodiscard]] bool fired() const {
+    std::lock_guard<std::mutex> lk(watch_.mutex);
+    return watch_.cancelled;
+  }
+
+ private:
+  SlotWatch& watch_;
+  bool active_ = false;
+};
 
 QueryExecutor::QueryExecutor(GraphRegistry& registry, ExecutorOptions opts)
     : registry_(registry),
-      queue_(std::max<std::size_t>(1, opts.queue_capacity)),
-      paused_(opts.start_paused) {
-  const std::size_t workers = std::max<std::size_t>(1, opts.num_workers);
+      opts_(sanitized(opts)),
+      queue_(opts_.queue_capacity),
+      paused_(opts_.start_paused) {
+  const std::size_t workers = opts_.num_workers;
   threads_per_query_ =
-      opts.threads_per_query != 0
-          ? opts.threads_per_query
+      opts_.threads_per_query != 0
+          ? opts_.threads_per_query
           : std::max<std::size_t>(1, hardware_threads() / workers);
   pools_.reserve(workers);
+  watches_.reserve(workers);
   for (std::size_t s = 0; s < workers; ++s) {
     pools_.push_back(std::make_unique<ThreadPool>(threads_per_query_));
+    watches_.push_back(std::make_unique<SlotWatch>());
   }
   workers_.reserve(workers);
   for (std::size_t s = 0; s < workers; ++s) {
     workers_.emplace_back([this, s] { worker_loop(s); });
+  }
+  if (opts_.watchdog_factor > 1.0) {
+    watchdog_ = std::thread([this] { watchdog_loop(); });
   }
 }
 
@@ -45,17 +112,26 @@ std::future<QueryResult> QueryExecutor::submit(SpanningTreeRequest req) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
   Item item{std::move(req), {}, std::chrono::steady_clock::now()};
   auto future = item.promise.get_future();
-  if (!queue_.try_push(std::move(item))) {
+  bool pushed = false;
+  std::string reject_reason = "request queue full";
+  // submit() must never throw and must always satisfy the future, even when
+  // the queue itself faults (failpoints, allocation failure).
+  try {
+    pushed = queue_.try_push(std::move(item));
+  } catch (const std::exception& e) {
+    reject_reason = std::string("admission failure: ") + e.what();
+  }
+  if (!pushed) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
     QueryResult r;
     r.status = QueryStatus::kRejected;
-    r.error = "request queue full";
+    r.error = std::move(reject_reason);
     r.graph = item.req.graph;
     r.algorithm = item.req.algorithm;
     item.promise.set_value(std::move(r));
-    return future;
+  } else {
+    accepted_.fetch_add(1, std::memory_order_relaxed);
   }
-  accepted_.fetch_add(1, std::memory_order_relaxed);
   return future;
 }
 
@@ -71,12 +147,19 @@ std::vector<std::future<QueryResult>> QueryExecutor::submit_batch(
     items.push_back(Item{std::move(req), {}, now});
     futures.push_back(items.back().promise.get_future());
   }
-  if (!queue_.try_push_all(items)) {
+  bool pushed = false;
+  std::string reject_reason = "request queue cannot take the whole batch";
+  try {
+    pushed = queue_.try_push_all(items);
+  } catch (const std::exception& e) {
+    reject_reason = std::string("admission failure: ") + e.what();
+  }
+  if (!pushed) {
     rejected_.fetch_add(items.size(), std::memory_order_relaxed);
     for (auto& item : items) {
       QueryResult r;
       r.status = QueryStatus::kRejected;
-      r.error = "request queue cannot take the whole batch";
+      r.error = reject_reason;
       r.graph = item.req.graph;
       r.algorithm = item.req.algorithm;
       item.promise.set_value(std::move(r));
@@ -100,6 +183,12 @@ void QueryExecutor::shutdown() {
   queue_.close();
   resume();  // a paused worker must still drain and exit
   for (auto& w : workers_) w.join();
+  {
+    std::lock_guard<std::mutex> lk(watchdog_mutex_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
 }
 
 ServiceStats QueryExecutor::stats() const {
@@ -111,6 +200,10 @@ ServiceStats QueryExecutor::stats() const {
   s.timed_out = timed_out_.load(std::memory_order_relaxed);
   s.not_found = not_found_.load(std::memory_order_relaxed);
   s.failed = failed_.load(std::memory_order_relaxed);
+  s.invalid = invalid_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.degraded = degraded_.load(std::memory_order_relaxed);
+  s.watchdog_cancels = watchdog_cancels_.load(std::memory_order_relaxed);
   s.latency = latency_.snapshot();
   s.registry = registry_.stats();
   return s;
@@ -121,12 +214,63 @@ void QueryExecutor::wait_if_paused() {
   pause_cv_.wait(lk, [&] { return !paused_; });
 }
 
+void QueryExecutor::watchdog_loop() {
+  const auto poll = std::chrono::milliseconds(opts_.watchdog_poll_ms);
+  std::unique_lock<std::mutex> lk(watchdog_mutex_);
+  while (!watchdog_stop_) {
+    watchdog_cv_.wait_for(lk, poll, [&] { return watchdog_stop_; });
+    if (watchdog_stop_) return;
+    lk.unlock();
+    const auto now = std::chrono::steady_clock::now();
+    for (auto& watch : watches_) {
+      std::lock_guard<std::mutex> wl(watch->mutex);
+      if (watch->token != nullptr && !watch->cancelled &&
+          now >= watch->hard_deadline) {
+        watch->cancelled = true;
+        watch->token->request_cancel();
+        watchdog_cancels_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    lk.lock();
+  }
+}
+
 void QueryExecutor::worker_loop(std::size_t slot) {
   for (;;) {
     wait_if_paused();
     Item item;
-    if (!queue_.pop(item)) return;
-    QueryResult result = execute(item, *pools_[slot]);
+    try {
+      if (!queue_.pop(item)) return;
+    } catch (const std::exception&) {
+      // Injected dequeue fault: nothing was taken, so nothing is owed.
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      continue;
+    }
+    // Containment boundary: no exception may escape the worker thread (it
+    // would std::terminate the process) and the promise must always be
+    // satisfied with a typed outcome.
+    QueryResult result;
+    try {
+      SMPST_FAILPOINT("service.executor.dequeue");
+      result = execute(item, *pools_[slot], slot);
+      SMPST_FAILPOINT("service.executor.respond");
+    } catch (const std::exception& e) {
+      result = QueryResult{};
+      result.status = QueryStatus::kFailed;
+      result.error = std::string("worker exception: ") + e.what();
+      result.graph = item.req.graph;
+      result.algorithm = item.req.algorithm;
+      result.total_ms =
+          ms_between(item.enqueued, std::chrono::steady_clock::now());
+    } catch (...) {
+      result = QueryResult{};
+      result.status = QueryStatus::kFailed;
+      result.error = "worker exception of unknown type";
+      result.graph = item.req.graph;
+      result.algorithm = item.req.algorithm;
+      result.total_ms =
+          ms_between(item.enqueued, std::chrono::steady_clock::now());
+    }
     switch (result.status) {
       case QueryStatus::kOk:
         served_ok_.fetch_add(1, std::memory_order_relaxed);
@@ -137,16 +281,24 @@ void QueryExecutor::worker_loop(std::size_t slot) {
       case QueryStatus::kNotFound:
         not_found_.fetch_add(1, std::memory_order_relaxed);
         break;
+      case QueryStatus::kInvalid:
+        invalid_.fetch_add(1, std::memory_order_relaxed);
+        break;
       default:
         failed_.fetch_add(1, std::memory_order_relaxed);
         break;
     }
     latency_.record_ms(result.total_ms);
-    item.promise.set_value(std::move(result));
+    try {
+      item.promise.set_value(std::move(result));
+    } catch (const std::exception&) {
+      // Future abandoned (promise already satisfied or moved); nothing to do.
+    }
   }
 }
 
-QueryResult QueryExecutor::execute(Item& item, ThreadPool& pool) {
+QueryResult QueryExecutor::execute(Item& item, ThreadPool& pool,
+                                   std::size_t slot) {
   const SpanningTreeRequest& req = item.req;
   QueryResult r;
   r.graph = req.graph;
@@ -168,14 +320,6 @@ QueryResult QueryExecutor::execute(Item& item, ThreadPool& pool) {
     return finish(QueryStatus::kInvalidArgument,
                   "unknown algorithm: " + req.algorithm);
   }
-  const std::shared_ptr<const Graph> graph = registry_.get(req.graph);
-  if (graph == nullptr) {
-    return finish(QueryStatus::kNotFound,
-                  "graph not in registry: " + req.graph);
-  }
-  if (req.root != kInvalidVertex && req.root >= graph->num_vertices()) {
-    return finish(QueryStatus::kInvalidArgument, "root vertex out of range");
-  }
   // Pre-dispatch admission: an already-expired deadline (notably 0 ms) never
   // starts the traversal, so the timed-out outcome is deterministic.
   CancelToken token;
@@ -185,31 +329,124 @@ QueryResult QueryExecutor::execute(Item& item, ThreadPool& pool) {
       return finish(QueryStatus::kTimedOut, "deadline expired in queue");
     }
   }
+  WatchGuard watch(*this, slot, token, has_deadline, item.enqueued,
+                   req.timeout_ms);
+  auto timeout_error = [&]() -> std::string {
+    if (!watch.fired()) return "deadline expired mid-traversal";
+    r.watchdog_cancelled = true;
+    return "hard-cancelled by watchdog after overrunning the deadline";
+  };
 
-  try {
-    WallTimer exec_timer;
-    RunOptions run;
-    run.seed = req.seed;
-    run.cancel = &token;
-    run.stats = req.want_stats ? &r.stats : nullptr;
-    r.forest = run_algorithm(req.algorithm, *graph, pool, run);
-    r.exec_ms = exec_timer.elapsed_millis();
-  } catch (const CancelledError&) {
-    return finish(QueryStatus::kTimedOut, "deadline expired mid-traversal");
-  } catch (const std::exception& e) {
-    return finish(QueryStatus::kError, e.what());
-  }
+  // Re-roots and (if requested or in paranoid mode) validates the forest the
+  // attempt produced; an invalid forest counts as a failed attempt.
+  auto finalize = [&](const Graph& g) {
+    if (req.root != kInvalidVertex) reroot(r.forest, req.root);
+    if (req.validate || opts_.paranoid_validate) {
+      r.validated = true;
+      r.validation = validate_spanning_forest(g, r.forest);
+      if (!r.validation.ok) {
+        throw InvalidResultError("validation failed: " + r.validation.error);
+      }
+    }
+    r.num_trees = r.forest.num_trees();
+  };
 
-  if (req.root != kInvalidVertex) reroot(r.forest, req.root);
-  if (req.validate) {
-    r.validated = true;
-    r.validation = validate_spanning_forest(*graph, r.forest);
-    if (!r.validation.ok) {
-      return finish(QueryStatus::kError,
-                    "validation failed: " + r.validation.error);
+  WallTimer exec_timer;
+  const std::size_t max_attempts = 1 + opts_.max_retries;
+  std::string last_error;
+  bool invalid_result = false;
+  bool success = false;
+
+  for (std::size_t attempt = 0; attempt < max_attempts && !success;
+       ++attempt) {
+    if (attempt > 0) {
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      auto backoff = std::chrono::milliseconds(
+          opts_.retry_backoff_ms << (attempt - 1));
+      if (has_deadline) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) {
+          r.exec_ms = exec_timer.elapsed_millis();
+          return finish(QueryStatus::kTimedOut,
+                        "deadline expired between retries (last error: " +
+                            last_error + ")");
+        }
+        backoff = std::min(
+            backoff,
+            std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                  now));
+      }
+      if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+    }
+    r.attempts = static_cast<std::uint32_t>(attempt + 1);
+    try {
+      SMPST_FAILPOINT("service.executor.execute");
+      const std::shared_ptr<const Graph> graph = registry_.get(req.graph);
+      if (graph == nullptr) {
+        r.exec_ms = exec_timer.elapsed_millis();
+        return finish(QueryStatus::kNotFound,
+                      "graph not in registry: " + req.graph);
+      }
+      if (req.root != kInvalidVertex && req.root >= graph->num_vertices()) {
+        r.exec_ms = exec_timer.elapsed_millis();
+        return finish(QueryStatus::kInvalidArgument,
+                      "root vertex out of range");
+      }
+      RunOptions run;
+      run.seed = req.seed;
+      run.cancel = &token;
+      run.stats = req.want_stats ? &r.stats : nullptr;
+      r.forest = run_algorithm(req.algorithm, *graph, pool, run);
+      finalize(*graph);
+      success = true;
+    } catch (const CancelledError&) {
+      r.exec_ms = exec_timer.elapsed_millis();
+      return finish(QueryStatus::kTimedOut, timeout_error());
+    } catch (const InvalidResultError& e) {
+      invalid_result = true;
+      last_error = e.what();
+    } catch (const std::exception& e) {
+      invalid_result = false;
+      last_error = e.what();
     }
   }
-  r.num_trees = r.forest.num_trees();
+
+  // Degradation chain: every attempt at the requested (parallel) algorithm
+  // threw or produced an invalid forest — serve the query with the sequential
+  // baseline rather than failing it.
+  if (!success && opts_.degrade_to_sequential &&
+      !is_sequential(req.algorithm)) {
+    try {
+      const std::shared_ptr<const Graph> graph = registry_.get(req.graph);
+      if (graph != nullptr &&
+          (req.root == kInvalidVertex || req.root < graph->num_vertices())) {
+        RunOptions run;
+        run.seed = req.seed;
+        run.cancel = &token;
+        r.forest = run_algorithm("bfs", *graph, pool, run);
+        finalize(*graph);
+        r.degraded = true;
+        degraded_.fetch_add(1, std::memory_order_relaxed);
+        success = true;
+      }
+    } catch (const CancelledError&) {
+      r.exec_ms = exec_timer.elapsed_millis();
+      return finish(QueryStatus::kTimedOut, timeout_error());
+    } catch (const InvalidResultError& e) {
+      invalid_result = true;
+      last_error = e.what();
+    } catch (const std::exception& e) {
+      invalid_result = false;
+      last_error = e.what();
+    }
+  }
+
+  r.exec_ms = exec_timer.elapsed_millis();
+  if (!success) {
+    return finish(invalid_result ? QueryStatus::kInvalid
+                                 : QueryStatus::kFailed,
+                  last_error);
+  }
   if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
     // Completed late (the algorithm may lack a cancellation hook); the forest
     // is kept but the latency contract was missed.

@@ -7,9 +7,17 @@
 // that is reused by every parallel query it executes — thread creation is
 // paid once at startup, exactly the property the paper's benchmark harness
 // relies on, now extended to a multi-tenant serving context. Deadlines are
-// enforced twice: pre-dispatch (an expired request is never run, so a 0 ms
-// deadline deterministically times out) and in-flight via the CancelToken
-// hooks in the traversal loops.
+// enforced three ways: pre-dispatch (an expired request is never run, so a
+// 0 ms deadline deterministically times out), in-flight via the CancelToken
+// hooks in the traversal loops, and by a watchdog thread that hard-cancels
+// queries overrunning their deadline by more than watchdog_factor.
+//
+// Execution is exception-safe end to end: worker threads contain every
+// exception (a thrown attempt is retried with backoff, then degraded to the
+// sequential baseline, and only then surfaced as a typed kFailed outcome),
+// and the promise behind every accepted request is always satisfied. With
+// paranoid_validate, every successful forest is additionally checked against
+// the validation oracle before being reported kOk. See docs/ROBUSTNESS.md.
 #pragma once
 
 #include <atomic>
@@ -28,6 +36,7 @@
 #include "service/service_stats.hpp"
 
 namespace smpst {
+class CancelToken;
 class ThreadPool;
 }
 
@@ -47,6 +56,29 @@ struct ExecutorOptions {
   /// When true, workers do not dequeue until resume() — lets tests fill the
   /// queue deterministically.
   bool start_paused = false;
+
+  /// Extra execution attempts after a thrown attempt (0 = fail fast). A
+  /// CancelledError (deadline) is never retried.
+  std::size_t max_retries = 2;
+
+  /// Backoff before the first retry; doubles per retry, capped by any
+  /// remaining deadline budget.
+  std::size_t retry_backoff_ms = 1;
+
+  /// After retries are exhausted, run the sequential BFS fallback instead of
+  /// failing the query outright (parallel algorithms only).
+  bool degrade_to_sequential = true;
+
+  /// A query whose age exceeds watchdog_factor × its deadline is
+  /// hard-cancelled by the watchdog thread. <= 1 disables the watchdog.
+  double watchdog_factor = 4.0;
+
+  /// Watchdog scan period.
+  std::size_t watchdog_poll_ms = 5;
+
+  /// Validate every successful result (even when the request did not ask);
+  /// a forest that fails validation surfaces as kInvalid instead of kOk.
+  bool paranoid_validate = false;
 };
 
 /// Point-in-time service counters plus the latency distribution.
@@ -57,7 +89,12 @@ struct ServiceStats {
   std::uint64_t served_ok = 0;
   std::uint64_t timed_out = 0;
   std::uint64_t not_found = 0;
-  std::uint64_t failed = 0;  ///< kError + kInvalidArgument outcomes
+  std::uint64_t failed = 0;   ///< kError + kInvalidArgument + kFailed outcomes
+  std::uint64_t invalid = 0;  ///< kInvalid (paranoid validation rejections)
+
+  std::uint64_t retries = 0;           ///< retry attempts consumed
+  std::uint64_t degraded = 0;          ///< queries served by the fallback
+  std::uint64_t watchdog_cancels = 0;  ///< watchdog hard-cancellations
 
   LatencyHistogram::Snapshot latency;  ///< total_ms of executed requests
   GraphRegistry::Stats registry;
@@ -106,11 +143,24 @@ class QueryExecutor {
     std::chrono::steady_clock::time_point enqueued;
   };
 
+  /// Per-slot in-flight query descriptor, published for the watchdog.
+  struct SlotWatch {
+    std::mutex mutex;
+    CancelToken* token = nullptr;  ///< non-null while a deadlined query runs
+    std::chrono::steady_clock::time_point hard_deadline{};
+    bool cancelled = false;  ///< watchdog fired on the current query
+  };
+
+  /// RAII registration of the running query with the slot's watch entry.
+  class WatchGuard;
+
   void worker_loop(std::size_t slot);
-  QueryResult execute(Item& item, ThreadPool& pool);
+  void watchdog_loop();
+  QueryResult execute(Item& item, ThreadPool& pool, std::size_t slot);
   void wait_if_paused();
 
   GraphRegistry& registry_;
+  const ExecutorOptions opts_;
   std::size_t threads_per_query_ = 1;
   BoundedQueue<Item> queue_;
 
@@ -120,7 +170,13 @@ class QueryExecutor {
 
   std::atomic<bool> shut_down_{false};
   std::vector<std::unique_ptr<ThreadPool>> pools_;
+  std::vector<std::unique_ptr<SlotWatch>> watches_;
   std::vector<std::thread> workers_;
+
+  std::mutex watchdog_mutex_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
+  std::thread watchdog_;
 
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> accepted_{0};
@@ -129,6 +185,10 @@ class QueryExecutor {
   std::atomic<std::uint64_t> timed_out_{0};
   std::atomic<std::uint64_t> not_found_{0};
   std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> invalid_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> degraded_{0};
+  std::atomic<std::uint64_t> watchdog_cancels_{0};
   LatencyHistogram latency_;
 };
 

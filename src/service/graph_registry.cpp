@@ -5,11 +5,13 @@
 
 #include "gen/registry.hpp"
 #include "graph/io.hpp"
+#include "support/failpoint.hpp"
 
 namespace smpst::service {
 
 std::shared_ptr<const Graph> GraphRegistry::put(const std::string& name,
                                                 Graph g) {
+  SMPST_FAILPOINT("service.registry.put");
   auto stored = std::make_shared<const Graph>(std::move(g));
   std::lock_guard<std::mutex> lk(mutex_);
   auto [it, inserted] = entries_.try_emplace(name);
@@ -23,6 +25,7 @@ std::shared_ptr<const Graph> GraphRegistry::put(const std::string& name,
 }
 
 std::shared_ptr<const Graph> GraphRegistry::get(const std::string& name) {
+  SMPST_FAILPOINT("service.registry.get");
   std::lock_guard<std::mutex> lk(mutex_);
   const auto it = entries_.find(name);
   if (it == entries_.end()) {

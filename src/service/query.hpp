@@ -41,7 +41,9 @@ enum class QueryStatus {
   kTimedOut,         ///< deadline expired before or during execution
   kNotFound,         ///< graph name not in the registry
   kInvalidArgument,  ///< unknown algorithm, root out of range, ...
-  kError,            ///< execution threw or validation failed
+  kError,            ///< validation-on-request failed or unclassified error
+  kFailed,           ///< execution threw; retries and degradation exhausted
+  kInvalid,          ///< paranoid validation rejected the final result
 };
 
 [[nodiscard]] constexpr const char* to_string(QueryStatus s) noexcept {
@@ -52,6 +54,8 @@ enum class QueryStatus {
     case QueryStatus::kNotFound: return "not-found";
     case QueryStatus::kInvalidArgument: return "invalid-argument";
     case QueryStatus::kError: return "error";
+    case QueryStatus::kFailed: return "failed";
+    case QueryStatus::kInvalid: return "invalid";
   }
   return "unknown";
 }
@@ -75,8 +79,19 @@ struct QueryResult {
 
   TraversalStats stats;  ///< filled when want_stats and algorithm supports it
 
+  /// Execution attempts consumed (1 = first try succeeded; >1 = retried).
+  std::uint32_t attempts = 0;
+
+  /// The result came from the sequential degradation fallback, not the
+  /// requested algorithm (every retry of the requested algorithm threw).
+  bool degraded = false;
+
+  /// The executor's watchdog hard-cancelled this query for overrunning its
+  /// deadline by more than the configured factor.
+  bool watchdog_cancelled = false;
+
   double queue_ms = 0.0;  ///< submission -> dequeue by a worker
-  double exec_ms = 0.0;   ///< algorithm run time
+  double exec_ms = 0.0;   ///< algorithm run time (all attempts)
   double total_ms = 0.0;  ///< submission -> result ready
 
   [[nodiscard]] bool ok() const noexcept { return status == QueryStatus::kOk; }

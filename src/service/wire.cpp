@@ -9,8 +9,7 @@ namespace smpst::service {
 namespace {
 
 [[noreturn]] void fail(const std::string& what, std::size_t pos) {
-  throw std::invalid_argument("wire: " + what + " at column " +
-                              std::to_string(pos + 1));
+  throw WireError("wire: " + what + " at column " + std::to_string(pos + 1));
 }
 
 struct JsonScanner {
@@ -161,6 +160,11 @@ Fields parse_word_form(const std::string& line) {
 }  // namespace
 
 Fields parse_line(const std::string& line) {
+  if (line.size() > kMaxLineBytes) {
+    throw WireError("wire: request line exceeds " +
+                    std::to_string(kMaxLineBytes) + " bytes (got " +
+                    std::to_string(line.size()) + ")");
+  }
   std::size_t i = 0;
   while (i < line.size() &&
          std::isspace(static_cast<unsigned char>(line[i])) != 0) {

@@ -10,17 +10,30 @@
 // dependency.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
+#include <stdexcept>
 #include <string>
 
 namespace smpst::service {
 
 using Fields = std::map<std::string, std::string>;
 
+/// Malformed request line (bad syntax, oversized input). Derives from
+/// std::invalid_argument so pre-existing catch sites keep working.
+class WireError : public std::invalid_argument {
+ public:
+  explicit WireError(const std::string& what) : std::invalid_argument(what) {}
+};
+
+/// Hard cap on request-line length; longer lines are rejected up front so a
+/// hostile client cannot make the parser chew an unbounded buffer.
+inline constexpr std::size_t kMaxLineBytes = std::size_t{1} << 16;
+
 /// Parses one request line (JSON object or "cmd key=value ..." form) into a
 /// field map; the command word lands under key "cmd". Booleans normalize to
-/// "1"/"0"; null to "". Throws std::invalid_argument on malformed input.
+/// "1"/"0"; null to "". Throws WireError on malformed input.
 Fields parse_line(const std::string& line);
 
 /// JSON string escaping (quotes, backslash, control characters).

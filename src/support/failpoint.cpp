@@ -1,0 +1,263 @@
+#include "support/failpoint.hpp"
+
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "support/prng.hpp"
+
+namespace smpst::fail {
+
+namespace {
+
+/// Count of currently enabled sites; the macros' fast-path gate.
+std::atomic<std::uint64_t> g_active{0};
+
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+/// deque keeps Site addresses stable across registration.
+std::deque<Site>& registry() {
+  static std::deque<Site> sites;
+  return sites;
+}
+
+Site* find_locked(const std::string& name) {
+  for (Site& s : registry()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+Xoshiro256& thread_rng() {
+  // Mixing the thread id into the seed keeps streams distinct; determinism
+  // across runs is not a goal for fault injection.
+  thread_local Xoshiro256 rng(derive_stream_seed(
+      0xfa11, std::hash<std::thread::id>{}(std::this_thread::get_id())));
+  return rng;
+}
+
+struct ParsedSpec {
+  Action action = Action::kNone;
+  std::uint32_t prob_permille = 1000;
+  std::uint64_t skip = 0;
+  std::int64_t remaining = -1;
+  std::uint32_t delay_ms = 1;
+};
+
+[[noreturn]] void bad_spec(const std::string& spec, const std::string& why) {
+  throw std::invalid_argument("failpoint spec '" + spec + "': " + why);
+}
+
+ParsedSpec parse_spec(const std::string& spec) {
+  ParsedSpec p;
+  if (spec == "off") return p;  // kNone
+  std::size_t pos = 0;
+  bool saw_prob = false, saw_count = false, saw_skip = false;
+  while (pos < spec.size() &&
+         (std::isdigit(static_cast<unsigned char>(spec[pos])) != 0 ||
+          spec[pos] == '.')) {
+    std::size_t consumed = 0;
+    double value = 0.0;
+    try {
+      value = std::stod(spec.substr(pos), &consumed);
+    } catch (const std::exception&) {
+      bad_spec(spec, "malformed modifier number");
+    }
+    pos += consumed;
+    if (pos >= spec.size()) bad_spec(spec, "modifier without suffix");
+    const char suffix = spec[pos++];
+    if (suffix == '%') {
+      if (saw_prob) bad_spec(spec, "duplicate % modifier");
+      if (value < 0.0 || value > 100.0) bad_spec(spec, "% must be in [0,100]");
+      p.prob_permille = static_cast<std::uint32_t>(value * 10.0 + 0.5);
+      saw_prob = true;
+    } else if (suffix == '*') {
+      if (saw_count) bad_spec(spec, "duplicate * modifier");
+      if (value < 1.0) bad_spec(spec, "* count must be >= 1");
+      p.remaining = static_cast<std::int64_t>(value);
+      saw_count = true;
+    } else if (suffix == '+') {
+      if (saw_skip) bad_spec(spec, "duplicate + modifier");
+      p.skip = static_cast<std::uint64_t>(value);
+      saw_skip = true;
+    } else {
+      bad_spec(spec, std::string("unknown modifier suffix '") + suffix + "'");
+    }
+  }
+  std::size_t open = spec.find('(', pos);
+  const std::string verb = spec.substr(pos, open == std::string::npos
+                                                ? std::string::npos
+                                                : open - pos);
+  if (verb == "throw") {
+    p.action = Action::kThrow;
+  } else if (verb == "delay") {
+    p.action = Action::kDelay;
+  } else if (verb == "wake") {
+    p.action = Action::kWake;
+  } else {
+    bad_spec(spec, "unknown action '" + verb + "'");
+  }
+  if (open != std::string::npos) {
+    if (spec.back() != ')') bad_spec(spec, "unterminated argument");
+    const std::string arg = spec.substr(open + 1, spec.size() - open - 2);
+    try {
+      std::size_t consumed = 0;
+      const long ms = std::stol(arg, &consumed);
+      if (consumed != arg.size() || ms < 0) throw std::invalid_argument(arg);
+      p.delay_ms = static_cast<std::uint32_t>(ms);
+    } catch (const std::exception&) {
+      bad_spec(spec, "argument must be a non-negative integer");
+    }
+  }
+  return p;
+}
+
+void apply_locked(Site& s, const ParsedSpec& p) {
+  const bool was_active = s.action.load(std::memory_order_relaxed) !=
+                          Action::kNone;
+  const bool now_active = p.action != Action::kNone;
+  s.prob_permille.store(p.prob_permille, std::memory_order_relaxed);
+  s.skip.store(p.skip, std::memory_order_relaxed);
+  s.remaining.store(p.remaining, std::memory_order_relaxed);
+  s.delay_ms.store(p.delay_ms, std::memory_order_relaxed);
+  // Action last: a concurrent hit gates on it.
+  s.action.store(p.action, std::memory_order_release);
+  if (now_active && !was_active) {
+    g_active.fetch_add(1, std::memory_order_relaxed);
+  } else if (!now_active && was_active) {
+    g_active.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+/// Reads SMPST_FAILPOINTS once, before main. A malformed value aborts loudly
+/// rather than silently running without the requested faults.
+struct EnvInstaller {
+  EnvInstaller() {
+    const char* env = std::getenv("SMPST_FAILPOINTS");
+    if (env != nullptr && env[0] != '\0') enable_from_spec_list(env);
+  }
+};
+const EnvInstaller g_env_installer;
+
+}  // namespace
+
+bool any_active() noexcept {
+  return g_active.load(std::memory_order_relaxed) != 0;
+}
+
+Site& site(const char* name) {
+  std::lock_guard<std::mutex> lk(registry_mutex());
+  if (Site* existing = find_locked(name)) return *existing;
+  return registry().emplace_back(name);
+}
+
+Action evaluate(Site& s) {
+  s.hits.fetch_add(1, std::memory_order_relaxed);
+  const Action action = s.action.load(std::memory_order_acquire);
+  if (action == Action::kNone) return Action::kNone;
+
+  // After-N: pass the first `skip` hits through untouched.
+  std::uint64_t skip = s.skip.load(std::memory_order_relaxed);
+  while (skip > 0) {
+    if (s.skip.compare_exchange_weak(skip, skip - 1,
+                                     std::memory_order_relaxed)) {
+      return Action::kNone;
+    }
+  }
+
+  const std::uint32_t prob = s.prob_permille.load(std::memory_order_relaxed);
+  if (prob < 1000 && thread_rng().next_bounded(1000) >= prob) {
+    return Action::kNone;
+  }
+
+  // Fire budget (one-shot and N-shot triggers).
+  std::int64_t remaining = s.remaining.load(std::memory_order_relaxed);
+  while (remaining >= 0) {
+    if (remaining == 0) return Action::kNone;
+    if (s.remaining.compare_exchange_weak(remaining, remaining - 1,
+                                          std::memory_order_relaxed)) {
+      break;
+    }
+  }
+
+  s.fires.fetch_add(1, std::memory_order_relaxed);
+  if (action == Action::kDelay) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(s.delay_ms.load(std::memory_order_relaxed)));
+  }
+  return action;
+}
+
+void hit(Site& s) {
+  const Action action = evaluate(s);
+  if (action == Action::kThrow) throw FailpointError(s.name);
+}
+
+bool hit_triggered(Site& s) {
+  const Action action = evaluate(s);
+  if (action == Action::kThrow) throw FailpointError(s.name);
+  return action != Action::kNone;
+}
+
+void enable(const std::string& name, const std::string& spec) {
+  const ParsedSpec p = parse_spec(spec);  // validate before touching state
+  std::lock_guard<std::mutex> lk(registry_mutex());
+  Site* s = find_locked(name);
+  if (s == nullptr) s = &registry().emplace_back(name);
+  apply_locked(*s, p);
+}
+
+void disable(const std::string& name) {
+  std::lock_guard<std::mutex> lk(registry_mutex());
+  if (Site* s = find_locked(name)) apply_locked(*s, ParsedSpec{});
+}
+
+void disable_all() {
+  std::lock_guard<std::mutex> lk(registry_mutex());
+  for (Site& s : registry()) {
+    apply_locked(s, ParsedSpec{});
+    s.hits.store(0, std::memory_order_relaxed);
+    s.fires.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<Info> list() {
+  std::lock_guard<std::mutex> lk(registry_mutex());
+  std::vector<Info> out;
+  out.reserve(registry().size());
+  for (Site& s : registry()) {
+    out.push_back({s.name,
+                   s.action.load(std::memory_order_relaxed) != Action::kNone,
+                   s.hits.load(std::memory_order_relaxed),
+                   s.fires.load(std::memory_order_relaxed)});
+  }
+  return out;
+}
+
+std::size_t enable_from_spec_list(const std::string& specs) {
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while (pos < specs.size()) {
+    std::size_t end = specs.find_first_of(";,", pos);
+    if (end == std::string::npos) end = specs.size();
+    const std::string entry = specs.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("failpoint list entry '" + entry +
+                                  "' is not name=spec");
+    }
+    enable(entry.substr(0, eq), entry.substr(eq + 1));
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace smpst::fail

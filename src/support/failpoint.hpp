@@ -1,0 +1,132 @@
+// Failpoints: named fault-injection sites compiled into the binary.
+//
+// A site is a macro placed at an exception-safe point in production code:
+//
+//   SMPST_FAILPOINT("service.executor.execute");
+//
+// When no failpoint is enabled anywhere in the process the macro costs one
+// relaxed atomic load — cheap enough for traversal inner loops. A site is
+// activated by API (fail::enable) or by the SMPST_FAILPOINTS environment
+// variable, read once at process start:
+//
+//   SMPST_FAILPOINTS="service.executor.execute=10%throw;graph.io.load=delay(5)"
+//
+// Spec grammar (modifiers in any order, each at most once):
+//
+//   spec   := "off" | { modifier } action [ "(" millis ")" ]
+//   modifier := FLOAT "%"    fire with this probability (0..100)
+//             | UINT "*"     fire at most this many times (1* = one-shot)
+//             | UINT "+"     skip the first N hits (after-N trigger)
+//   action := "throw"        throw fail::FailpointError at the site
+//           | "delay"        sleep `millis` (default 1) at the site
+//           | "wake"         no inline effect; SMPST_FAILPOINT_TRIGGERED
+//                            sites observe it (e.g. spurious wakeups)
+//
+// Examples: "throw", "25%throw", "1*throw", "3+throw", "50%delay(5)".
+//
+// Sites must be placed where a throw cannot break invariants: never between
+// a resource acquisition and its commit, and never inside a barrier-
+// synchronized region another thread could wait on (a thrown-past barrier
+// deadlocks the group — see docs/ROBUSTNESS.md for the placement rules).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace smpst::fail {
+
+/// Thrown by a site whose failpoint is configured with the "throw" action.
+class FailpointError : public std::runtime_error {
+ public:
+  explicit FailpointError(const std::string& site)
+      : std::runtime_error("injected fault at failpoint: " + site) {}
+};
+
+enum class Action : std::uint8_t { kNone = 0, kThrow, kDelay, kWake };
+
+/// One named fault site. All fields are atomics so the hit path never locks;
+/// enable()/disable() publish a new configuration field-by-field (a hit that
+/// interleaves with reconfiguration sees some torn mix of old and new
+/// settings, which is harmless for fault injection).
+struct Site {
+  explicit Site(std::string site_name) : name(std::move(site_name)) {}
+
+  const std::string name;
+  std::atomic<Action> action{Action::kNone};
+  std::atomic<std::uint32_t> prob_permille{1000};  ///< fire chance out of 1000
+  std::atomic<std::uint64_t> skip{0};              ///< hits to pass through first
+  std::atomic<std::int64_t> remaining{-1};         ///< fires left; -1 = unlimited
+  std::atomic<std::uint32_t> delay_ms{1};
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> fires{0};
+};
+
+/// True when at least one failpoint is enabled process-wide. Single relaxed
+/// load; the macros gate on it so disabled builds stay at full speed.
+[[nodiscard]] bool any_active() noexcept;
+
+/// Finds or creates the site registry entry. The reference is stable for the
+/// life of the process (sites are never destroyed).
+Site& site(const char* name);
+
+/// Evaluates the site's trigger chain (skip, probability, fire budget) and
+/// returns the action that fired, performing kDelay's sleep inline. kThrow is
+/// NOT thrown here — callers decide (hit() throws, hit_triggered() throws).
+Action evaluate(Site& s);
+
+/// Inline site body: throws FailpointError on kThrow, sleeps on kDelay.
+void hit(Site& s);
+
+/// Site body for sites with custom behavior (e.g. spurious wakeups): returns
+/// true when any action fired. kThrow still throws; kDelay sleeps first.
+bool hit_triggered(Site& s);
+
+/// Arms `name` with the given spec (grammar above). Enabling an already
+/// enabled site replaces its configuration. "off" is equivalent to disable().
+/// Throws std::invalid_argument on a malformed spec.
+void enable(const std::string& name, const std::string& spec);
+
+/// Disarms one site (no-op when not enabled).
+void disable(const std::string& name);
+
+/// Disarms every site and resets hit/fire counters.
+void disable_all();
+
+struct Info {
+  std::string name;
+  bool active = false;
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+};
+
+/// Every registered site (enabled or not), in registration order.
+[[nodiscard]] std::vector<Info> list();
+
+/// Parses a ';' or ','-separated "name=spec" list, e.g. the SMPST_FAILPOINTS
+/// environment payload. Returns the number of sites enabled. Throws
+/// std::invalid_argument on malformed input.
+std::size_t enable_from_spec_list(const std::string& specs);
+
+}  // namespace smpst::fail
+
+/// Plain fault site: injects throws and delays.
+#define SMPST_FAILPOINT(name)                               \
+  do {                                                      \
+    if (::smpst::fail::any_active()) {                      \
+      static ::smpst::fail::Site& smpst_fp_site_ =          \
+          ::smpst::fail::site(name);                        \
+      ::smpst::fail::hit(smpst_fp_site_);                   \
+    }                                                       \
+  } while (0)
+
+/// Fault site with site-specific behavior: evaluates to true when the
+/// failpoint fired (after performing any inline delay/throw).
+#define SMPST_FAILPOINT_TRIGGERED(name)                     \
+  (::smpst::fail::any_active() && [] {                      \
+    static ::smpst::fail::Site& smpst_fp_site_ =            \
+        ::smpst::fail::site(name);                          \
+    return ::smpst::fail::hit_triggered(smpst_fp_site_);    \
+  }())

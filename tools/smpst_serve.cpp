@@ -24,6 +24,7 @@
 //   query graph=g algo=bader-cong validate=1
 //   {"status":"ok","graph":"g",...}
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -92,9 +93,18 @@ SpanningTreeRequest request_from(const Fields& f) {
   SpanningTreeRequest req;
   req.graph = require(f, "graph");
   req.algorithm = get(f, "algo", get(f, "algorithm", "bader-cong"));
-  req.root = f.count("root") != 0
-                 ? static_cast<VertexId>(get_int(f, "root", 0))
-                 : kInvalidVertex;
+  if (f.count("root") != 0) {
+    // Validate before the narrowing cast: root=-1 would otherwise wrap to
+    // kInvalidVertex and silently mean "default root".
+    const std::int64_t root = get_int(f, "root", 0);
+    if (root < 0 || root >= static_cast<std::int64_t>(kInvalidVertex)) {
+      throw std::invalid_argument("root out of range: " +
+                                  std::to_string(root));
+    }
+    req.root = static_cast<VertexId>(root);
+  } else {
+    req.root = kInvalidVertex;
+  }
   req.seed = static_cast<std::uint64_t>(get_int(f, "seed", 0x5eed));
   req.timeout_ms = get_int(f, "timeout", get_int(f, "timeout_ms", -1));
   req.validate = get_bool(f, "validate", false);
@@ -113,6 +123,13 @@ std::string render_result(const QueryResult& r) {
     w.field("trees", static_cast<std::uint64_t>(r.num_trees));
   }
   if (r.validated) w.field("valid", r.validation.ok);
+  // Robustness telemetry, emitted only when something unusual happened so
+  // the common-case response shape stays unchanged.
+  if (r.attempts > 1) {
+    w.field("attempts", static_cast<std::uint64_t>(r.attempts));
+  }
+  if (r.degraded) w.field("degraded", true);
+  if (r.watchdog_cancelled) w.field("watchdog_cancelled", true);
   if (r.stats.per_thread.size() > 0) {
     w.field("load_imbalance", r.stats.load_imbalance());
     w.field("steals", r.stats.total_steals());
@@ -133,6 +150,10 @@ std::string render_stats(const ServiceStats& s) {
   w.field("timed_out", s.timed_out);
   w.field("not_found", s.not_found);
   w.field("failed", s.failed);
+  w.field("invalid", s.invalid);
+  w.field("retries", s.retries);
+  w.field("degraded", s.degraded);
+  w.field("watchdog_cancels", s.watchdog_cancels);
   w.field("latency_count", s.latency.count);
   w.field("latency_mean_ms", s.latency.mean_ms);
   w.field("latency_p50_ms", s.latency.percentile(50));
@@ -169,13 +190,19 @@ int serve(GraphRegistry& registry, QueryExecutor& executor) {
       }
       if (cmd == "load" || cmd == "gen") {
         const std::string name = require(f, "name");
-        const auto graph =
-            cmd == "load"
-                ? registry.load_file(name, require(f, "path"))
-                : registry.generate(
-                      name, require(f, "family"),
-                      static_cast<VertexId>(get_int(f, "n", 1 << 16)),
-                      static_cast<std::uint64_t>(get_int(f, "seed", 0x5eed)));
+        std::shared_ptr<const Graph> graph;
+        if (cmd == "load") {
+          graph = registry.load_file(name, require(f, "path"));
+        } else {
+          const std::int64_t n = get_int(f, "n", 1 << 16);
+          if (n < 0 || n >= static_cast<std::int64_t>(kInvalidVertex)) {
+            throw std::invalid_argument("n out of range: " +
+                                        std::to_string(n));
+          }
+          graph = registry.generate(
+              name, require(f, "family"), static_cast<VertexId>(n),
+              static_cast<std::uint64_t>(get_int(f, "seed", 0x5eed)));
+        }
         JsonWriter w;
         w.field("ok", true);
         w.field("name", name);
@@ -189,18 +216,45 @@ int serve(GraphRegistry& registry, QueryExecutor& executor) {
       } else if (cmd == "batch") {
         const auto count = get_int(f, "count", 0);
         if (count <= 0) throw std::invalid_argument("batch needs count>=1");
+        if (count > 4096) {
+          throw std::invalid_argument("batch count too large (max 4096)");
+        }
+        // Exactly one response line per announced query line, in order, no
+        // matter what: a sub-line that fails to parse gets an error line and
+        // the remaining valid lines are still admitted as one batch.
+        // Replying with fewer lines than the client announced would leave it
+        // blocked waiting for the remainder.
+        std::vector<std::string> responses(static_cast<std::size_t>(count));
         std::vector<SpanningTreeRequest> reqs;
+        std::vector<std::size_t> req_pos;  // batch position of reqs[i]
         std::string sub;
         for (std::int64_t i = 0; i < count; ++i) {
+          const auto pos = static_cast<std::size_t>(i);
           if (!std::getline(std::cin, sub)) {
-            throw std::invalid_argument("batch truncated by end of input");
+            for (std::int64_t j = i; j < count; ++j) {
+              responses[static_cast<std::size_t>(j)] =
+                  JsonWriter()
+                      .field("ok", false)
+                      .field("error", "batch truncated by end of input")
+                      .str();
+            }
+            break;
           }
-          reqs.push_back(request_from(parse_line(sub)));
+          try {
+            reqs.push_back(request_from(parse_line(sub)));
+            req_pos.push_back(pos);
+          } catch (const std::exception& e) {
+            responses[pos] = JsonWriter()
+                                 .field("ok", false)
+                                 .field("error", e.what())
+                                 .str();
+          }
         }
         auto futures = executor.submit_batch(std::move(reqs));
-        for (auto& fut : futures) {
-          std::cout << render_result(fut.get()) << "\n";
+        for (std::size_t i = 0; i < futures.size(); ++i) {
+          responses[req_pos[i]] = render_result(futures[i].get());
         }
+        for (const auto& r : responses) std::cout << r << "\n";
       } else if (cmd == "stats") {
         std::cout << render_stats(executor.stats()) << "\n";
       } else if (cmd == "list") {
@@ -225,6 +279,13 @@ int serve(GraphRegistry& registry, QueryExecutor& executor) {
       std::cout << JsonWriter()
                        .field("ok", false)
                        .field("error", e.what())
+                       .str()
+                << "\n";
+    } catch (...) {
+      // A request must never take the server down, whatever it threw.
+      std::cout << JsonWriter()
+                       .field("ok", false)
+                       .field("error", "unknown exception")
                        .str()
                 << "\n";
     }
