@@ -33,14 +33,14 @@ BlockingBarrier::BlockingBarrier(std::size_t parties) : parties_(parties) {
 }
 
 void BlockingBarrier::arrive_and_wait() {
-  std::unique_lock<std::mutex> lk(mutex_);
+  LockGuard<Mutex> lk(mutex_);
   const std::uint64_t gen = generation_;
   if (++waiting_ == parties_) {
     waiting_ = 0;
     ++generation_;
     cv_.notify_all();
   } else {
-    cv_.wait(lk, [&] { return generation_ != gen; });
+    while (generation_ == gen) cv_.wait(mutex_);
   }
 }
 

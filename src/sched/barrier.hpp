@@ -8,12 +8,11 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
-#include <mutex>
 #include <vector>
 
 #include "support/cacheline.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace smpst {
 
@@ -68,10 +67,10 @@ class BlockingBarrier {
 
  private:
   const std::size_t parties_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::size_t waiting_ = 0;
-  std::uint64_t generation_ = 0;
+  Mutex mutex_;
+  CondVar cv_;
+  std::size_t waiting_ SMPST_GUARDED_BY(mutex_) = 0;
+  std::uint64_t generation_ SMPST_GUARDED_BY(mutex_) = 0;
 };
 
 /// Dissemination barrier (Hensgen–Finkel–Manber): log2(p) rounds in which

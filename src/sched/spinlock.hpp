@@ -11,11 +11,13 @@
 #include <atomic>
 #include <thread>
 
+#include "support/thread_annotations.hpp"
+
 namespace smpst {
 
-class SpinLock {
+class SMPST_CAPABILITY("mutex") SpinLock {
  public:
-  void lock() noexcept {
+  void lock() noexcept SMPST_ACQUIRE() {
     int spins = 0;
     for (;;) {
       if (!flag_.exchange(true, std::memory_order_acquire)) return;
@@ -32,12 +34,14 @@ class SpinLock {
     }
   }
 
-  bool try_lock() noexcept {
+  bool try_lock() noexcept SMPST_TRY_ACQUIRE(true) {
     return !flag_.load(std::memory_order_relaxed) &&
            !flag_.exchange(true, std::memory_order_acquire);
   }
 
-  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+  void unlock() noexcept SMPST_RELEASE() {
+    flag_.store(false, std::memory_order_release);
+  }
 
  private:
   std::atomic<bool> flag_{false};

@@ -18,9 +18,12 @@ std::size_t IdleGate::sleep_for(std::chrono::microseconds timeout) {
     throw;
   }
   if (!spurious) {
-    std::unique_lock<std::mutex> lk(mutex_);
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    LockGuard<Mutex> lk(mutex_);
     const std::uint64_t epoch = wake_epoch_;
-    cv_.wait_for(lk, timeout, [&] { return wake_epoch_ != epoch; });
+    while (wake_epoch_ == epoch &&
+           cv_.wait_until(mutex_, deadline) != std::cv_status::timeout) {
+    }
   }
   sleepers_.fetch_sub(1, std::memory_order_acq_rel);
   return observed;
@@ -29,7 +32,7 @@ std::size_t IdleGate::sleep_for(std::chrono::microseconds timeout) {
 void IdleGate::notify_work() noexcept {
   if (sleepers_.load(std::memory_order_relaxed) == 0) return;
   {
-    std::lock_guard<std::mutex> lk(mutex_);
+    LockGuard<Mutex> lk(mutex_);
     ++wake_epoch_;
   }
   cv_.notify_all();

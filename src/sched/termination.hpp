@@ -14,9 +14,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
+
+#include "support/thread_annotations.hpp"
 
 namespace smpst {
 
@@ -61,9 +61,9 @@ class IdleGate {
 
  private:
   std::atomic<std::size_t> sleepers_{0};
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::uint64_t wake_epoch_ = 0;
+  Mutex mutex_;
+  CondVar cv_;
+  std::uint64_t wake_epoch_ SMPST_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace smpst

@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(mutex_);
+    LockGuard<Mutex> lk(mutex_);
     shutdown_ = true;
   }
   cv_start_.notify_all();
@@ -29,16 +29,20 @@ void ThreadPool::run(const std::function<void(std::size_t)>& body) {
   SMPST_FAILPOINT("sched.thread_pool.region");
   // One region at a time: without this, a second caller would overwrite job_
   // and remaining_ while workers are still inside the first region.
-  std::lock_guard<std::mutex> region(region_mutex_);
-  std::unique_lock<std::mutex> lk(mutex_);
-  job_ = &body;
-  remaining_ = threads_.size();
-  first_error_ = nullptr;
-  ++epoch_;
-  cv_start_.notify_all();
-  cv_done_.wait(lk, [&] { return remaining_ == 0; });
-  job_ = nullptr;
-  if (first_error_) std::rethrow_exception(first_error_);
+  LockGuard<Mutex> region(region_mutex_);
+  std::exception_ptr err;
+  {
+    LockGuard<Mutex> lk(mutex_);
+    job_ = &body;
+    remaining_ = threads_.size();
+    first_error_ = nullptr;
+    ++epoch_;
+    cv_start_.notify_all();
+    while (remaining_ != 0) cv_done_.wait(mutex_);
+    job_ = nullptr;
+    err = first_error_;
+  }
+  if (err) std::rethrow_exception(err);
 }
 
 void ThreadPool::worker_loop(std::size_t tid) {
@@ -47,8 +51,8 @@ void ThreadPool::worker_loop(std::size_t tid) {
   for (;;) {
     const std::function<void(std::size_t)>* job = nullptr;
     {
-      std::unique_lock<std::mutex> lk(mutex_);
-      cv_start_.wait(lk, [&] { return shutdown_ || epoch_ != seen_epoch; });
+      LockGuard<Mutex> lk(mutex_);
+      while (!shutdown_ && epoch_ == seen_epoch) cv_start_.wait(mutex_);
       if (shutdown_) return;
       seen_epoch = epoch_;
       job = job_;
@@ -63,7 +67,7 @@ void ThreadPool::worker_loop(std::size_t tid) {
       err = std::current_exception();
     }
     {
-      std::lock_guard<std::mutex> lk(mutex_);
+      LockGuard<Mutex> lk(mutex_);
       if (err && !first_error_) first_error_ = err;
       if (--remaining_ == 0) cv_done_.notify_all();
     }

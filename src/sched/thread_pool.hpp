@@ -6,13 +6,13 @@
 // the original pthreads code held its workers for the whole program.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/thread_annotations.hpp"
 
 namespace smpst {
 
@@ -41,17 +41,20 @@ class ThreadPool {
  private:
   void worker_loop(std::size_t tid);
 
+  // The one translation unit in sched/ allowed to own std::thread directly:
+  // every other component runs on this pool (tools/smpst_lint.py enforces it).
   std::vector<std::thread> threads_;
 
-  std::mutex region_mutex_;  ///< serializes concurrent run() callers
-  std::mutex mutex_;
-  std::condition_variable cv_start_;
-  std::condition_variable cv_done_;
-  const std::function<void(std::size_t)>* job_ = nullptr;
-  std::uint64_t epoch_ = 0;
-  std::size_t remaining_ = 0;
-  bool shutdown_ = false;
-  std::exception_ptr first_error_;
+  Mutex region_mutex_;  ///< serializes concurrent run() callers
+  Mutex mutex_;
+  CondVar cv_start_;
+  CondVar cv_done_;
+  const std::function<void(std::size_t)>* job_ SMPST_GUARDED_BY(mutex_) =
+      nullptr;
+  std::uint64_t epoch_ SMPST_GUARDED_BY(mutex_) = 0;
+  std::size_t remaining_ SMPST_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ SMPST_GUARDED_BY(mutex_) = false;
+  std::exception_ptr first_error_ SMPST_GUARDED_BY(mutex_);
 };
 
 }  // namespace smpst

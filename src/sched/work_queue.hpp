@@ -20,6 +20,7 @@
 #include "support/assert.hpp"
 #include "support/cacheline.hpp"
 #include "support/failpoint.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace smpst {
 
@@ -29,19 +30,19 @@ class SplitQueue {
   SplitQueue() = default;
 
   void reserve(std::size_t n) {
-    std::lock_guard<SpinLock> lk(lock_);
+    LockGuard<SpinLock> lk(lock_);
     buf_.reserve(n);
   }
 
   /// Owner: append one element at the back.
   void push(const T& value) {
-    std::lock_guard<SpinLock> lk(lock_);
+    LockGuard<SpinLock> lk(lock_);
     buf_.push_back(value);
   }
 
   /// Owner: append many elements at the back.
   void push_bulk(const T* values, std::size_t count) {
-    std::lock_guard<SpinLock> lk(lock_);
+    LockGuard<SpinLock> lk(lock_);
     buf_.insert(buf_.end(), values, values + count);
   }
 
@@ -50,7 +51,7 @@ class SplitQueue {
     // Fault site before the lock and before any element moves: a throw or
     // delay here leaves every queued vertex in place for thieves.
     SMPST_FAILPOINT("sched.work_queue.pop");
-    std::lock_guard<SpinLock> lk(lock_);
+    LockGuard<SpinLock> lk(lock_);
     if (head_ == buf_.size()) return false;
     out = buf_[head_++];
     maybe_compact();
@@ -62,7 +63,7 @@ class SplitQueue {
   /// steals cannot deadlock.
   std::size_t steal(std::vector<T>& out, std::size_t max_take) {
     SMPST_FAILPOINT("sched.work_queue.steal");
-    std::lock_guard<SpinLock> lk(lock_);
+    LockGuard<SpinLock> lk(lock_);
     const std::size_t avail = buf_.size() - head_;
     const std::size_t take = std::min(avail, max_take);
     out.insert(out.end(), buf_.begin() + static_cast<std::ptrdiff_t>(head_),
@@ -73,23 +74,23 @@ class SplitQueue {
   }
 
   [[nodiscard]] bool empty() const {
-    std::lock_guard<SpinLock> lk(lock_);
+    LockGuard<SpinLock> lk(lock_);
     return head_ == buf_.size();
   }
 
   [[nodiscard]] std::size_t size() const {
-    std::lock_guard<SpinLock> lk(lock_);
+    LockGuard<SpinLock> lk(lock_);
     return buf_.size() - head_;
   }
 
   void clear() {
-    std::lock_guard<SpinLock> lk(lock_);
+    LockGuard<SpinLock> lk(lock_);
     buf_.clear();
     head_ = 0;
   }
 
  private:
-  void maybe_compact() {
+  void maybe_compact() SMPST_REQUIRES(lock_) {
     // Reclaim the dead prefix once it dominates the buffer.
     if (head_ > 64 && head_ * 2 > buf_.size()) {
       buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(head_));
@@ -98,8 +99,8 @@ class SplitQueue {
   }
 
   mutable SpinLock lock_;
-  std::vector<T> buf_;
-  std::size_t head_ = 0;
+  std::vector<T> buf_ SMPST_GUARDED_BY(lock_);
+  std::size_t head_ SMPST_GUARDED_BY(lock_) = 0;
 };
 
 /// Lock-free work-stealing deque (Chase & Lev; fences after Le et al. 2013).

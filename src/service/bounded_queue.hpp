@@ -8,14 +8,13 @@
 // service can shed load instead of queueing unboundedly.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "support/failpoint.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace smpst::service {
 
@@ -34,7 +33,7 @@ class BoundedQueue {
     // caller, who can resolve its promise. submit() relies on this.
     SMPST_FAILPOINT("service.bounded_queue.push");
     {
-      std::lock_guard<std::mutex> lk(mutex_);
+      LockGuard<Mutex> lk(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
     }
@@ -46,7 +45,7 @@ class BoundedQueue {
   /// moved from) or none is taken. Backs atomic batch admission.
   bool try_push_all(std::vector<T>& items) {
     {
-      std::lock_guard<std::mutex> lk(mutex_);
+      LockGuard<Mutex> lk(mutex_);
       if (closed_ || items_.size() + items.size() > capacity_) return false;
       for (T& item : items) items_.push_back(std::move(item));
     }
@@ -58,8 +57,8 @@ class BoundedQueue {
   /// items pushed before close() are still delivered.
   bool pop(T& out) {
     SMPST_FAILPOINT("service.bounded_queue.pop");
-    std::unique_lock<std::mutex> lk(mutex_);
-    cv_.wait(lk, [&] { return closed_ || !items_.empty(); });
+    LockGuard<Mutex> lk(mutex_);
+    while (!closed_ && items_.empty()) cv_.wait(mutex_);
     if (items_.empty()) return false;
     out = std::move(items_.front());
     items_.pop_front();
@@ -69,30 +68,30 @@ class BoundedQueue {
   /// Stops admissions and wakes every blocked consumer.
   void close() {
     {
-      std::lock_guard<std::mutex> lk(mutex_);
+      LockGuard<Mutex> lk(mutex_);
       closed_ = true;
     }
     cv_.notify_all();
   }
 
   [[nodiscard]] std::size_t size() const {
-    std::lock_guard<std::mutex> lk(mutex_);
+    LockGuard<Mutex> lk(mutex_);
     return items_.size();
   }
 
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
   [[nodiscard]] bool closed() const {
-    std::lock_guard<std::mutex> lk(mutex_);
+    LockGuard<Mutex> lk(mutex_);
     return closed_;
   }
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::deque<T> items_ SMPST_GUARDED_BY(mutex_);
+  bool closed_ SMPST_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace smpst::service

@@ -52,7 +52,7 @@ class QueryExecutor::WatchGuard {
     if (!has_deadline || executor.opts_.watchdog_factor <= 1.0) return;
     const auto budget = std::chrono::duration<double, std::milli>(
         static_cast<double>(timeout_ms) * executor.opts_.watchdog_factor);
-    std::lock_guard<std::mutex> lk(watch_.mutex);
+    LockGuard<Mutex> lk(watch_.mutex);
     watch_.token = &token;
     watch_.hard_deadline =
         enqueued +
@@ -64,7 +64,7 @@ class QueryExecutor::WatchGuard {
 
   ~WatchGuard() {
     if (!active_) return;
-    std::lock_guard<std::mutex> lk(watch_.mutex);
+    LockGuard<Mutex> lk(watch_.mutex);
     watch_.token = nullptr;
   }
 
@@ -72,7 +72,7 @@ class QueryExecutor::WatchGuard {
   WatchGuard& operator=(const WatchGuard&) = delete;
 
   [[nodiscard]] bool fired() const {
-    std::lock_guard<std::mutex> lk(watch_.mutex);
+    LockGuard<Mutex> lk(watch_.mutex);
     return watch_.cancelled;
   }
 
@@ -172,7 +172,7 @@ std::vector<std::future<QueryResult>> QueryExecutor::submit_batch(
 
 void QueryExecutor::resume() {
   {
-    std::lock_guard<std::mutex> lk(pause_mutex_);
+    LockGuard<Mutex> lk(pause_mutex_);
     paused_ = false;
   }
   pause_cv_.notify_all();
@@ -184,7 +184,7 @@ void QueryExecutor::shutdown() {
   resume();  // a paused worker must still drain and exit
   for (auto& w : workers_) w.join();
   {
-    std::lock_guard<std::mutex> lk(watchdog_mutex_);
+    LockGuard<Mutex> lk(watchdog_mutex_);
     watchdog_stop_ = true;
   }
   watchdog_cv_.notify_all();
@@ -210,20 +210,27 @@ ServiceStats QueryExecutor::stats() const {
 }
 
 void QueryExecutor::wait_if_paused() {
-  std::unique_lock<std::mutex> lk(pause_mutex_);
-  pause_cv_.wait(lk, [&] { return !paused_; });
+  LockGuard<Mutex> lk(pause_mutex_);
+  while (paused_) pause_cv_.wait(pause_mutex_);
 }
 
 void QueryExecutor::watchdog_loop() {
   const auto poll = std::chrono::milliseconds(opts_.watchdog_poll_ms);
-  std::unique_lock<std::mutex> lk(watchdog_mutex_);
-  while (!watchdog_stop_) {
-    watchdog_cv_.wait_for(lk, poll, [&] { return watchdog_stop_; });
-    if (watchdog_stop_) return;
-    lk.unlock();
+  for (;;) {
+    {
+      // Sleep one poll period, or until shutdown() interrupts the nap. The
+      // deadline re-arms each iteration, so a spurious wake just re-sleeps.
+      const auto wake_at = std::chrono::steady_clock::now() + poll;
+      LockGuard<Mutex> lk(watchdog_mutex_);
+      while (!watchdog_stop_ &&
+             watchdog_cv_.wait_until(watchdog_mutex_, wake_at) !=
+                 std::cv_status::timeout) {
+      }
+      if (watchdog_stop_) return;
+    }
     const auto now = std::chrono::steady_clock::now();
     for (auto& watch : watches_) {
-      std::lock_guard<std::mutex> wl(watch->mutex);
+      LockGuard<Mutex> wl(watch->mutex);
       if (watch->token != nullptr && !watch->cancelled &&
           now >= watch->hard_deadline) {
         watch->cancelled = true;
@@ -231,7 +238,6 @@ void QueryExecutor::watchdog_loop() {
         watchdog_cancels_.fetch_add(1, std::memory_order_relaxed);
       }
     }
-    lk.lock();
   }
 }
 

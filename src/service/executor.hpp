@@ -22,11 +22,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -34,6 +32,7 @@
 #include "service/graph_registry.hpp"
 #include "service/query.hpp"
 #include "service/service_stats.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace smpst {
 class CancelToken;
@@ -145,10 +144,13 @@ class QueryExecutor {
 
   /// Per-slot in-flight query descriptor, published for the watchdog.
   struct SlotWatch {
-    std::mutex mutex;
-    CancelToken* token = nullptr;  ///< non-null while a deadlined query runs
-    std::chrono::steady_clock::time_point hard_deadline{};
-    bool cancelled = false;  ///< watchdog fired on the current query
+    Mutex mutex;
+    /// Non-null while a deadlined query runs.
+    CancelToken* token SMPST_GUARDED_BY(mutex) = nullptr;
+    std::chrono::steady_clock::time_point hard_deadline
+        SMPST_GUARDED_BY(mutex){};
+    /// Watchdog fired on the current query.
+    bool cancelled SMPST_GUARDED_BY(mutex) = false;
   };
 
   /// RAII registration of the running query with the slot's watch entry.
@@ -164,18 +166,18 @@ class QueryExecutor {
   std::size_t threads_per_query_ = 1;
   BoundedQueue<Item> queue_;
 
-  std::mutex pause_mutex_;
-  std::condition_variable pause_cv_;
-  bool paused_ = false;
+  Mutex pause_mutex_;
+  CondVar pause_cv_;
+  bool paused_ SMPST_GUARDED_BY(pause_mutex_) = false;
 
   std::atomic<bool> shut_down_{false};
   std::vector<std::unique_ptr<ThreadPool>> pools_;
   std::vector<std::unique_ptr<SlotWatch>> watches_;
   std::vector<std::thread> workers_;
 
-  std::mutex watchdog_mutex_;
-  std::condition_variable watchdog_cv_;
-  bool watchdog_stop_ = false;
+  Mutex watchdog_mutex_;
+  CondVar watchdog_cv_;
+  bool watchdog_stop_ SMPST_GUARDED_BY(watchdog_mutex_) = false;
   std::thread watchdog_;
 
   std::atomic<std::uint64_t> submitted_{0};

@@ -13,7 +13,7 @@ std::shared_ptr<const Graph> GraphRegistry::put(const std::string& name,
                                                 Graph g) {
   SMPST_FAILPOINT("service.registry.put");
   auto stored = std::make_shared<const Graph>(std::move(g));
-  std::lock_guard<std::mutex> lk(mutex_);
+  LockGuard<Mutex> lk(mutex_);
   auto [it, inserted] = entries_.try_emplace(name);
   if (!inserted) resident_bytes_ -= it->second.graph->memory_bytes();
   it->second.graph = stored;
@@ -26,7 +26,7 @@ std::shared_ptr<const Graph> GraphRegistry::put(const std::string& name,
 
 std::shared_ptr<const Graph> GraphRegistry::get(const std::string& name) {
   SMPST_FAILPOINT("service.registry.get");
-  std::lock_guard<std::mutex> lk(mutex_);
+  LockGuard<Mutex> lk(mutex_);
   const auto it = entries_.find(name);
   if (it == entries_.end()) {
     ++misses_;
@@ -51,7 +51,7 @@ std::shared_ptr<const Graph> GraphRegistry::generate(const std::string& name,
 }
 
 bool GraphRegistry::evict(const std::string& name) {
-  std::lock_guard<std::mutex> lk(mutex_);
+  LockGuard<Mutex> lk(mutex_);
   const auto it = entries_.find(name);
   if (it == entries_.end()) return false;
   resident_bytes_ -= it->second.graph->memory_bytes();
@@ -61,7 +61,7 @@ bool GraphRegistry::evict(const std::string& name) {
 }
 
 std::vector<GraphRegistry::EntryInfo> GraphRegistry::list() const {
-  std::lock_guard<std::mutex> lk(mutex_);
+  LockGuard<Mutex> lk(mutex_);
   std::vector<std::pair<std::uint64_t, EntryInfo>> with_tick;
   with_tick.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) {
@@ -79,7 +79,7 @@ std::vector<GraphRegistry::EntryInfo> GraphRegistry::list() const {
 }
 
 GraphRegistry::Stats GraphRegistry::stats() const {
-  std::lock_guard<std::mutex> lk(mutex_);
+  LockGuard<Mutex> lk(mutex_);
   Stats s;
   s.hits = hits_;
   s.misses = misses_;

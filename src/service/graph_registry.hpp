@@ -12,11 +12,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace smpst::service {
 
@@ -89,17 +89,17 @@ class GraphRegistry {
     std::uint64_t last_use = 0;
   };
 
-  void enforce_budget_locked(const std::string& keep);
+  void enforce_budget_locked(const std::string& keep) SMPST_REQUIRES(mutex_);
 
   const Options opts_;
-  mutable std::mutex mutex_;
-  std::map<std::string, Entry> entries_;
-  std::uint64_t tick_ = 0;
-  std::size_t resident_bytes_ = 0;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t insertions_ = 0;
-  std::uint64_t evictions_ = 0;
+  mutable Mutex mutex_;
+  std::map<std::string, Entry> entries_ SMPST_GUARDED_BY(mutex_);
+  std::uint64_t tick_ SMPST_GUARDED_BY(mutex_) = 0;
+  std::size_t resident_bytes_ SMPST_GUARDED_BY(mutex_) = 0;
+  std::uint64_t hits_ SMPST_GUARDED_BY(mutex_) = 0;
+  std::uint64_t misses_ SMPST_GUARDED_BY(mutex_) = 0;
+  std::uint64_t insertions_ SMPST_GUARDED_BY(mutex_) = 0;
+  std::uint64_t evictions_ SMPST_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace smpst::service

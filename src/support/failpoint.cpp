@@ -4,10 +4,10 @@
 #include <chrono>
 #include <cstdlib>
 #include <deque>
-#include <mutex>
 #include <thread>
 
 #include "support/prng.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace smpst::fail {
 
@@ -16,19 +16,22 @@ namespace {
 /// Count of currently enabled sites; the macros' fast-path gate.
 std::atomic<std::uint64_t> g_active{0};
 
-std::mutex& registry_mutex() {
-  static std::mutex m;
-  return m;
+/// Site registry: the deque keeps Site addresses stable across registration,
+/// and the mutex serializes registration and (re)configuration. Site *hits*
+/// never take it — the per-site fields are atomics.
+struct Registry {
+  Mutex mutex;
+  std::deque<Site> sites SMPST_GUARDED_BY(mutex);
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
 }
 
-/// deque keeps Site addresses stable across registration.
-std::deque<Site>& registry() {
-  static std::deque<Site> sites;
-  return sites;
-}
-
-Site* find_locked(const std::string& name) {
-  for (Site& s : registry()) {
+Site* find_locked(Registry& r, const std::string& name)
+    SMPST_REQUIRES(r.mutex) {
+  for (Site& s : r.sites) {
     if (s.name == name) return &s;
   }
   return nullptr;
@@ -118,7 +121,12 @@ ParsedSpec parse_spec(const std::string& spec) {
   return p;
 }
 
-void apply_locked(Site& s, const ParsedSpec& p) {
+/// Publishes a new site configuration. Caller holds the registry mutex: the
+/// g_active transition below must not interleave with another reconfiguration
+/// of the same site, or the active count drifts.
+void apply_locked(Registry& r, Site& s, const ParsedSpec& p)
+    SMPST_REQUIRES(r.mutex) {
+  (void)r;
   const bool was_active = s.action.load(std::memory_order_relaxed) !=
                           Action::kNone;
   const bool now_active = p.action != Action::kNone;
@@ -152,9 +160,10 @@ bool any_active() noexcept {
 }
 
 Site& site(const char* name) {
-  std::lock_guard<std::mutex> lk(registry_mutex());
-  if (Site* existing = find_locked(name)) return *existing;
-  return registry().emplace_back(name);
+  Registry& r = registry();
+  LockGuard<Mutex> lk(r.mutex);
+  if (Site* existing = find_locked(r, name)) return *existing;
+  return r.sites.emplace_back(name);
 }
 
 Action evaluate(Site& s) {
@@ -207,31 +216,35 @@ bool hit_triggered(Site& s) {
 
 void enable(const std::string& name, const std::string& spec) {
   const ParsedSpec p = parse_spec(spec);  // validate before touching state
-  std::lock_guard<std::mutex> lk(registry_mutex());
-  Site* s = find_locked(name);
-  if (s == nullptr) s = &registry().emplace_back(name);
-  apply_locked(*s, p);
+  Registry& r = registry();
+  LockGuard<Mutex> lk(r.mutex);
+  Site* s = find_locked(r, name);
+  if (s == nullptr) s = &r.sites.emplace_back(name);
+  apply_locked(r, *s, p);
 }
 
 void disable(const std::string& name) {
-  std::lock_guard<std::mutex> lk(registry_mutex());
-  if (Site* s = find_locked(name)) apply_locked(*s, ParsedSpec{});
+  Registry& r = registry();
+  LockGuard<Mutex> lk(r.mutex);
+  if (Site* s = find_locked(r, name)) apply_locked(r, *s, ParsedSpec{});
 }
 
 void disable_all() {
-  std::lock_guard<std::mutex> lk(registry_mutex());
-  for (Site& s : registry()) {
-    apply_locked(s, ParsedSpec{});
+  Registry& r = registry();
+  LockGuard<Mutex> lk(r.mutex);
+  for (Site& s : r.sites) {
+    apply_locked(r, s, ParsedSpec{});
     s.hits.store(0, std::memory_order_relaxed);
     s.fires.store(0, std::memory_order_relaxed);
   }
 }
 
 std::vector<Info> list() {
-  std::lock_guard<std::mutex> lk(registry_mutex());
+  Registry& r = registry();
+  LockGuard<Mutex> lk(r.mutex);
   std::vector<Info> out;
-  out.reserve(registry().size());
-  for (Site& s : registry()) {
+  out.reserve(r.sites.size());
+  for (Site& s : r.sites) {
     out.push_back({s.name,
                    s.action.load(std::memory_order_relaxed) != Action::kNone,
                    s.hits.load(std::memory_order_relaxed),

@@ -1,0 +1,152 @@
+// Clang thread-safety (capability) analysis macros, plus annotated lock and
+// condition-variable wrappers that make the analysis usable with libstdc++.
+//
+// The macros expand to Clang's capability attributes when the compiler
+// supports them and to nothing otherwise, so GCC builds are unaffected.
+// Enable checking with the SMPST_WERROR_TSA CMake option, which adds
+// `-Wthread-safety -Werror=thread-safety` under Clang:
+//
+//   CXX=clang++ cmake -B build-tsa -S . -DSMPST_WERROR_TSA=ON
+//   cmake --build build-tsa -j
+//
+// Why the wrappers: libstdc++'s std::mutex / std::lock_guard carry no
+// capability attributes, so locks taken through them are invisible to the
+// analysis and every SMPST_GUARDED_BY field would warn. smpst::Mutex is a
+// zero-cost annotated shell over std::mutex; LockGuard<M> is an annotated
+// scoped guard that works for both Mutex and SpinLock; CondVar pairs with
+// Mutex for blocking waits (condition_variable_any, so no native-handle
+// escape hatch that would hide the capability transfer).
+//
+// Contract (enforced by tools/smpst_lint.py): src/core and src/sched never
+// name std::mutex, std::lock_guard, std::unique_lock, std::condition_variable
+// or std::thread directly — they use these wrappers (or ThreadPool), keeping
+// every lock acquisition visible to the analysis.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define SMPST_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef SMPST_THREAD_ANNOTATION
+#define SMPST_THREAD_ANNOTATION(x)  // not Clang: annotations compile away
+#endif
+
+/// Marks a class as a capability (lockable). The string names the capability
+/// kind in diagnostics, canonically "mutex".
+#define SMPST_CAPABILITY(x) SMPST_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define SMPST_SCOPED_CAPABILITY SMPST_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the given capability.
+#define SMPST_GUARDED_BY(x) SMPST_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose pointee is guarded by the given capability.
+#define SMPST_PT_GUARDED_BY(x) SMPST_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that may only be called while holding the capabilities.
+#define SMPST_REQUIRES(...) \
+  SMPST_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that acquires the capability and does not release it.
+#define SMPST_ACQUIRE(...) \
+  SMPST_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that releases a held capability.
+#define SMPST_RELEASE(...) \
+  SMPST_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability when it returns `success`.
+#define SMPST_TRY_ACQUIRE(success, ...) \
+  SMPST_THREAD_ANNOTATION(try_acquire_capability(success, __VA_ARGS__))
+
+/// Function that must NOT be called while holding the capabilities
+/// (deadlock prevention, e.g. notify functions that take the same mutex).
+#define SMPST_EXCLUDES(...) SMPST_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returning a reference to the capability guarding its class.
+#define SMPST_RETURN_CAPABILITY(x) SMPST_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: body intentionally not analyzed. Every use must carry a
+/// comment justifying why the analysis cannot follow (e.g. a condition
+/// variable's internal unlock/relock).
+#define SMPST_NO_THREAD_SAFETY_ANALYSIS \
+  SMPST_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace smpst {
+
+/// Annotated std::mutex. Same size and cost; the attribute is compile-time.
+class SMPST_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SMPST_ACQUIRE() { m_.lock(); }
+  void unlock() SMPST_RELEASE() { m_.unlock(); }
+  bool try_lock() SMPST_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  std::mutex m_;
+};
+
+/// Annotated scoped guard, usable with any annotated lockable (Mutex,
+/// SpinLock). The attributes survive template instantiation, so the analysis
+/// sees each LockGuard<M> acquire/release its concrete mutex.
+template <typename M>
+class SMPST_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(M& m) SMPST_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~LockGuard() SMPST_RELEASE() { m_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  M& m_;
+};
+
+/// Condition variable paired with smpst::Mutex. The wait overloads take the
+/// Mutex itself (not a guard) and are annotated SMPST_REQUIRES, so a caller
+/// must already hold the mutex — use the explicit-loop idiom:
+///
+///   LockGuard<Mutex> lk(mutex_);
+///   while (!condition_) cv_.wait(mutex_);
+///
+/// rather than a predicate lambda: the loop body lives in the caller, where
+/// the analysis can see the capability, instead of inside an unannotated
+/// lambda. Internally condition_variable_any unlocks/relocks the Mutex; those
+/// calls sit in libstdc++'s headers, outside the analysis' warning scope, and
+/// the capability is held again by the time wait() returns — exactly what the
+/// REQUIRES contract promises the caller.
+class CondVar {
+ public:
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(Mutex& m) SMPST_REQUIRES(m) { cv_.wait(m); }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(Mutex& m,
+                          const std::chrono::duration<Rep, Period>& dur)
+      SMPST_REQUIRES(m) {
+    return cv_.wait_for(m, dur);
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      Mutex& m, const std::chrono::time_point<Clock, Duration>& deadline)
+      SMPST_REQUIRES(m) {
+    return cv_.wait_until(m, deadline);
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace smpst
