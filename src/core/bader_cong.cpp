@@ -12,6 +12,7 @@
 #include "support/cpu.hpp"
 #include "support/failpoint.hpp"
 #include "support/prng.hpp"
+#include "support/race.hpp"
 #include "support/timer.hpp"
 
 namespace smpst {
@@ -21,23 +22,33 @@ namespace {
 /// Shared state of one traversal. Colour 0 means unvisited; thread t writes
 /// colour t+1. Parent writes race benignly exactly as in the paper: the last
 /// writer wins and either value forms a valid tree edge.
+///
+/// colour and parent are deliberately PLAIN arrays, accessed through the
+/// SMPST_BENIGN_RACE_* layer (support/race.hpp): the races on them are the
+/// paper's intended ones, so non-TSan builds pay nothing for them, while TSan
+/// builds see relaxed atomics and stay quiet without suppressions. The one
+/// access whose atomicity is load-bearing — the exactly-one-winner claim of a
+/// component root — goes through race_cas(), which is a real CAS in every
+/// build. See docs/CONCURRENCY.md for the per-site safety arguments.
 struct TraversalState {
   explicit TraversalState(const Graph& graph, std::size_t p)
       : g(graph),
         n(graph.num_vertices()),
-        color(std::make_unique<std::atomic<std::uint32_t>[]>(n)),
-        parent(std::make_unique<std::atomic<VertexId>[]>(n)),
+        color(std::make_unique<std::uint32_t[]>(n)),
+        parent(std::make_unique<VertexId[]>(n)),
         queues(p) {
+    // Single-threaded: the pool has not entered the traversal yet, and
+    // ThreadPool::run's region handoff publishes these plain writes.
     for (VertexId v = 0; v < n; ++v) {
-      color[v].store(0, std::memory_order_relaxed);
-      parent[v].store(kInvalidVertex, std::memory_order_relaxed);
+      color[v] = 0;
+      parent[v] = kInvalidVertex;
     }
   }
 
   const Graph& g;
   const VertexId n;
-  std::unique_ptr<std::atomic<std::uint32_t>[]> color;
-  std::unique_ptr<std::atomic<VertexId>[]> parent;
+  std::unique_ptr<std::uint32_t[]> color;
+  std::unique_ptr<VertexId[]> parent;
   std::vector<Padded<SplitQueue<VertexId>>> queues;
 
   PendingCounter pending;
@@ -61,25 +72,25 @@ struct TraversalState {
 bool try_claim_root(TraversalState& st, std::size_t tid, std::uint32_t label,
                     ThreadStats& ts) {
   for (;;) {
-    VertexId v = st.root_cursor.load(std::memory_order_seq_cst);
+    VertexId v = st.root_cursor.load();
     if (v >= st.n) return false;
-    if (st.color[v].load(std::memory_order_acquire) != 0) {
-      st.root_cursor.compare_exchange_weak(v, v + 1,
-                                           std::memory_order_seq_cst);
+    // Benign pre-check: a stale 0 just means we attempt the CAS and lose.
+    if (SMPST_BENIGN_RACE_LOAD(st.color[v]) != 0) {
+      st.root_cursor.compare_exchange_weak(v, v + 1);
       continue;
     }
     std::uint32_t expected = 0;
     // Count the root as pending *before* publishing its colour so any thread
     // that observes the colour also observes the pending increment.
     st.pending.add(1);
-    if (st.color[v].compare_exchange_strong(expected, label,
-                                            std::memory_order_release,
-                                            std::memory_order_acquire)) {
-      st.parent[v].store(v, std::memory_order_relaxed);
+    // Root claims are NOT a benign race: two winners would seed two trees in
+    // one component, so this stays a real CAS in every build.
+    if (race_cas(st.color[v], expected, label, std::memory_order_release,
+                 std::memory_order_acquire)) {
+      SMPST_BENIGN_RACE_STORE(st.parent[v], v);
       st.queues[tid]->push(v);
       ++ts.roots_claimed;
-      st.root_cursor.compare_exchange_strong(v, v + 1,
-                                             std::memory_order_seq_cst);
+      st.root_cursor.compare_exchange_strong(v, v + 1);
       return true;
     }
     st.pending.add(-1);  // lost the race; someone else claimed v
@@ -96,10 +107,12 @@ void expand_vertex(TraversalState& st, std::size_t tid, std::uint32_t label,
   ts.edges_scanned += nbrs.size();
   for (VertexId w : nbrs) {
     // Deliberately check-then-set (no CAS): the race is benign (§2, Fig. 1).
-    if (st.color[w].load(std::memory_order_relaxed) == 0) {
+    // Two threads may both see 0 and both enqueue w; the duplicate expansion
+    // is absorbed by the pending counter and parent stays valid either way.
+    if (SMPST_BENIGN_RACE_LOAD(st.color[w]) == 0) {
       st.pending.add(1);
-      st.color[w].store(label, std::memory_order_release);
-      st.parent[w].store(v, std::memory_order_relaxed);
+      SMPST_BENIGN_RACE_STORE(st.color[w], label);
+      SMPST_BENIGN_RACE_STORE(st.parent[w], v);
       children.push_back(w);
     }
   }
@@ -213,10 +226,12 @@ void traversal_worker(TraversalState& st, std::size_t tid,
 std::vector<VertexId> grow_stub_tree(TraversalState& st, VertexId start,
                                      std::size_t steps, std::size_t p,
                                      Xoshiro256& rng) {
+  // Phase 1 is single-threaded (the pool enters only for phase 2, and the
+  // region handoff publishes these writes), so plain accesses are race-free.
   std::vector<VertexId> stub;
   stub.reserve(steps + 1);
-  st.color[start].store(1, std::memory_order_relaxed);
-  st.parent[start].store(start, std::memory_order_relaxed);
+  st.color[start] = 1;
+  st.parent[start] = start;
   stub.push_back(start);
   VertexId cur = start;
   for (std::size_t s = 0; s < steps; ++s) {
@@ -224,9 +239,9 @@ std::vector<VertexId> grow_stub_tree(TraversalState& st, VertexId start,
     if (nbrs.empty()) break;
     const VertexId next =
         nbrs[static_cast<std::size_t>(rng.next_bounded(nbrs.size()))];
-    if (st.color[next].load(std::memory_order_relaxed) == 0) {
-      st.color[next].store(1, std::memory_order_relaxed);
-      st.parent[next].store(cur, std::memory_order_relaxed);
+    if (st.color[next] == 0) {
+      st.color[next] = 1;
+      st.parent[next] = cur;
       stub.push_back(next);
     }
     cur = next;
@@ -235,8 +250,7 @@ std::vector<VertexId> grow_stub_tree(TraversalState& st, VertexId start,
   // re-colour each with its owner's label.
   for (std::size_t i = 0; i < stub.size(); ++i) {
     const std::size_t owner = i % p;
-    st.color[stub[i]].store(static_cast<std::uint32_t>(owner + 1),
-                            std::memory_order_relaxed);
+    st.color[stub[i]] = static_cast<std::uint32_t>(owner + 1);
     st.queues[owner]->push(stub[i]);
   }
   st.pending.reset(static_cast<std::int64_t>(stub.size()));
@@ -256,14 +270,15 @@ SpanningForest finish_with_sv(TraversalState& st, ThreadPool& pool,
 
   // Initial labels: root of each partial tree for coloured vertices
   // (memoized pointer walk), self for uncoloured ones.
+  // Runs after the traversal region joined, so plain reads are race-free.
   std::vector<VertexId> root_of(n, kInvalidVertex);
   std::vector<VertexId> path;
   for (VertexId v = 0; v < n; ++v) {
-    if (st.color[v].load(std::memory_order_relaxed) == 0) {
+    if (st.color[v] == 0) {
       labels[v] = v;
       continue;
     }
-    const VertexId pv = st.parent[v].load(std::memory_order_relaxed);
+    const VertexId pv = st.parent[v];
     if (pv != v) edges.push_back(pv < v ? Edge{pv, v} : Edge{v, pv});
     if (root_of[v] != kInvalidVertex) {
       labels[v] = root_of[v];
@@ -271,10 +286,9 @@ SpanningForest finish_with_sv(TraversalState& st, ThreadPool& pool,
     }
     path.clear();
     VertexId cur = v;
-    while (root_of[cur] == kInvalidVertex &&
-           st.parent[cur].load(std::memory_order_relaxed) != cur) {
+    while (root_of[cur] == kInvalidVertex && st.parent[cur] != cur) {
       path.push_back(cur);
-      cur = st.parent[cur].load(std::memory_order_relaxed);
+      cur = st.parent[cur];
     }
     const VertexId root = root_of[cur] != kInvalidVertex ? root_of[cur] : cur;
     root_of[cur] = root;
@@ -341,7 +355,7 @@ SpanningForest bader_cong_spanning_tree(const Graph& g, ThreadPool& pool,
     local_stats.fallback_seconds = fb_timer.elapsed_seconds();
   } else {
     for (VertexId v = 0; v < n; ++v) {
-      forest.parent[v] = st.parent[v].load(std::memory_order_relaxed);
+      forest.parent[v] = st.parent[v];  // after the region join: race-free
     }
     local_stats.duplicate_expansions = local_stats.total_processed() - n;
   }

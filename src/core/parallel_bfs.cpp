@@ -8,26 +8,31 @@
 #include "support/cacheline.hpp"
 #include "support/cpu.hpp"
 #include "support/failpoint.hpp"
+#include "support/race.hpp"
 
 namespace smpst {
 
 namespace {
 
+/// parent is a PLAIN array (support/race.hpp): the load that pre-screens the
+/// CAS claim is the intended benign race — stale values only cost a wasted
+/// CAS or skip a vertex another thread already owns — while the claim itself
+/// goes through race_cas(), a real CAS in every build, because the
+/// exactly-one-parent invariant is load-bearing.
 struct BfsState {
   explicit BfsState(const Graph& graph, std::size_t p)
       : g(graph),
         n(graph.num_vertices()),
-        parent(std::make_unique<std::atomic<VertexId>[]>(n)),
+        parent(std::make_unique<VertexId[]>(n)),
         buffers(p),
         barrier(p) {
-    for (VertexId v = 0; v < n; ++v) {
-      parent[v].store(kInvalidVertex, std::memory_order_relaxed);
-    }
+    // Single-threaded; published to workers by the pool's region handoff.
+    for (VertexId v = 0; v < n; ++v) parent[v] = kInvalidVertex;
   }
 
   const Graph& g;
   const VertexId n;
-  std::unique_ptr<std::atomic<VertexId>[]> parent;
+  std::unique_ptr<VertexId[]> parent;
 
   std::vector<VertexId> frontier;
   std::vector<Padded<std::vector<VertexId>>> buffers;  // next-frontier pieces
@@ -50,11 +55,13 @@ void expand_level(BfsState& st, std::size_t tid, std::size_t grain) {
       const VertexId v = st.frontier[i];
       for (VertexId w : st.g.neighbors(v)) {
         VertexId expected = kInvalidVertex;
-        // CAS claim: exactly one parent per vertex, no duplicates in the
-        // next frontier.
-        if (st.parent[w].load(std::memory_order_relaxed) == kInvalidVertex &&
-            st.parent[w].compare_exchange_strong(expected, v,
-                                                 std::memory_order_relaxed)) {
+        // Benign racy pre-check, then a CAS claim: exactly one parent per
+        // vertex, no duplicates in the next frontier. Relaxed suffices: the
+        // winner publishes w only through its own buffer, which the caller
+        // reads after the region join.
+        if (SMPST_BENIGN_RACE_LOAD(st.parent[w]) == kInvalidVertex &&
+            race_cas(st.parent[w], expected, v, std::memory_order_relaxed,
+                     std::memory_order_relaxed)) {
           out.push_back(w);
         }
       }
@@ -81,11 +88,11 @@ SpanningForest parallel_bfs_spanning_tree(const Graph& g, ThreadPool& pool,
   // The level loop runs on the calling thread; each level's expansion is one
   // parallel region. Components are processed in vertex order, like the
   // sequential baseline.
+  // Between parallel regions only the calling thread touches parent, so the
+  // component scan uses plain accesses.
   for (VertexId root = 0; root < n; ++root) {
-    if (st.parent[root].load(std::memory_order_relaxed) != kInvalidVertex) {
-      continue;
-    }
-    st.parent[root].store(root, std::memory_order_relaxed);
+    if (st.parent[root] != kInvalidVertex) continue;
+    st.parent[root] = root;
     st.frontier.assign(1, root);
 
     while (!st.frontier.empty()) {
@@ -109,7 +116,7 @@ SpanningForest parallel_bfs_spanning_tree(const Graph& g, ThreadPool& pool,
   }
 
   for (VertexId v = 0; v < n; ++v) {
-    forest.parent[v] = st.parent[v].load(std::memory_order_relaxed);
+    forest.parent[v] = st.parent[v];  // after the last region join: race-free
   }
   if (opts.stats != nullptr) *opts.stats = stats;
   return forest;

@@ -1,0 +1,83 @@
+// Benign-race annotation layer for the paper's intended data races.
+//
+// The Bader–Cong traversal is deliberately racy: colour writes use
+// check-then-set instead of CAS, and parent[w] = v races with other writers,
+// because "the race conditions are benign — they only affect which valid
+// spanning tree is produced, never whether the result is a spanning tree"
+// (§2, Fig. 1 of the paper; the inventory with per-site safety arguments is
+// docs/CONCURRENCY.md). Leaving those sites as std::atomic taxes every build
+// to appease the one build that checks races; leaving them plain makes
+// ThreadSanitizer reject the whole binary and forces CI to hand-pick tests.
+//
+// This header resolves that tension:
+//
+//   SMPST_BENIGN_RACE_LOAD(loc)        read a deliberately-racy location
+//   SMPST_BENIGN_RACE_STORE(loc, v)    write a deliberately-racy location
+//
+// Under ThreadSanitizer builds these are relaxed std::atomic_ref accesses, so
+// TSan sees a synchronized access and stays quiet without suppressions — and
+// still checks every *unannotated* access in the program. In every other
+// build they are plain loads and stores: zero cost, full compiler freedom.
+// The macro spells out BENIGN_RACE at each site so the annotation doubles as
+// an auditable inventory (tools/smpst_lint.py cross-checks the sites against
+// docs/CONCURRENCY.md).
+//
+// Claim operations that the algorithm's correctness actually depends on
+// (exactly-one-winner CAS on a colour or parent slot) are NOT benign races
+// and must stay atomic in every build; race_cas() below provides that for
+// arrays whose other accesses are benign-racy plain memory.
+#pragma once
+
+#include <atomic>
+
+#if defined(__SANITIZE_THREAD__)
+#define SMPST_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SMPST_TSAN_BUILD 1
+#endif
+#endif
+#ifndef SMPST_TSAN_BUILD
+#define SMPST_TSAN_BUILD 0
+#endif
+
+namespace smpst {
+
+template <typename T>
+[[nodiscard]] inline T benign_race_load(const T& loc) noexcept {
+#if SMPST_TSAN_BUILD
+  // atomic_ref wants a mutable reference even for a pure load.
+  return std::atomic_ref<T>(const_cast<T&>(loc))
+      .load(std::memory_order_relaxed);
+#else
+  return loc;
+#endif
+}
+
+template <typename T>
+inline void benign_race_store(T& loc, T value) noexcept {
+#if SMPST_TSAN_BUILD
+  std::atomic_ref<T>(loc).store(value, std::memory_order_relaxed);
+#else
+  loc = value;
+#endif
+}
+
+/// Real atomic compare-exchange on a location whose *other* accesses are
+/// benign-racy plain memory (e.g. the colour array: racy check-then-set on
+/// the traversal fast path, but a genuine exactly-one-winner CAS when
+/// claiming component roots). Always atomic, in every build — the winner
+/// uniqueness is load-bearing, unlike the benign sites.
+template <typename T>
+inline bool race_cas(T& loc, T& expected, T desired,
+                     std::memory_order success,
+                     std::memory_order failure) noexcept {
+  return std::atomic_ref<T>(loc).compare_exchange_strong(expected, desired,
+                                                         success, failure);
+}
+
+}  // namespace smpst
+
+#define SMPST_BENIGN_RACE_LOAD(loc) ::smpst::benign_race_load(loc)
+#define SMPST_BENIGN_RACE_STORE(loc, value) \
+  ::smpst::benign_race_store(loc, value)
