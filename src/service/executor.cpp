@@ -179,7 +179,10 @@ void QueryExecutor::resume() {
 }
 
 void QueryExecutor::shutdown() {
-  if (shut_down_.exchange(true)) return;
+  // acq_rel: the winner's subsequent close/join sequence must not be
+  // reordered before the claim, and a losing caller must observe the
+  // winner's prior writes before returning into teardown.
+  if (shut_down_.exchange(true, std::memory_order_acq_rel)) return;
   queue_.close();
   resume();  // a paused worker must still drain and exit
   for (auto& w : workers_) w.join();
