@@ -140,6 +140,9 @@ class ChaseLevDeque {
     const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
     Buffer* buf = buffer_.load(std::memory_order_relaxed);
     bottom_.store(b, std::memory_order_relaxed);
+    // seq_cst fence: the bottom store must be globally ordered before the
+    // top load (Le et al. 2013, Fig. 8) — acquire/release admits a double
+    // pop where owner and thief both take the last element.
     std::atomic_thread_fence(std::memory_order_seq_cst);
     std::int64_t t = top_.load(std::memory_order_relaxed);
     if (t > b) {
@@ -162,10 +165,14 @@ class ChaseLevDeque {
   /// Any thread. Returns false when empty or lost a race.
   bool steal(T& out) {
     std::int64_t t = top_.load(std::memory_order_acquire);
+    // seq_cst fence: pairs with the owner's fence in pop() so thief and
+    // owner agree on the order of the top/bottom accesses (Le et al. 2013).
     std::atomic_thread_fence(std::memory_order_seq_cst);
     const std::int64_t b = bottom_.load(std::memory_order_acquire);
     if (t >= b) return false;
-    Buffer* buf = buffer_.load(std::memory_order_consume);
+    // acquire (not consume: deprecated, and compilers promote it anyway) so
+    // the grow()'s release store makes the new buffer's cells visible.
+    Buffer* buf = buffer_.load(std::memory_order_acquire);
     out = buf->get(t);
     return top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                         std::memory_order_relaxed);
