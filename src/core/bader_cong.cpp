@@ -72,11 +72,15 @@ struct TraversalState {
 bool try_claim_root(TraversalState& st, std::size_t tid, std::uint32_t label,
                     ThreadStats& ts) {
   for (;;) {
-    VertexId v = st.root_cursor.load();
+    // Relaxed throughout on the cursor: it is a monotonic scan hint, and
+    // claims are arbitrated by the colour CAS — a stale (smaller) value only
+    // causes re-scanning of already-coloured vertices, never a missed root.
+    VertexId v = st.root_cursor.load(std::memory_order_relaxed);
     if (v >= st.n) return false;
     // Benign pre-check: a stale 0 just means we attempt the CAS and lose.
     if (SMPST_BENIGN_RACE_LOAD(st.color[v]) != 0) {
-      st.root_cursor.compare_exchange_weak(v, v + 1);
+      st.root_cursor.compare_exchange_weak(v, v + 1,
+                                           std::memory_order_relaxed);
       continue;
     }
     std::uint32_t expected = 0;
@@ -90,7 +94,8 @@ bool try_claim_root(TraversalState& st, std::size_t tid, std::uint32_t label,
       SMPST_BENIGN_RACE_STORE(st.parent[v], v);
       st.queues[tid]->push(v);
       ++ts.roots_claimed;
-      st.root_cursor.compare_exchange_strong(v, v + 1);
+      st.root_cursor.compare_exchange_strong(v, v + 1,
+                                              std::memory_order_relaxed);
       return true;
     }
     st.pending.add(-1);  // lost the race; someone else claimed v
