@@ -1,0 +1,26 @@
+// Fixture: a failpoint between a split-phase barrier arrive and the matching
+// wait.  A throw in that window strands the other parties.  smpst_lint must
+// report SL003.
+#include "support/failpoint.hpp"
+
+namespace fixture {
+
+struct SplitBarrier {
+  int arrive() { return 0; }
+  void wait(int) {}
+};
+
+void bad(SplitBarrier& barrier) {
+  int token = barrier.arrive();
+  SMPST_FAILPOINT("fixture.in_barrier_window");  // SL003
+  barrier.wait(token);
+}
+
+void good(SplitBarrier& barrier) {
+  SMPST_FAILPOINT("fixture.before_arrive");  // allowed
+  int token = barrier.arrive();
+  barrier.wait(token);
+  SMPST_FAILPOINT("fixture.after_wait");  // allowed
+}
+
+}  // namespace fixture

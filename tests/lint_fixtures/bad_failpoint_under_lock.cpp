@@ -1,0 +1,23 @@
+// Fixture: failpoints that execute while a scoped lock guard is held.
+// smpst_lint must report SL002 for each.
+#include "sched/spinlock.hpp"
+#include "support/failpoint.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace fixture {
+
+void bad(smpst::SpinLock& lock) {
+  smpst::LockGuard<smpst::SpinLock> lk(lock);
+  SMPST_FAILPOINT("fixture.under_lock");  // SL002
+}
+
+void bad_nested(smpst::SpinLock& lock) {
+  {
+    smpst::LockGuard<smpst::SpinLock> lk(lock);
+    if (true) {
+      SMPST_FAILPOINT("fixture.nested_under_lock");  // SL002
+    }
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: every atomic operation below defaults to seq_cst.  smpst_lint
+// must report SL001 for each one.
+#include <atomic>
+
+namespace fixture {
+
+std::atomic<int> counter{0};
+std::atomic<long> total{0};
+
+int bad() {
+  counter.store(1);                     // SL001: implicit seq_cst store
+  counter++;                            // SL001: operator++ is seq_cst RMW
+  total += 2;                           // SL001: operator+= is seq_cst RMW
+  std::atomic_thread_fence();           // SL001: fence without an order
+  return counter.load();                // SL001: implicit seq_cst load
+}
+
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Fixture: include-hygiene violations.  smpst_lint must report SL005 for the
+// relative include, the <bits/...> internal header, and the missing
+// #pragma once (this header deliberately omits it).
+#include "../sched/spinlock.hpp"
+#include <bits/stl_vector.h>
+
+namespace fixture {
+inline int dummy() { return 0; }
+}  // namespace fixture

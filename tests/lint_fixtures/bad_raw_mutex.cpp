@@ -1,0 +1,22 @@
+// Fixture: raw standard-library concurrency primitives in core scope.
+// smpst_lint must report SL004 for each (std::this_thread::yield must NOT
+// be flagged — it is not std::thread).
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace fixture {
+
+std::mutex raw_mutex;                 // SL004
+std::condition_variable raw_cv;       // SL004
+
+void bad() {
+  std::lock_guard<std::mutex> lk(raw_mutex);  // SL004 (x2: guard + mutex arg)
+}
+
+void bad_thread() {
+  std::thread t([] { std::this_thread::yield(); });  // SL004 (thread only)
+  t.join();
+}
+
+}  // namespace fixture

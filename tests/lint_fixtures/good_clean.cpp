@@ -1,0 +1,29 @@
+// Fixture: fully conforming core-scope file.  smpst_lint must report zero
+// findings here; if it ever flags this file the linter has a false positive.
+#include <atomic>
+
+#include "sched/spinlock.hpp"
+#include "support/failpoint.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace fixture {
+
+std::atomic<int> counter{0};
+std::atomic<bool>* flags = nullptr;
+
+int good(smpst::SpinLock& lock) {
+  // Failpoint before the guard: allowed.
+  SMPST_FAILPOINT("fixture.good");
+  counter.fetch_add(1, std::memory_order_acq_rel);
+  flags[0].store(true, std::memory_order_release);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  {
+    smpst::LockGuard<smpst::SpinLock> lk(lock);
+    // No failpoint in here.
+  }
+  // Guard scope closed: failpoints are legal again.
+  SMPST_FAILPOINT("fixture.good.after");
+  return counter.load(std::memory_order_acquire);
+}
+
+}  // namespace fixture

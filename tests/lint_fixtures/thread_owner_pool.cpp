@@ -1,0 +1,15 @@
+// Fixture: the designated-owner exception.  Files named thread_owner* stand
+// in for sched/thread_pool.* — std::thread is allowed here and smpst_lint
+// must stay silent about it (but still flag other raw primitives).
+#include <thread>
+#include <vector>
+
+namespace fixture {
+
+void owner() {
+  std::vector<std::thread> workers;
+  workers.emplace_back([] {});
+  for (auto& w : workers) w.join();
+}
+
+}  // namespace fixture

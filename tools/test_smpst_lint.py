@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Fixture tests for tools/smpst_lint.py.
+
+Runs the linter over each file in tests/lint_fixtures/ with --scope core
+(so core/sched rules apply regardless of the fixture's path) and asserts the
+exact multiset of rule IDs fired per fixture.  Proves every invariant the
+linter claims to enforce actually fires, and that the known-good fixtures
+stay silent.
+
+Exit status 0 on success, 1 with a diff on any mismatch.
+"""
+
+from __future__ import annotations
+
+import collections
+import pathlib
+import re
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+LINTER = ROOT / "tools" / "smpst_lint.py"
+FIXTURES = ROOT / "tests" / "lint_fixtures"
+
+# fixture file -> expected multiset of rule IDs.
+EXPECTED: dict[str, collections.Counter] = {
+    "good_clean.cpp": collections.Counter(),
+    "thread_owner_pool.cpp": collections.Counter(),
+    "bad_implicit_seqcst.cpp": collections.Counter({"SL001": 5}),
+    "bad_failpoint_under_lock.cpp": collections.Counter({"SL002": 2}),
+    "bad_barrier_window.cpp": collections.Counter({"SL003": 1}),
+    "bad_raw_mutex.cpp": collections.Counter({"SL004": 5}),
+    "bad_include.hpp": collections.Counter({"SL005": 3}),
+}
+
+FINDING_RE = re.compile(r"^(?P<path>[^:]+):(?P<line>\d+): \[(?P<rule>SL\d+)\]")
+
+
+def run_linter(fixture: pathlib.Path) -> collections.Counter:
+    proc = subprocess.run(
+        [sys.executable, str(LINTER), "--root", str(ROOT), "--scope", "core",
+         str(fixture)],
+        capture_output=True, text=True, check=False)
+    got: collections.Counter = collections.Counter()
+    for line in proc.stdout.splitlines():
+        m = FINDING_RE.match(line)
+        if m:
+            got[m.group("rule")] += 1
+    clean = not got
+    if clean and proc.returncode != 0:
+        raise AssertionError(
+            f"{fixture.name}: linter exited {proc.returncode} with no "
+            f"findings\nstderr: {proc.stderr}")
+    if not clean and proc.returncode == 0:
+        raise AssertionError(
+            f"{fixture.name}: linter found issues but exited 0")
+    return got
+
+
+def main() -> int:
+    failures = []
+    listed = {f.name for f in FIXTURES.iterdir() if f.suffix in
+              (".cpp", ".hpp")}
+    missing = listed - EXPECTED.keys()
+    if missing:
+        failures.append(f"fixtures without expectations: {sorted(missing)}")
+    for name, want in sorted(EXPECTED.items()):
+        fixture = FIXTURES / name
+        if not fixture.exists():
+            failures.append(f"{name}: fixture file missing")
+            continue
+        got = run_linter(fixture)
+        if got != want:
+            failures.append(
+                f"{name}: expected {dict(want) or 'clean'}, "
+                f"got {dict(got) or 'clean'}")
+        else:
+            label = (f"{sum(want.values())} finding(s)" if want else "clean")
+            print(f"  ok   {name}: {label}")
+
+    # The real tree must be clean — a finding in src/ is a regression.
+    proc = subprocess.run(
+        [sys.executable, str(LINTER), "--root", str(ROOT)],
+        cwd=ROOT, capture_output=True, text=True, check=False)
+    if proc.returncode != 0:
+        failures.append(f"src/ tree is not lint-clean:\n{proc.stdout}")
+    else:
+        print("  ok   src/ tree clean")
+
+    if failures:
+        print("\ntest_smpst_lint FAILURES:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"test_smpst_lint: all {len(EXPECTED)} fixtures + tree scan passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
