@@ -387,10 +387,13 @@ TEST_F(ExecutorChaosTest, WatchdogHardCancelsOverrunningQuery) {
   opts.watchdog_factor = 2.0;
   opts.watchdog_poll_ms = 1;
   QueryExecutor executor(registry, opts);
-  // The injected 300 ms stall ignores the token, exactly like a wedged
+  // The injected 1 s stall ignores the token, exactly like a wedged
   // traversal; the 10 ms deadline's hard limit (20 ms) must trip the
-  // watchdog while the query is stuck.
-  fail::enable("service.executor.execute", "1*delay(300)");
+  // watchdog while the query is stuck.  The stall is much longer than the
+  // hard limit so the watchdog thread still wins the race on oversubscribed
+  // or sanitizer-slowed runs (TSan at ctest -j can starve it for hundreds
+  // of milliseconds).
+  fail::enable("service.executor.execute", "1*delay(1000)");
   SpanningTreeRequest req = request();
   req.timeout_ms = 10;
   const QueryResult r = executor.submit(std::move(req)).get();
