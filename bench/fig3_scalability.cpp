@@ -9,6 +9,7 @@
 //
 // Usage: fig3_scalability [--sizes=65536,131072,262144] [--p=8] [--reps=3]
 //        [--seed=...] [--csv] [--full]  (--full uses the paper's 1M..4M)
+//        [--trace=out.json]             (Chrome trace of the whole sweep)
 #include <iostream>
 
 #include "bench_util/cli.hpp"
@@ -20,6 +21,7 @@
 #include "gen/random_graph.hpp"
 #include "model/simulator.hpp"
 #include "model/virtual_smp.hpp"
+#include "obs/trace.hpp"
 #include "sched/thread_pool.hpp"
 #include "support/assert.hpp"
 
@@ -36,7 +38,12 @@ int main(int argc, char** argv) try {
   const auto reps = static_cast<std::size_t>(cli.get_int("reps", 3));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 0x5eed));
   const bool csv = cli.get_bool("csv", false);
+  const std::string trace_path = cli.get_string("trace", "");
   cli.reject_unknown();
+  if (!trace_path.empty()) {
+    obs::trace::label_current_thread("panel-driver");
+    obs::trace::enable();
+  }
 
   std::cout << "== Fig. 3: scalability on random graphs, m = 1.5n, p = " << p
             << " ==\n"
@@ -83,6 +90,15 @@ int main(int argc, char** argv) try {
     table.print_csv(std::cout);
   } else {
     table.print(std::cout);
+  }
+  if (!trace_path.empty()) {
+    std::size_t events = 0;
+    if (obs::trace::write_chrome_trace_file(trace_path, &events)) {
+      std::cout << "# trace: " << events << " events -> " << trace_path
+                << "\n";
+    } else {
+      std::cout << "# trace: failed to write " << trace_path << "\n";
+    }
   }
   return 0;
 } catch (const std::exception& e) {

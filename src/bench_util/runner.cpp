@@ -12,6 +12,7 @@
 #include "graph/stats.hpp"
 #include "model/simulator.hpp"
 #include "model/virtual_smp.hpp"
+#include "obs/trace.hpp"
 #include "sched/thread_pool.hpp"
 #include "support/assert.hpp"
 
@@ -28,10 +29,15 @@ PanelConfig panel_from_cli(const Cli& cli, const std::string& default_family,
   cfg.csv = cli.get_bool("csv", false);
   cfg.run_sv = !cli.get_bool("no-sv", false);
   cfg.sv_locked = cli.get_bool("sv-lock", false);
+  cfg.trace_path = cli.get_string("trace", "");
   return cfg;
 }
 
 void run_panel(const PanelConfig& config, std::ostream& os) {
+  if (!config.trace_path.empty()) {
+    obs::trace::label_current_thread("panel-driver");
+    obs::trace::enable();
+  }
   const Graph g = gen::make_family(config.family, config.n, config.seed);
   const auto gstats = compute_stats(g);
   const auto machine = model::sun_e4500();
@@ -121,6 +127,16 @@ void run_panel(const PanelConfig& config, std::ostream& os) {
     table.print_csv(os);
   } else {
     table.print(os);
+  }
+
+  if (!config.trace_path.empty()) {
+    std::size_t events = 0;
+    if (obs::trace::write_chrome_trace_file(config.trace_path, &events)) {
+      os << "# trace: " << events << " events -> " << config.trace_path
+         << "\n";
+    } else {
+      os << "# trace: failed to write " << config.trace_path << "\n";
+    }
   }
 }
 

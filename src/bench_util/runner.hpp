@@ -28,10 +28,15 @@ struct PanelConfig {
   bool csv = false;
   bool run_sv = true;       ///< SV is slow on big instances; can be skipped
   bool sv_locked = false;   ///< also run the lock-grafting variant
+
+  /// When non-empty, enable per-phase tracing for the panel and write a
+  /// Chrome trace_event file here when the panel finishes
+  /// (docs/OBSERVABILITY.md). Empty = tracing untouched.
+  std::string trace_path;
 };
 
 /// Reads the standard panel flags: --family --n --threads --reps --seed
-/// --csv --no-sv --sv-lock.
+/// --csv --no-sv --sv-lock --trace.
 PanelConfig panel_from_cli(const Cli& cli, const std::string& default_family,
                            VertexId default_n = 1 << 17);
 

@@ -4,6 +4,8 @@
 #include <memory>
 
 #include "core/shiloach_vishkin.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sched/termination.hpp"
 #include "sched/thread_pool.hpp"
 #include "sched/work_queue.hpp"
@@ -133,6 +135,7 @@ void expand_vertex(TraversalState& st, std::size_t tid, std::uint32_t label,
 void traversal_worker(TraversalState& st, std::size_t tid,
                       const BaderCongOptions& opts, std::size_t p,
                       ThreadStats& ts) {
+  SMPST_TRACE_SCOPE("bc.worker");
   const auto label = static_cast<std::uint32_t>(tid + 1);
   const std::size_t steal_attempts =
       opts.steal_attempts != 0 ? opts.steal_attempts : 2 * p;
@@ -171,7 +174,10 @@ void traversal_worker(TraversalState& st, std::size_t tid,
     }
 
     if (st.pending.drained()) {
-      if (try_claim_root(st, tid, label, ts)) continue;
+      if (try_claim_root(st, tid, label, ts)) {
+        SMPST_TRACE_INSTANT("bc.root");
+        continue;
+      }
       // Cursor exhausted; if no claim slipped in concurrently we are done.
       if (st.pending.drained()) {
         st.done.store(true, std::memory_order_release);
@@ -198,6 +204,7 @@ void traversal_worker(TraversalState& st, std::size_t tid,
       const std::size_t took = st.queues[victim]->steal(stolen, chunk);
       if (took > 0) {
         st.queues[tid]->push_bulk(stolen.data(), took);
+        SMPST_TRACE_INSTANT("bc.steal");
         ++ts.steals_succeeded;
         ts.items_stolen += took;
         got = true;
@@ -212,7 +219,11 @@ void traversal_worker(TraversalState& st, std::size_t tid,
     // Nothing to do and nothing to steal: sleep on the gate (the paper's
     // condition-variable protocol) and watch for starvation.
     ++ts.sleep_episodes;
-    const std::size_t sleepers = st.gate.sleep_for(opts.idle_sleep);
+    std::size_t sleepers;
+    {
+      SMPST_TRACE_SCOPE("bc.sleep");
+      sleepers = st.gate.sleep_for(opts.idle_sleep);
+    }
     if (!st.pending.drained() && sleepers >= starvation_threshold) {
       if (++starving_rounds >= opts.starvation_patience &&
           opts.enable_fallback && p > 1) {
@@ -332,15 +343,22 @@ SpanningForest bader_cong_spanning_tree(const Graph& g, ThreadPool& pool,
   const auto start = static_cast<VertexId>(rng.next_bounded(n));
   const std::size_t steps =
       opts.stub_steps != 0 ? opts.stub_steps : 2 * p;
-  const auto stub = grow_stub_tree(st, start, steps, p, rng);
+  std::vector<VertexId> stub;
+  {
+    SMPST_TRACE_SCOPE("bc.stub");
+    stub = grow_stub_tree(st, start, steps, p, rng);
+  }
   local_stats.stub_vertices = stub.size();
   local_stats.stub_seconds = stub_timer.elapsed_seconds();
 
   // Phase 2: work-stealing traversal.
   WallTimer trav_timer;
-  pool.run([&](std::size_t tid) {
-    traversal_worker(st, tid, opts, p, local_stats.per_thread[tid]);
-  });
+  {
+    SMPST_TRACE_SCOPE("bc.traversal");
+    pool.run([&](std::size_t tid) {
+      traversal_worker(st, tid, opts, p, local_stats.per_thread[tid]);
+    });
+  }
   local_stats.traversal_seconds = trav_timer.elapsed_seconds();
 
   // A worker observed the token expire before the traversal drained: the
@@ -356,13 +374,37 @@ SpanningForest bader_cong_spanning_tree(const Graph& g, ThreadPool& pool,
     // Detection mechanism fired: merge and finish with SV.
     local_stats.fallback_triggered = true;
     WallTimer fb_timer;
-    forest = finish_with_sv(st, pool, opts);
+    {
+      SMPST_TRACE_SCOPE("bc.sv_fallback");
+      forest = finish_with_sv(st, pool, opts);
+    }
     local_stats.fallback_seconds = fb_timer.elapsed_seconds();
   } else {
+    // duplicate_expansions = dequeues beyond one per *coloured* vertex. The
+    // coloured count, not n: isolated or unreached vertices are never
+    // dequeued, so subtracting n would wrap the uint64 whenever fewer than n
+    // vertices entered the queues. Saturate at 0 for the cancel-then-complete
+    // edge where a worker's final decrement raced the drain.
+    VertexId colored = 0;
     for (VertexId v = 0; v < n; ++v) {
       forest.parent[v] = st.parent[v];  // after the region join: race-free
+      if (st.color[v] != 0) ++colored;
     }
-    local_stats.duplicate_expansions = local_stats.total_processed() - n;
+    const std::uint64_t dequeued = local_stats.total_processed();
+    local_stats.duplicate_expansions =
+        dequeued > colored ? dequeued - colored : 0;
+  }
+
+  {
+    auto& reg = obs::MetricsRegistry::instance();
+    static obs::Counter& runs = reg.counter("bc.runs");
+    static obs::Counter& fallbacks = reg.counter("bc.fallbacks");
+    static obs::Counter& steals = reg.counter("bc.steals");
+    static obs::Counter& dups = reg.counter("bc.duplicate_expansions");
+    runs.add(1);
+    if (local_stats.fallback_triggered) fallbacks.add(1);
+    steals.add(local_stats.total_steals());
+    dups.add(local_stats.duplicate_expansions);
   }
 
   if (opts.stats != nullptr) *opts.stats = std::move(local_stats);

@@ -32,7 +32,10 @@ struct TraversalStats {
 
   /// Vertices expanded more than once because two processors raced to colour
   /// them (the paper reports "less than ten ... for a graph with millions of
-  /// vertices"). Computed as total dequeues minus distinct vertices.
+  /// vertices"). Computed as total dequeues minus distinct *coloured*
+  /// vertices, saturating at zero — isolated or unreached vertices are never
+  /// dequeued, so subtracting the full vertex count would underflow on
+  /// disconnected graphs.
   std::uint64_t duplicate_expansions = 0;
 
   [[nodiscard]] std::uint64_t total_processed() const noexcept {

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <memory>
 
+#include "obs/trace.hpp"
 #include "sched/barrier.hpp"
 #include "sched/thread_pool.hpp"
 #include "support/cacheline.hpp"
@@ -44,6 +45,7 @@ struct BfsState {
 /// Expands the current frontier cooperatively; returns this thread's vote on
 /// whether a next level exists.
 void expand_level(BfsState& st, std::size_t tid, std::size_t grain) {
+  SMPST_TRACE_SCOPE("pbfs.expand");
   auto& out = *st.buffers[tid];
   out.clear();
   for (;;) {
@@ -84,6 +86,7 @@ SpanningForest parallel_bfs_spanning_tree(const Graph& g, ThreadPool& pool,
 
   BfsState st(g, p);
   ParallelBfsStats stats;
+  SMPST_TRACE_SCOPE("pbfs.run");
 
   // The level loop runs on the calling thread; each level's expansion is one
   // parallel region. Components are processed in vertex order, like the
@@ -105,7 +108,10 @@ SpanningForest parallel_bfs_spanning_tree(const Graph& g, ThreadPool& pool,
           std::max<std::uint64_t>(stats.max_frontier, st.frontier.size());
       st.cursor.store(0, std::memory_order_relaxed);
 
-      pool.run([&](std::size_t tid) { expand_level(st, tid, grain); });
+      {
+        SMPST_TRACE_SCOPE("pbfs.level");
+        pool.run([&](std::size_t tid) { expand_level(st, tid, grain); });
+      }
       stats.barriers += 1;  // the region join acts as the level barrier
 
       st.frontier.clear();

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "core/cancellation.hpp"
+#include "obs/trace.hpp"
 #include "sched/barrier.hpp"
 #include "sched/spinlock.hpp"
 #include "sched/thread_pool.hpp"
@@ -154,6 +155,7 @@ void sv_worker_election(SvState& st, std::size_t tid, std::size_t p,
     }
 
     const bool any = vote_or(st.barrier, st.grafted_flag, tid, proposed);
+    if (tid == 0 && any) SMPST_TRACE_INSTANT("sv.round");
     if (tid == 0 && collect_stats && any) ++stats.iterations;
     if (!any) break;
 
@@ -206,6 +208,7 @@ void sv_worker_locked(SvState& st, std::size_t tid, std::size_t p,
     }
 
     const bool any = vote_or(st.barrier, st.grafted_flag, tid, grafted);
+    if (tid == 0 && any) SMPST_TRACE_INSTANT("sv.round");
     if (tid == 0 && collect_stats && any) ++stats.iterations;
     if (!any) break;
 
@@ -228,6 +231,7 @@ std::vector<Edge> sv_tree_edges(const Graph& g, ThreadPool& pool,
 
   SvStats local_stats;
   const bool collect = opts.stats != nullptr;
+  SMPST_TRACE_SCOPE("sv.run");
   pool.run([&](std::size_t tid) {
     if (opts.use_locks) {
       sv_worker_locked(st, tid, p, opts.cancel, local_stats, collect);

@@ -1,10 +1,10 @@
-#include "service/service_stats.hpp"
+#include "obs/histogram.hpp"
 
 #include <algorithm>
 #include <bit>
 #include <cmath>
 
-namespace smpst::service {
+namespace smpst::obs {
 
 namespace {
 
@@ -24,8 +24,10 @@ void LatencyHistogram::record_ms(double ms) noexcept {
   if (!(ms >= 0.0)) ms = 0.0;  // NaN and negatives clamp to zero
   const auto ns = static_cast<std::uint64_t>(ms * 1e6);
   const std::size_t idx = std::bit_width(ns);  // 0 for ns==0
+  // Bucket first: a snapshot whose derived count is nonzero is guaranteed to
+  // see this sample in the distribution even if the sum/min/max updates below
+  // have not landed yet.
   buckets_[idx].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
   sum_ns_.fetch_add(ns, std::memory_order_relaxed);
   std::uint64_t seen = min_ns_.load(std::memory_order_relaxed);
   while (ns < seen &&
@@ -39,18 +41,25 @@ void LatencyHistogram::record_ms(double ms) noexcept {
 
 LatencyHistogram::Snapshot LatencyHistogram::snapshot() const noexcept {
   Snapshot s;
-  s.count = count_.load(std::memory_order_relaxed);
-  if (s.count > 0) {
-    s.mean_ms = static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) /
-                static_cast<double>(s.count) / 1e6;
-    s.min_ms =
-        static_cast<double>(min_ns_.load(std::memory_order_relaxed)) / 1e6;
-    s.max_ms =
-        static_cast<double>(max_ns_.load(std::memory_order_relaxed)) / 1e6;
-  }
+  // Buckets first; count is their sum, so count and distribution can never
+  // disagree no matter how the reads interleave with recorders.
   for (std::size_t i = 0; i < kNumBuckets; ++i) {
     s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    s.count += s.buckets[i];
   }
+  if (s.count == 0) return s;
+  s.mean_ms = static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) /
+              static_cast<double>(s.count) / 1e6;
+  const std::uint64_t min_raw = min_ns_.load(std::memory_order_relaxed);
+  const std::uint64_t max_raw = max_ns_.load(std::memory_order_relaxed);
+  // A recorder that bumped its bucket may not have CAS'd min/max yet: the
+  // sentinel min collapses to the mean, and both extremes are clamped around
+  // the mean so min_ms <= mean_ms <= max_ms holds in every snapshot.
+  const double min_ms_raw =
+      min_raw == ~0ULL ? s.mean_ms : static_cast<double>(min_raw) / 1e6;
+  const double max_ms_raw = static_cast<double>(max_raw) / 1e6;
+  s.min_ms = std::min(min_ms_raw, s.mean_ms);
+  s.max_ms = std::max(max_ms_raw, s.mean_ms);
   return s;
 }
 
@@ -77,4 +86,4 @@ double LatencyHistogram::Snapshot::percentile(double p) const noexcept {
   return max_ms;
 }
 
-}  // namespace smpst::service
+}  // namespace smpst::obs

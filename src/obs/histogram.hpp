@@ -1,0 +1,56 @@
+// Lock-free latency histogram for tail-latency reports.
+//
+// Latencies land in power-of-two nanosecond buckets (atomic counters, so
+// recording from many worker threads never serializes); percentiles are
+// computed on an immutable snapshot by walking the cumulative distribution
+// and interpolating linearly inside the target bucket, clamped to the exact
+// observed min/max so p0/p100 are not bucket-quantized.
+//
+// Snapshot consistency: snapshot() runs concurrently with record_ms() without
+// any synchronization beyond the per-field atomics, so the raw reads can be
+// mutually stale (a recorder may have bumped a bucket but not yet sum_ns_,
+// or updated max before min). The Snapshot it returns is nevertheless
+// internally consistent by construction:
+//   - `count` is derived from the bucket sum (never read from a separate
+//     counter that could disagree with the buckets),
+//   - `min_ms <= mean_ms <= max_ms` always holds (raw min/max are clamped
+//     around the mean; an unwritten min sentinel collapses to the mean).
+// record_ms() bumps the bucket FIRST so a nonzero derived count implies at
+// least one fully-recorded bucket entry.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace smpst::obs {
+
+class LatencyHistogram {
+ public:
+  /// One power-of-two bucket per bit position of the nanosecond value, plus
+  /// bucket 0 for exact zero.
+  static constexpr std::size_t kNumBuckets = 65;
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double mean_ms = 0.0;
+    double min_ms = 0.0;
+    double max_ms = 0.0;
+    std::array<std::uint64_t, kNumBuckets> buckets{};
+
+    /// p in [0, 100]. Returns 0 for an empty histogram. Monotone in p.
+    [[nodiscard]] double percentile(double p) const noexcept;
+  };
+
+  void record_ms(double ms) noexcept;
+
+  [[nodiscard]] Snapshot snapshot() const noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_ns_{0};
+  std::atomic<std::uint64_t> min_ns_{~0ULL};
+  std::atomic<std::uint64_t> max_ns_{0};
+};
+
+}  // namespace smpst::obs

@@ -1,0 +1,58 @@
+#include "obs/metrics.hpp"
+
+namespace smpst::obs {
+
+namespace {
+
+template <typename Deque>
+auto& find_or_create(Deque& d, const std::string& name) {
+  for (auto& entry : d) {
+    if (entry.name == name) return entry.instrument;
+  }
+  d.emplace_back(name);
+  return d.back().instrument;
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::instance() {
+  // Leaked: see the header comment. A function-local static object would be
+  // destroyed before at-exit trace/metrics writers run.
+  static MetricsRegistry* r = new MetricsRegistry();
+  return *r;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  LockGuard<Mutex> lk(mutex_);
+  return find_or_create(counters_, name);
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  LockGuard<Mutex> lk(mutex_);
+  return find_or_create(gauges_, name);
+}
+
+LatencyHistogram& MetricsRegistry::histogram(const std::string& name) {
+  LockGuard<Mutex> lk(mutex_);
+  return find_or_create(histograms_, name);
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  Snapshot s;
+  LockGuard<Mutex> lk(mutex_);
+  s.counters.reserve(counters_.size());
+  for (const auto& c : counters_) {
+    s.counters.push_back({c.name, c.instrument.value()});
+  }
+  s.gauges.reserve(gauges_.size());
+  for (const auto& g : gauges_) {
+    s.gauges.push_back({g.name, g.instrument.value()});
+  }
+  s.histograms.reserve(histograms_.size());
+  for (const auto& h : histograms_) {
+    s.histograms.push_back({h.name, h.instrument.snapshot()});
+  }
+  return s;
+}
+
+}  // namespace smpst::obs

@@ -1,0 +1,110 @@
+// Process-wide metrics registry: named monotonic counters, gauges and
+// latency histograms.
+//
+// Instruments are registered on first use and live for the life of the
+// process (same stable-address discipline as the failpoint registry: a Mutex
+// guards deques whose elements never move, so the returned references stay
+// valid and the hot path — Counter::add / Gauge::set — is a single relaxed
+// atomic op with no lock). snapshot() walks the registry under the lock and
+// reads each instrument once; the per-instrument reads are relaxed, so a
+// snapshot is a consistent *list* of instruments but values from concurrent
+// updaters may be mutually stale — fine for scraping.
+//
+// Rendering to the wire format lives in src/service/wire.cpp: obs depends
+// only on support, never on service.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace smpst::obs {
+
+/// Monotonic counter. add() is a relaxed fetch_add; never decrements.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time signed value (queue depth, inflight requests).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+class MetricsRegistry {
+ public:
+  struct Snapshot {
+    struct CounterValue {
+      std::string name;
+      std::uint64_t value = 0;
+    };
+    struct GaugeValue {
+      std::string name;
+      std::int64_t value = 0;
+    };
+    struct HistogramValue {
+      std::string name;
+      LatencyHistogram::Snapshot snapshot;
+    };
+    std::vector<CounterValue> counters;
+    std::vector<GaugeValue> gauges;
+    std::vector<HistogramValue> histograms;
+  };
+
+  /// The process-wide registry. Deliberately leaked, so instrument references
+  /// handed out here stay valid through static destruction — the SMPST_TRACE
+  /// at-exit writer and late-exiting threads may still touch them.
+  [[nodiscard]] static MetricsRegistry& instance();
+
+  /// Find-or-create by name. References are stable for the process lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  LatencyHistogram& histogram(const std::string& name);
+
+  /// Every registered instrument, in registration order.
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  MetricsRegistry() = default;
+
+  template <typename T>
+  struct Named {
+    explicit Named(std::string n) : name(std::move(n)) {}
+    const std::string name;
+    T instrument;
+  };
+
+  mutable Mutex mutex_;
+  // std::deque: push_back never moves existing elements, so &instrument is
+  // stable even as the registry grows.
+  std::deque<Named<Counter>> counters_ SMPST_GUARDED_BY(mutex_);
+  std::deque<Named<Gauge>> gauges_ SMPST_GUARDED_BY(mutex_);
+  std::deque<Named<LatencyHistogram>> histograms_ SMPST_GUARDED_BY(mutex_);
+};
+
+}  // namespace smpst::obs

@@ -1,0 +1,325 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <fstream>
+#include <memory>
+#include <ostream>
+
+#include "support/thread_annotations.hpp"
+
+namespace smpst::obs::trace {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+constexpr std::size_t kDefaultCapacity = 8192;
+
+/// Capacity applied to rings registered after the last enable(). Relaxed:
+/// a racing registration picks up either the old or new capacity, both valid.
+std::atomic<std::size_t> g_capacity{kDefaultCapacity};
+
+/// One event slot, organized as a per-slot seqlock (header comment). seq
+/// encodes the generation: 2*i+1 while event #i is being written, 2*i+2 once
+/// it is complete. Every field is a relaxed atomic so a drainer racing a
+/// lapping writer reads stale or mixed values — never undefined behavior —
+/// and the seq recheck discards the mix.
+struct Slot {
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<const char*> name{nullptr};
+  std::atomic<std::uint64_t> ts_ns{0};
+  std::atomic<std::uint64_t> dur_ns{0};
+  std::atomic<char> phase{0};
+};
+
+/// Per-thread ring. The owning thread writes slots and head without locks;
+/// `label` and `drained` belong to the drainer and are guarded by the
+/// registry mutex. Rings are never destroyed (the registry leaks), so a
+/// drainer can walk them after their thread has exited.
+struct Ring {
+  Ring(std::size_t cap, std::uint32_t lane_id, std::string lbl)
+      : capacity(cap), slots(new Slot[cap]), lane(lane_id),
+        label(std::move(lbl)) {}
+
+  /// Owner thread only.
+  void emit(const char* name, std::uint64_t ts, std::uint64_t dur,
+            char phase) noexcept {
+    const std::uint64_t i = head.load(std::memory_order_relaxed);
+    Slot& s = slots[i % capacity];
+    s.seq.store(2 * i + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    s.name.store(name, std::memory_order_relaxed);
+    s.ts_ns.store(ts, std::memory_order_relaxed);
+    s.dur_ns.store(dur, std::memory_order_relaxed);
+    s.phase.store(phase, std::memory_order_relaxed);
+    s.seq.store(2 * i + 2, std::memory_order_release);
+    head.store(i + 1, std::memory_order_release);
+  }
+
+  const std::size_t capacity;
+  const std::unique_ptr<Slot[]> slots;
+  std::atomic<std::uint64_t> head{0};  ///< next event number (monotonic)
+  const std::uint32_t lane;
+
+  std::string label;          ///< guarded by Registry::mutex
+  std::uint64_t drained = 0;  ///< drain cursor; guarded by Registry::mutex
+  std::uint64_t dropped = 0;  ///< lapped/torn slots; guarded by Registry::mutex
+};
+
+struct Registry {
+  Mutex mutex;
+  // unique_ptr elements: Ring addresses stay stable as the deque grows, so
+  // TLS handles can keep raw pointers.
+  std::deque<std::unique_ptr<Ring>> rings SMPST_GUARDED_BY(mutex);
+};
+
+Registry& registry() {
+  // Deliberately leaked: the SMPST_TRACE at-exit writer and worker threads
+  // unwinding during static destruction may still reach the registry.
+  static Registry* r = new Registry();
+  return *r;
+}
+
+/// Pending label for threads that call label_current_thread before their
+/// ring exists. Plain TLS PODs: no destructor ordering hazards.
+struct TlsHandle {
+  Ring* ring = nullptr;
+  const char* pending_role = nullptr;
+  std::size_t pending_index = kNoIndex;
+};
+thread_local TlsHandle t_handle;
+
+std::string make_label(const char* role, std::size_t index,
+                       std::uint32_t lane) {
+  if (role == nullptr) return "thread-" + std::to_string(lane);
+  std::string s = role;
+  if (index != kNoIndex) {
+    s += '-';
+    s += std::to_string(index);
+  }
+  return s;
+}
+
+Ring& tls_ring() {
+  if (t_handle.ring == nullptr) {
+    Registry& reg = registry();
+    LockGuard<Mutex> lk(reg.mutex);
+    const auto lane = static_cast<std::uint32_t>(reg.rings.size());
+    reg.rings.push_back(std::make_unique<Ring>(
+        g_capacity.load(std::memory_order_relaxed), lane,
+        make_label(t_handle.pending_role, t_handle.pending_index, lane)));
+    t_handle.ring = reg.rings.back().get();
+  }
+  return *t_handle.ring;
+}
+
+/// Drains one ring into `out` (registry mutex held by the caller). Returns
+/// the number of slots skipped because the writer lapped or was mid-write.
+std::uint64_t drain_ring(Ring& r, std::vector<TraceEvent>& out) {
+  const std::uint64_t h = r.head.load(std::memory_order_acquire);
+  std::uint64_t dropped = 0;
+  std::uint64_t i = r.drained;
+  if (h > r.capacity && i < h - r.capacity) {
+    dropped += (h - r.capacity) - i;  // writer lapped the cursor
+    i = h - r.capacity;
+  }
+  for (; i < h; ++i) {
+    Slot& s = r.slots[i % r.capacity];
+    const std::uint64_t s1 = s.seq.load(std::memory_order_acquire);
+    if (s1 != 2 * i + 2) {
+      ++dropped;  // being overwritten by a lapping writer
+      continue;
+    }
+    const char* ev_name = s.name.load(std::memory_order_relaxed);
+    const std::uint64_t ev_ts = s.ts_ns.load(std::memory_order_relaxed);
+    const std::uint64_t ev_dur = s.dur_ns.load(std::memory_order_relaxed);
+    const char ev_phase = s.phase.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (s.seq.load(std::memory_order_relaxed) != s1) {
+      ++dropped;  // torn by a concurrent overwrite; discard
+      continue;
+    }
+    out.push_back(TraceEvent{ev_name, ev_ts, ev_dur, r.lane, ev_phase});
+  }
+  r.drained = h;
+  return dropped;
+}
+
+void json_escape_into(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';  // control chars have no business in event names
+    } else {
+      out += c;
+    }
+  }
+}
+
+/// SMPST_TRACE=<file>: enable tracing before main(), write the Chrome trace
+/// at process exit. Constructed during static init of this TU; its
+/// destructor runs after main(), when worker threads are joined.
+struct EnvCapture {
+  std::string path;
+
+  EnvCapture() {
+    if (const char* p = std::getenv("SMPST_TRACE"); p != nullptr && *p) {
+      path = p;
+      enable();
+    }
+  }
+
+  ~EnvCapture() {
+    if (!path.empty()) write_chrome_trace_file(path);
+  }
+};
+EnvCapture g_env_capture;
+
+}  // namespace
+
+void enable(std::size_t events_per_thread) {
+  if (events_per_thread > 0) {
+    g_capacity.store(events_per_thread, std::memory_order_relaxed);
+  }
+  detail::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void disable() {
+  detail::g_enabled.store(false, std::memory_order_relaxed);
+}
+
+std::uint64_t now_ns() noexcept {
+  return to_trace_ns(std::chrono::steady_clock::now());
+}
+
+std::uint64_t to_trace_ns(std::chrono::steady_clock::time_point tp) noexcept {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(tp - epoch).count();
+  return ns > 0 ? static_cast<std::uint64_t>(ns) : 0;
+}
+
+void emit_complete(const char* name, std::uint64_t start_ns,
+                   std::uint64_t end_ns) noexcept {
+  if (!enabled()) return;
+  tls_ring().emit(name, start_ns, end_ns > start_ns ? end_ns - start_ns : 0,
+                  'X');
+}
+
+void emit_instant(const char* name) noexcept {
+  if (!enabled()) return;
+  tls_ring().emit(name, now_ns(), 0, 'i');
+}
+
+void label_current_thread(const char* role, std::size_t index) noexcept {
+  t_handle.pending_role = role;
+  t_handle.pending_index = index;
+  if (Ring* r = t_handle.ring; r != nullptr) {
+    Registry& reg = registry();
+    LockGuard<Mutex> lk(reg.mutex);
+    r->label = make_label(role, index, r->lane);
+  }
+}
+
+std::vector<TraceEvent> drain() {
+  std::vector<TraceEvent> out;
+  Registry& reg = registry();
+  LockGuard<Mutex> lk(reg.mutex);
+  for (auto& ring : reg.rings) {
+    ring->dropped += drain_ring(*ring, out);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.ts_ns < b.ts_ns;
+            });
+  return out;
+}
+
+std::vector<Lane> lanes() {
+  std::vector<Lane> out;
+  Registry& reg = registry();
+  LockGuard<Mutex> lk(reg.mutex);
+  out.reserve(reg.rings.size());
+  for (const auto& ring : reg.rings) {
+    out.push_back({ring->lane, ring->label});
+  }
+  return out;
+}
+
+std::uint64_t dropped_events() {
+  std::uint64_t total = 0;
+  Registry& reg = registry();
+  LockGuard<Mutex> lk(reg.mutex);
+  for (const auto& ring : reg.rings) total += ring->dropped;
+  return total;
+}
+
+std::size_t write_chrome_trace(std::ostream& os) {
+  const std::vector<Lane> lane_list = lanes();
+  const std::vector<TraceEvent> events = drain();
+  std::string buf;
+  buf.reserve(64 + 96 * (lane_list.size() + events.size()));
+  buf += "{\"traceEvents\":[";
+  bool first = true;
+  for (const Lane& lane : lane_list) {
+    if (!first) buf += ',';
+    first = false;
+    buf += "\n{\"ph\":\"M\",\"pid\":1,\"tid\":";
+    buf += std::to_string(lane.id);
+    buf += ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    json_escape_into(buf, lane.label.c_str());
+    buf += "\"}}";
+  }
+  char num[64];
+  for (const TraceEvent& ev : events) {
+    if (!first) buf += ',';
+    first = false;
+    buf += "\n{\"ph\":\"";
+    buf += ev.phase;
+    buf += "\",\"pid\":1,\"tid\":";
+    buf += std::to_string(ev.lane);
+    buf += ",\"name\":\"";
+    json_escape_into(buf, ev.name != nullptr ? ev.name : "?");
+    buf += "\",\"ts\":";
+    // Chrome wants microseconds; keep ns resolution in the fraction.
+    std::snprintf(num, sizeof num, "%.3f",
+                  static_cast<double>(ev.ts_ns) / 1e3);
+    buf += num;
+    if (ev.phase == 'X') {
+      buf += ",\"dur\":";
+      std::snprintf(num, sizeof num, "%.3f",
+                    static_cast<double>(ev.dur_ns) / 1e3);
+      buf += num;
+    } else {
+      buf += ",\"s\":\"t\"";  // instant scope: thread
+    }
+    buf += '}';
+  }
+  buf += "\n]}\n";
+  os << buf;
+  return events.size();
+}
+
+bool write_chrome_trace_file(const std::string& path,
+                             std::size_t* events_out) {
+  std::ofstream os(path);
+  if (!os) {
+    if (events_out != nullptr) *events_out = 0;
+    return false;
+  }
+  const std::size_t events = write_chrome_trace(os);
+  if (events_out != nullptr) *events_out = events;
+  os.flush();
+  return os.good();
+}
+
+}  // namespace smpst::obs::trace

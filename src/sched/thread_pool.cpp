@@ -1,5 +1,6 @@
 #include "sched/thread_pool.hpp"
 
+#include "obs/trace.hpp"
 #include "support/assert.hpp"
 #include "support/cpu.hpp"
 #include "support/failpoint.hpp"
@@ -47,10 +48,16 @@ void ThreadPool::run(const std::function<void(std::size_t)>& body) {
 
 void ThreadPool::worker_loop(std::size_t tid) {
   pin_current_thread(tid);
+  obs::trace::label_current_thread("pool-worker", tid);
   std::uint64_t seen_epoch = 0;
   for (;;) {
     const std::function<void(std::size_t)>* job = nullptr;
     {
+      // The idle span covers the start-signal wait, making inter-region gaps
+      // visible in traces. Lock order is pool mutex_ -> trace registry mutex
+      // (only on the lazy first emit); the trace layer never takes pool locks,
+      // so no inversion is possible.
+      SMPST_TRACE_SCOPE("pool.idle");
       LockGuard<Mutex> lk(mutex_);
       while (!shutdown_ && epoch_ == seen_epoch) cv_start_.wait(mutex_);
       if (shutdown_) return;
@@ -62,6 +69,7 @@ void ThreadPool::worker_loop(std::size_t tid) {
       // Fault site inside the catch net: an injected worker throw exercises
       // the first-exception capture and the rethrow on the region caller.
       SMPST_FAILPOINT("sched.thread_pool.worker");
+      SMPST_TRACE_SCOPE("pool.region");
       (*job)(tid);
     } catch (...) {
       err = std::current_exception();

@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sched/spinlock.hpp"
 #include "support/assert.hpp"
 #include "support/cacheline.hpp"
@@ -174,8 +175,14 @@ class ChaseLevDeque {
     // the grow()'s release store makes the new buffer's cells visible.
     Buffer* buf = buffer_.load(std::memory_order_acquire);
     out = buf->get(t);
-    return top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
-                                        std::memory_order_relaxed);
+    if (top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                     std::memory_order_relaxed)) {
+      // After the CAS: the element is owned, so the marker only fires for
+      // real steals and sits off the contended retry path.
+      SMPST_TRACE_INSTANT("deque.steal");
+      return true;
+    }
+    return false;
   }
 
   [[nodiscard]] std::size_t size_estimate() const {

@@ -5,6 +5,8 @@
 
 #include "core/algorithms.hpp"
 #include "core/cancellation.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sched/thread_pool.hpp"
 #include "support/cpu.hpp"
 #include "support/failpoint.hpp"
@@ -245,6 +247,14 @@ void QueryExecutor::watchdog_loop() {
 }
 
 void QueryExecutor::worker_loop(std::size_t slot) {
+  obs::trace::label_current_thread("executor-slot", slot);
+  auto& reg = obs::MetricsRegistry::instance();
+  obs::Counter& m_queries = reg.counter("service.queries");
+  obs::Counter& m_ok = reg.counter("service.served_ok");
+  obs::Counter& m_timed_out = reg.counter("service.timed_out");
+  obs::Counter& m_failed = reg.counter("service.failed");
+  obs::Gauge& m_inflight = reg.gauge("service.inflight");
+  obs::LatencyHistogram& m_latency = reg.histogram("service.latency_ms");
   for (;;) {
     wait_if_paused();
     Item item;
@@ -255,6 +265,15 @@ void QueryExecutor::worker_loop(std::size_t slot) {
       std::this_thread::sleep_for(std::chrono::microseconds(100));
       continue;
     }
+    // The queue-wait span is emitted at dequeue, stamped from the recorded
+    // submission time, so traces separate time-in-queue from compute.
+    if (obs::trace::enabled()) {
+      obs::trace::emit_complete("query.queue_wait",
+                                obs::trace::to_trace_ns(item.enqueued),
+                                obs::trace::now_ns());
+    }
+    m_queries.add(1);
+    m_inflight.add(1);
     // Containment boundary: no exception may escape the worker thread (it
     // would std::terminate the process) and the promise must always be
     // satisfied with a typed outcome.
@@ -283,21 +302,28 @@ void QueryExecutor::worker_loop(std::size_t slot) {
     switch (result.status) {
       case QueryStatus::kOk:
         served_ok_.fetch_add(1, std::memory_order_relaxed);
+        m_ok.add(1);
         break;
       case QueryStatus::kTimedOut:
         timed_out_.fetch_add(1, std::memory_order_relaxed);
+        m_timed_out.add(1);
         break;
       case QueryStatus::kNotFound:
         not_found_.fetch_add(1, std::memory_order_relaxed);
+        m_failed.add(1);
         break;
       case QueryStatus::kInvalid:
         invalid_.fetch_add(1, std::memory_order_relaxed);
+        m_failed.add(1);
         break;
       default:
         failed_.fetch_add(1, std::memory_order_relaxed);
+        m_failed.add(1);
         break;
     }
     latency_.record_ms(result.total_ms);
+    m_latency.record_ms(result.total_ms);
+    m_inflight.add(-1);
     try {
       item.promise.set_value(std::move(result));
     } catch (const std::exception&) {
@@ -308,10 +334,12 @@ void QueryExecutor::worker_loop(std::size_t slot) {
 
 QueryResult QueryExecutor::execute(Item& item, ThreadPool& pool,
                                    std::size_t slot) {
+  SMPST_TRACE_SCOPE("query.execute");
   const SpanningTreeRequest& req = item.req;
   QueryResult r;
   r.graph = req.graph;
   r.algorithm = req.algorithm;
+  r.stats_requested = req.want_stats;
   r.queue_ms = ms_between(item.enqueued, std::chrono::steady_clock::now());
 
   const bool has_deadline = req.timeout_ms >= 0;
@@ -351,6 +379,7 @@ QueryResult QueryExecutor::execute(Item& item, ThreadPool& pool,
   auto finalize = [&](const Graph& g) {
     if (req.root != kInvalidVertex) reroot(r.forest, req.root);
     if (req.validate || opts_.paranoid_validate) {
+      SMPST_TRACE_SCOPE("query.validate");
       r.validated = true;
       r.validation = validate_spanning_forest(g, r.forest);
       if (!r.validation.ok) {
@@ -405,7 +434,10 @@ QueryResult QueryExecutor::execute(Item& item, ThreadPool& pool,
       run.seed = req.seed;
       run.cancel = &token;
       run.stats = req.want_stats ? &r.stats : nullptr;
-      r.forest = run_algorithm(req.algorithm, *graph, pool, run);
+      {
+        SMPST_TRACE_SCOPE("query.compute");
+        r.forest = run_algorithm(req.algorithm, *graph, pool, run);
+      }
       finalize(*graph);
       success = true;
     } catch (const CancelledError&) {
@@ -432,7 +464,10 @@ QueryResult QueryExecutor::execute(Item& item, ThreadPool& pool,
         RunOptions run;
         run.seed = req.seed;
         run.cancel = &token;
-        r.forest = run_algorithm("bfs", *graph, pool, run);
+        {
+          SMPST_TRACE_SCOPE("query.compute");
+          r.forest = run_algorithm("bfs", *graph, pool, run);
+        }
         finalize(*graph);
         r.degraded = true;
         degraded_.fetch_add(1, std::memory_order_relaxed);

@@ -79,6 +79,11 @@ struct QueryResult {
 
   TraversalStats stats;  ///< filled when want_stats and algorithm supports it
 
+  /// Echo of the request's want_stats flag. Renderers gate stats emission on
+  /// this, not on whether `stats` happens to hold data (a degraded or retried
+  /// run can leave per-thread entries behind that the client never asked for).
+  bool stats_requested = false;
+
   /// Execution attempts consumed (1 = first try succeeded; >1 = retried).
   std::uint32_t attempts = 0;
 

@@ -1,45 +1,13 @@
-// Lock-free latency histogram for the query service's tail-latency report.
-//
-// Latencies land in power-of-two nanosecond buckets (atomic counters, so
-// recording from many worker threads never serializes); percentiles are
-// computed on an immutable snapshot by walking the cumulative distribution
-// and interpolating linearly inside the target bucket, clamped to the exact
-// observed min/max so p0/p100 are not bucket-quantized.
+// The latency histogram moved to the observability layer (obs/histogram.hpp)
+// so it can back both the service's tail-latency report and the process-wide
+// MetricsRegistry. This forwarding header keeps the historical service-layer
+// spelling working; new code should include obs/histogram.hpp directly.
 #pragma once
 
-#include <array>
-#include <atomic>
-#include <cstdint>
+#include "obs/histogram.hpp"
 
 namespace smpst::service {
 
-class LatencyHistogram {
- public:
-  /// One power-of-two bucket per bit position of the nanosecond value, plus
-  /// bucket 0 for exact zero.
-  static constexpr std::size_t kNumBuckets = 65;
-
-  struct Snapshot {
-    std::uint64_t count = 0;
-    double mean_ms = 0.0;
-    double min_ms = 0.0;
-    double max_ms = 0.0;
-    std::array<std::uint64_t, kNumBuckets> buckets{};
-
-    /// p in [0, 100]. Returns 0 for an empty histogram. Monotone in p.
-    [[nodiscard]] double percentile(double p) const noexcept;
-  };
-
-  void record_ms(double ms) noexcept;
-
-  [[nodiscard]] Snapshot snapshot() const noexcept;
-
- private:
-  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
-  std::atomic<std::uint64_t> count_{0};
-  std::atomic<std::uint64_t> sum_ns_{0};
-  std::atomic<std::uint64_t> min_ns_{~0ULL};
-  std::atomic<std::uint64_t> max_ns_{0};
-};
+using LatencyHistogram = ::smpst::obs::LatencyHistogram;
 
 }  // namespace smpst::service

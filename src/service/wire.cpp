@@ -4,6 +4,9 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "service/executor.hpp"
+#include "service/query.hpp"
+
 namespace smpst::service {
 
 namespace {
@@ -232,5 +235,77 @@ JsonWriter& JsonWriter::field(const std::string& name, bool value) {
 }
 
 std::string JsonWriter::str() const { return "{" + body_ + "}"; }
+
+std::string render_result(const QueryResult& r) {
+  JsonWriter w;
+  w.field("status", to_string(r.status));
+  w.field("graph", r.graph);
+  w.field("algo", r.algorithm);
+  if (!r.error.empty()) w.field("error", r.error);
+  if (r.forest.num_vertices() > 0) {
+    w.field("vertices", static_cast<std::uint64_t>(r.forest.num_vertices()));
+    w.field("trees", static_cast<std::uint64_t>(r.num_trees));
+  }
+  if (r.validated) w.field("valid", r.validation.ok);
+  // Robustness telemetry, emitted only when something unusual happened so
+  // the common-case response shape stays unchanged.
+  if (r.attempts > 1) {
+    w.field("attempts", static_cast<std::uint64_t>(r.attempts));
+  }
+  if (r.degraded) w.field("degraded", true);
+  if (r.watchdog_cancelled) w.field("watchdog_cancelled", true);
+  // Gate on the request flag, not on whether stats data is present: a
+  // stats=false query must get the plain response shape even when the run
+  // left per-thread entries behind.
+  if (r.stats_requested) {
+    w.field("load_imbalance", r.stats.load_imbalance());
+    w.field("steals", r.stats.total_steals());
+    w.field("duplicate_expansions", r.stats.duplicate_expansions);
+  }
+  w.field("queue_ms", r.queue_ms);
+  w.field("exec_ms", r.exec_ms);
+  w.field("total_ms", r.total_ms);
+  return w.str();
+}
+
+std::string render_stats(const ServiceStats& s) {
+  JsonWriter w;
+  w.field("submitted", s.submitted);
+  w.field("accepted", s.accepted);
+  w.field("rejected", s.rejected);
+  w.field("served_ok", s.served_ok);
+  w.field("timed_out", s.timed_out);
+  w.field("not_found", s.not_found);
+  w.field("failed", s.failed);
+  w.field("invalid", s.invalid);
+  w.field("retries", s.retries);
+  w.field("degraded", s.degraded);
+  w.field("watchdog_cancels", s.watchdog_cancels);
+  w.field("latency_count", s.latency.count);
+  w.field("latency_mean_ms", s.latency.mean_ms);
+  w.field("latency_p50_ms", s.latency.percentile(50));
+  w.field("latency_p95_ms", s.latency.percentile(95));
+  w.field("latency_p99_ms", s.latency.percentile(99));
+  w.field("registry_entries", static_cast<std::uint64_t>(s.registry.entries));
+  w.field("registry_bytes",
+          static_cast<std::uint64_t>(s.registry.resident_bytes));
+  w.field("registry_hit_rate", s.registry.hit_rate());
+  w.field("registry_evictions", s.registry.evictions);
+  return w.str();
+}
+
+std::string render_metrics(const obs::MetricsRegistry::Snapshot& m) {
+  JsonWriter w;
+  for (const auto& c : m.counters) w.field(c.name, c.value);
+  for (const auto& g : m.gauges) w.field(g.name, g.value);
+  for (const auto& h : m.histograms) {
+    w.field(h.name + ".count", h.snapshot.count);
+    w.field(h.name + ".mean_ms", h.snapshot.mean_ms);
+    w.field(h.name + ".p50_ms", h.snapshot.percentile(50));
+    w.field(h.name + ".p95_ms", h.snapshot.percentile(95));
+    w.field(h.name + ".p99_ms", h.snapshot.percentile(99));
+  }
+  return w.str();
+}
 
 }  // namespace smpst::service

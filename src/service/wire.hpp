@@ -16,7 +16,12 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/metrics.hpp"
+
 namespace smpst::service {
+
+struct QueryResult;
+struct ServiceStats;
 
 using Fields = std::map<std::string, std::string>;
 
@@ -57,5 +62,21 @@ class JsonWriter {
   JsonWriter& raw(const std::string& name, const std::string& rendered);
   std::string body_;
 };
+
+/// One response line for a query result. Per-run traversal stats fields
+/// (load_imbalance, steals, duplicate_expansions) are emitted only when the
+/// REQUEST asked for them (r.stats_requested), never merely because the
+/// result object happens to carry populated per-thread data.
+std::string render_result(const QueryResult& r);
+
+/// One response line for the `stats` command: service counters, tail-latency
+/// percentiles, registry occupancy.
+std::string render_stats(const ServiceStats& s);
+
+/// One response line for the `metrics` command: every registered counter and
+/// gauge by name, histograms flattened to <name>.count / <name>.mean_ms /
+/// <name>.p50_ms / <name>.p95_ms / <name>.p99_ms. Flat JSON, so parse_line
+/// round-trips it.
+std::string render_metrics(const obs::MetricsRegistry::Snapshot& m);
 
 }  // namespace smpst::service

@@ -1,0 +1,516 @@
+// Observability layer: trace ring semantics (wraparound, incremental drain,
+// disabled-path cost), Chrome trace_event export (parsed back by a minimal
+// JSON reader), MetricsRegistry under concurrent load, and the two stats
+// regression tests — LatencyHistogram snapshot invariants under concurrent
+// recorders and the non-wrapping duplicate_expansions count on graphs with
+// isolated vertices.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <new>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/bader_cong.hpp"
+#include "core/validate.hpp"
+#include "graph/builder.hpp"
+#include "obs/histogram.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sched/thread_pool.hpp"
+
+// ------------------------------------------------------------------------
+// Counting global allocator: proves the disabled trace path allocates
+// nothing. Covers the scalar/array and sized forms GCC may route through.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace smpst {
+namespace {
+
+namespace trace = obs::trace;
+
+// ------------------------------------------------------------------------
+// Minimal JSON reader, just big enough to parse what the exporter writes:
+// objects, arrays, strings with escapes, numbers, and bare literals.
+struct Json {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Json> array;
+  std::map<std::string, Json> object;
+};
+
+struct JsonReader {
+  const std::string& s;
+  std::size_t pos = 0;
+
+  void ws() {
+    while (pos < s.size() &&
+           std::isspace(static_cast<unsigned char>(s[pos])) != 0) {
+      ++pos;
+    }
+  }
+  char peek() {
+    if (pos >= s.size()) throw std::runtime_error("json: eof");
+    return s[pos];
+  }
+  void expect(char c) {
+    if (peek() != c) {
+      throw std::runtime_error(std::string("json: expected '") + c +
+                               "' at " + std::to_string(pos));
+    }
+    ++pos;
+  }
+  std::string string_value() {
+    expect('"');
+    std::string out;
+    while (peek() != '"') {
+      char c = s[pos++];
+      if (c == '\\') {
+        c = s[pos++];
+        if (c == 'n') c = '\n';
+        if (c == 't') c = '\t';
+      }
+      out += c;
+    }
+    ++pos;
+    return out;
+  }
+  Json value() {
+    ws();
+    Json j;
+    const char c = peek();
+    if (c == '{') {
+      j.kind = Json::Kind::kObject;
+      ++pos;
+      ws();
+      if (peek() == '}') {
+        ++pos;
+        return j;
+      }
+      for (;;) {
+        ws();
+        const std::string key = string_value();
+        ws();
+        expect(':');
+        j.object[key] = value();
+        ws();
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        expect('}');
+        return j;
+      }
+    }
+    if (c == '[') {
+      j.kind = Json::Kind::kArray;
+      ++pos;
+      ws();
+      if (peek() == ']') {
+        ++pos;
+        return j;
+      }
+      for (;;) {
+        j.array.push_back(value());
+        ws();
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        expect(']');
+        return j;
+      }
+    }
+    if (c == '"') {
+      j.kind = Json::Kind::kString;
+      j.string = string_value();
+      return j;
+    }
+    if (c == 't' || c == 'f') {
+      j.kind = Json::Kind::kBool;
+      j.boolean = c == 't';
+      pos += c == 't' ? 4 : 5;
+      return j;
+    }
+    if (c == 'n') {
+      pos += 4;
+      return j;
+    }
+    j.kind = Json::Kind::kNumber;
+    std::size_t consumed = 0;
+    j.number = std::stod(s.substr(pos), &consumed);
+    pos += consumed;
+    return j;
+  }
+};
+
+Json parse_json(const std::string& text) {
+  JsonReader r{text};
+  Json j = r.value();
+  r.ws();
+  EXPECT_EQ(r.pos, text.size()) << "trailing bytes after JSON document";
+  return j;
+}
+
+/// Drains leftovers from other tests so each test starts from empty rings.
+void reset_tracing() {
+  trace::disable();
+  (void)trace::drain();
+}
+
+// ------------------------------------------------------------------------
+// Tracing layer
+
+TEST(Trace, DisabledMacrosCostNoAllocationsAndEmitNothing) {
+  reset_tracing();
+  ASSERT_FALSE(trace::enabled());
+  const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < 10000; ++i) {
+    SMPST_TRACE_SCOPE("obs.test.disabled_scope");
+    SMPST_TRACE_INSTANT("obs.test.disabled_instant");
+  }
+  const std::uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(before, after) << "disabled trace macros must not allocate";
+  trace::enable();
+  const auto events = trace::drain();
+  for (const auto& ev : events) {
+    EXPECT_STRNE(ev.name, "obs.test.disabled_scope");
+    EXPECT_STRNE(ev.name, "obs.test.disabled_instant");
+  }
+  reset_tracing();
+}
+
+TEST(Trace, EmitsCompleteAndInstantEventsWithLaneLabels) {
+  reset_tracing();
+  trace::enable();
+  trace::label_current_thread("obs-test-main");
+  {
+    SMPST_TRACE_SCOPE("obs.test.span");
+    SMPST_TRACE_INSTANT("obs.test.marker");
+  }
+  trace::disable();
+  const auto events = trace::drain();
+  bool saw_span = false;
+  bool saw_marker = false;
+  std::uint32_t span_lane = 0;
+  for (const auto& ev : events) {
+    if (std::string(ev.name) == "obs.test.span") {
+      saw_span = true;
+      span_lane = ev.lane;
+      EXPECT_EQ(ev.phase, 'X');
+    }
+    if (std::string(ev.name) == "obs.test.marker") {
+      saw_marker = true;
+      EXPECT_EQ(ev.phase, 'i');
+      EXPECT_EQ(ev.dur_ns, 0u);
+    }
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_marker);
+  bool labelled = false;
+  for (const auto& lane : trace::lanes()) {
+    if (lane.id == span_lane) labelled = lane.label == "obs-test-main";
+  }
+  EXPECT_TRUE(labelled) << "this thread's lane should carry its label";
+  reset_tracing();
+}
+
+TEST(Trace, RingWrapsKeepingNewestEventsAndCountsDrops) {
+  reset_tracing();
+  const std::uint64_t dropped_before = trace::dropped_events();
+  trace::enable(64);  // applies to rings registered from now on
+  std::thread emitter([] {
+    trace::label_current_thread("wrap-test");
+    for (std::uint64_t i = 0; i < 200; ++i) {
+      trace::emit_complete("obs.test.wrap", i * 100, i * 100 + 50);
+    }
+  });
+  emitter.join();
+  trace::disable();
+
+  std::uint32_t wrap_lane = ~0u;
+  for (const auto& lane : trace::lanes()) {
+    if (lane.label == "wrap-test") wrap_lane = lane.id;
+  }
+  ASSERT_NE(wrap_lane, ~0u);
+
+  std::vector<trace::TraceEvent> mine;
+  for (const auto& ev : trace::drain()) {
+    if (ev.lane == wrap_lane) mine.push_back(ev);
+  }
+  ASSERT_EQ(mine.size(), 64u) << "ring keeps exactly its capacity";
+  // The survivors are the NEWEST 64 events (numbers 136..199), in order.
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    EXPECT_EQ(mine[i].ts_ns, (136 + i) * 100) << "at " << i;
+    EXPECT_EQ(mine[i].dur_ns, 50u) << "at " << i;
+  }
+  EXPECT_EQ(trace::dropped_events() - dropped_before, 136u);
+  reset_tracing();
+}
+
+TEST(Trace, DrainIsIncremental) {
+  reset_tracing();
+  trace::enable();
+  SMPST_TRACE_INSTANT("obs.test.first");
+  auto count_named = [](const std::vector<trace::TraceEvent>& evs,
+                        const char* name) {
+    std::size_t n = 0;
+    for (const auto& ev : evs) {
+      if (std::string(ev.name) == name) ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count_named(trace::drain(), "obs.test.first"), 1u);
+  SMPST_TRACE_INSTANT("obs.test.second");
+  const auto second = trace::drain();
+  EXPECT_EQ(count_named(second, "obs.test.first"), 0u)
+      << "already-drained events must not repeat";
+  EXPECT_EQ(count_named(second, "obs.test.second"), 1u);
+  reset_tracing();
+}
+
+TEST(Trace, ChromeExportIsValidJsonWithLanesAndPhases) {
+  reset_tracing();
+  trace::enable();
+  trace::label_current_thread("obs-test-main");
+  {
+    SMPST_TRACE_SCOPE("obs.test.outer");
+    SMPST_TRACE_INSTANT("obs.test.point");
+  }
+  std::thread worker([] {
+    trace::label_current_thread("obs-test-worker", 0);
+    SMPST_TRACE_INSTANT("obs.test.worker_point");
+  });
+  worker.join();
+  trace::disable();
+
+  std::ostringstream os;
+  const std::size_t written = trace::write_chrome_trace(os);
+  EXPECT_GE(written, 3u);
+  const Json doc = parse_json(os.str());
+  ASSERT_EQ(doc.kind, Json::Kind::kObject);
+  ASSERT_EQ(doc.object.count("traceEvents"), 1u);
+  const Json& events = doc.object.at("traceEvents");
+  ASSERT_EQ(events.kind, Json::Kind::kArray);
+
+  std::map<std::string, int> phases;            // ph -> count
+  std::map<double, std::string> lane_names;     // tid -> thread_name
+  std::map<std::string, double> event_lane;     // name -> tid
+  for (const Json& ev : events.array) {
+    ASSERT_EQ(ev.kind, Json::Kind::kObject);
+    ASSERT_EQ(ev.object.count("ph"), 1u);
+    ASSERT_EQ(ev.object.count("pid"), 1u);
+    ASSERT_EQ(ev.object.count("tid"), 1u);
+    ASSERT_EQ(ev.object.count("name"), 1u);
+    const std::string ph = ev.object.at("ph").string;
+    ++phases[ph];
+    const double tid = ev.object.at("tid").number;
+    const std::string name = ev.object.at("name").string;
+    if (ph == "M") {
+      lane_names[tid] = ev.object.at("args").object.at("name").string;
+    } else {
+      event_lane[name] = tid;
+      ASSERT_EQ(ev.object.count("ts"), 1u);
+      EXPECT_GE(ev.object.at("ts").number, 0.0);
+    }
+    if (ph == "X") {
+      ASSERT_EQ(ev.object.count("dur"), 1u);
+      EXPECT_GE(ev.object.at("dur").number, 0.0);
+    }
+    if (ph == "i") EXPECT_EQ(ev.object.at("s").string, "t");
+  }
+  EXPECT_GE(phases["M"], 2) << "one thread_name record per lane";
+  EXPECT_GE(phases["X"], 1);
+  EXPECT_GE(phases["i"], 2);
+  // Events land on the lane named after their thread.
+  ASSERT_EQ(event_lane.count("obs.test.outer"), 1u);
+  ASSERT_EQ(event_lane.count("obs.test.worker_point"), 1u);
+  EXPECT_EQ(lane_names[event_lane["obs.test.outer"]], "obs-test-main");
+  EXPECT_EQ(lane_names[event_lane["obs.test.worker_point"]],
+            "obs-test-worker-0");
+  EXPECT_NE(event_lane["obs.test.outer"],
+            event_lane["obs.test.worker_point"]);
+  reset_tracing();
+}
+
+// ------------------------------------------------------------------------
+// MetricsRegistry
+
+TEST(Metrics, SameNameReturnsSameInstrument) {
+  auto& reg = obs::MetricsRegistry::instance();
+  EXPECT_EQ(&reg.counter("obs.test.same"), &reg.counter("obs.test.same"));
+  EXPECT_EQ(&reg.gauge("obs.test.same_g"), &reg.gauge("obs.test.same_g"));
+  EXPECT_EQ(&reg.histogram("obs.test.same_h"),
+            &reg.histogram("obs.test.same_h"));
+}
+
+TEST(Metrics, SnapshotUnderConcurrentLoadIsMonotoneAndComplete) {
+  auto& reg = obs::MetricsRegistry::instance();
+  obs::Counter& counter = reg.counter("obs.test.load_counter");
+  obs::Gauge& gauge = reg.gauge("obs.test.load_gauge");
+  obs::LatencyHistogram& hist = reg.histogram("obs.test.load_hist");
+  const std::uint64_t base = counter.value();
+
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> updaters;
+  updaters.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    updaters.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        counter.add(1);
+        gauge.add(t % 2 == 0 ? 1 : -1);
+        hist.record_ms(static_cast<double>(i % 7));
+      }
+    });
+  }
+  std::uint64_t last = base;
+  while (!stop.load(std::memory_order_relaxed)) {
+    const auto snap = reg.snapshot();
+    bool found = false;
+    for (const auto& c : snap.counters) {
+      if (c.name == "obs.test.load_counter") {
+        found = true;
+        EXPECT_GE(c.value, last) << "counter must be monotone over snapshots";
+        EXPECT_LE(c.value, base + kThreads * kPerThread);
+        last = c.value;
+      }
+    }
+    EXPECT_TRUE(found) << "registered instruments appear in every snapshot";
+    if (last == base + kThreads * kPerThread) stop.store(true);
+  }
+  for (auto& t : updaters) t.join();
+  const auto final_snap = reg.snapshot();
+  for (const auto& c : final_snap.counters) {
+    if (c.name == "obs.test.load_counter") {
+      EXPECT_EQ(c.value, base + kThreads * kPerThread);
+    }
+  }
+}
+
+// ------------------------------------------------------------------------
+// Regression: LatencyHistogram::snapshot() internal consistency under
+// concurrent record_ms (the old implementation could report min > max or a
+// count that disagreed with the bucket sum).
+
+TEST(Histogram, SnapshotInvariantsHoldUnderConcurrentRecorders) {
+  obs::LatencyHistogram hist;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> recorders;
+  for (int t = 0; t < 4; ++t) {
+    recorders.emplace_back([&, t] {
+      std::uint64_t x = 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        hist.record_ms(static_cast<double>(x % 10007) / 10.0);
+      }
+    });
+  }
+  for (int round = 0; round < 3000; ++round) {
+    const auto s = hist.snapshot();
+    std::uint64_t bucket_sum = 0;
+    for (const auto b : s.buckets) bucket_sum += b;
+    ASSERT_EQ(s.count, bucket_sum)
+        << "count must equal the bucket sum in every snapshot";
+    if (s.count == 0) continue;
+    ASSERT_LE(s.min_ms, s.mean_ms) << "round " << round;
+    ASSERT_LE(s.mean_ms, s.max_ms) << "round " << round;
+    const double p0 = s.percentile(0);
+    const double p50 = s.percentile(50);
+    const double p100 = s.percentile(100);
+    ASSERT_LE(p0, p50);
+    ASSERT_LE(p50, p100);
+    ASSERT_GE(p0, s.min_ms);
+    ASSERT_LE(p100, s.max_ms);
+  }
+  stop.store(true);
+  for (auto& t : recorders) t.join();
+}
+
+TEST(Histogram, SingleThreadedStatsAreExact) {
+  obs::LatencyHistogram hist;
+  hist.record_ms(1.0);
+  hist.record_ms(2.0);
+  hist.record_ms(9.0);
+  const auto s = hist.snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_NEAR(s.mean_ms, 4.0, 1e-9);
+  EXPECT_NEAR(s.min_ms, 1.0, 1e-9);
+  EXPECT_NEAR(s.max_ms, 9.0, 1e-9);
+  // Percentiles resolve to power-of-two bucket edges, clamped to [min, max]:
+  // p0 lands within the 1.0ms sample's bucket, p100 clamps to the max.
+  EXPECT_GE(s.percentile(0), s.min_ms);
+  EXPECT_LT(s.percentile(0), 2.0);
+  EXPECT_NEAR(s.percentile(100), 9.0, 1e-9);
+}
+
+// ------------------------------------------------------------------------
+// Regression: duplicate_expansions on graphs where fewer than n vertices
+// flow through the traversal queues. The old computation
+// (total_processed() - n) wrapped the uint64 in that case.
+
+TEST(DuplicateExpansions, BoundedOnGraphWithIsolatedVertices) {
+  // 100-vertex path, then 900 isolated vertices.
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v + 1 < 100; ++v) edges.push_back({v, v + 1});
+  const Graph g = GraphBuilder::from_edges(1000, edges);
+
+  for (const std::size_t p : {1u, 2u, 4u}) {
+    ThreadPool pool(p);
+    BaderCongOptions opts;
+    TraversalStats stats;
+    opts.stats = &stats;
+    const SpanningForest forest = bader_cong_spanning_tree(g, pool, opts);
+    EXPECT_TRUE(validate_spanning_forest(g, forest).ok);
+    // The bound that proves no wraparound: duplicates are a subset of the
+    // dequeues, so the count can never exceed total_processed() (a wrapped
+    // value would exceed it by ~2^64).
+    EXPECT_LE(stats.duplicate_expansions, stats.total_processed())
+        << "p=" << p;
+  }
+}
+
+TEST(DuplicateExpansions, ZeroOnSingleThreadedConnectedRun) {
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v + 1 < 256; ++v) edges.push_back({v, v + 1});
+  const Graph g = GraphBuilder::from_edges(256, edges);
+  ThreadPool pool(1);
+  BaderCongOptions opts;
+  TraversalStats stats;
+  opts.stats = &stats;
+  const SpanningForest forest = bader_cong_spanning_tree(g, pool, opts);
+  EXPECT_TRUE(validate_spanning_forest(g, forest).ok);
+  // One thread can never race itself into a duplicate colouring.
+  EXPECT_EQ(stats.duplicate_expansions, 0u);
+}
+
+}  // namespace
+}  // namespace smpst

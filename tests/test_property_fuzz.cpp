@@ -125,5 +125,38 @@ TEST(Fuzz, RandomPipelinesAlwaysValidate) {
   }
 }
 
+// Property: duplicate_expansions counts real duplicate colourings, so it can
+// never exceed the number of dequeues — a wrapped value would exceed it by
+// ~2^64. Random sparse graphs with a large isolated-vertex tail exercise the
+// case the old computation (total_processed() - num_vertices) underflowed on.
+TEST(Fuzz, DuplicateExpansionsNeverWrapsOnDisconnectedGraphs) {
+  Xoshiro256 rng(0xd00d);
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    const auto reachable = static_cast<VertexId>(2 + rng.next_bounded(200));
+    const auto isolated = static_cast<VertexId>(rng.next_bounded(500));
+    const VertexId n = reachable + isolated;
+    const auto m = rng.next_bounded(3 * reachable);
+    std::vector<Edge> edges;
+    for (EdgeId e = 0; e < m; ++e) {
+      edges.push_back(
+          {static_cast<VertexId>(rng.next_bounded(reachable)),
+           static_cast<VertexId>(rng.next_bounded(reachable))});
+    }
+    const Graph g = GraphBuilder::from_edges(n, edges);
+
+    BaderCongOptions opts;
+    opts.seed = rng.next();
+    TraversalStats stats;
+    opts.stats = &stats;
+    const SpanningForest forest = bader_cong_spanning_tree(g, pool, opts);
+    ASSERT_TRUE(validate_spanning_forest(g, forest))
+        << "round " << round << ": n=" << n << " m=" << m;
+    ASSERT_LE(stats.duplicate_expansions, stats.total_processed())
+        << "round " << round << ": wrapped (n=" << n
+        << ", dequeued=" << stats.total_processed() << ")";
+  }
+}
+
 }  // namespace
 }  // namespace smpst

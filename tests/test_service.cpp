@@ -487,6 +487,62 @@ TEST(Wire, MalformedInputThrows) {
   EXPECT_THROW(parse_line("key=value first"), std::invalid_argument);
 }
 
+// Regression: stats emission is gated on what the REQUEST asked for, not on
+// whether the result object happens to carry populated per-thread data (the
+// old renderer keyed on r.stats.per_thread.size() > 0, so internal stats
+// collection leaked into stats=false responses).
+TEST(Wire, StatsFieldsFollowTheRequestFlagNotTheData) {
+  QueryResult r;
+  r.status = QueryStatus::kOk;
+  r.graph = "g";
+  r.algorithm = "bader-cong";
+  r.stats.per_thread.resize(2);  // populated, but the client never asked
+  r.stats.per_thread[0].vertices_processed = 128;
+  r.stats.duplicate_expansions = 3;
+  r.stats_requested = false;
+  const Fields quiet = parse_line(render_result(r));
+  EXPECT_EQ(quiet.count("load_imbalance"), 0u);
+  EXPECT_EQ(quiet.count("steals"), 0u);
+  EXPECT_EQ(quiet.count("duplicate_expansions"), 0u);
+
+  r.stats_requested = true;
+  const Fields verbose = parse_line(render_result(r));
+  EXPECT_EQ(verbose.count("load_imbalance"), 1u);
+  EXPECT_EQ(verbose.count("steals"), 1u);
+  EXPECT_EQ(verbose.at("duplicate_expansions"), "3");
+}
+
+TEST(QueryExecutor, PropagatesStatsRequestedToTheResult) {
+  GraphRegistry registry;
+  registry.put("g", small_graph());
+  QueryExecutor executor(registry, two_workers());
+  for (const bool want : {false, true}) {
+    SpanningTreeRequest req;
+    req.graph = "g";
+    req.want_stats = want;
+    const QueryResult r = executor.submit(std::move(req)).get();
+    ASSERT_EQ(r.status, QueryStatus::kOk);
+    EXPECT_EQ(r.stats_requested, want);
+    const Fields f = parse_line(render_result(r));
+    EXPECT_EQ(f.count("duplicate_expansions"), want ? 1u : 0u);
+  }
+}
+
+TEST(Wire, RenderMetricsIsFlatJsonCoveringEveryInstrumentKind) {
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.counter("wire.test.counter").add(7);
+  reg.gauge("wire.test.gauge").set(-2);
+  reg.histogram("wire.test.hist").record_ms(5.0);
+  const Fields f = parse_line(render_metrics(reg.snapshot()));
+  EXPECT_EQ(f.at("wire.test.counter"), "7");
+  EXPECT_EQ(f.at("wire.test.gauge"), "-2");
+  EXPECT_EQ(f.at("wire.test.hist.count"), "1");
+  EXPECT_EQ(f.count("wire.test.hist.mean_ms"), 1u);
+  EXPECT_EQ(f.count("wire.test.hist.p50_ms"), 1u);
+  EXPECT_EQ(f.count("wire.test.hist.p95_ms"), 1u);
+  EXPECT_EQ(f.count("wire.test.hist.p99_ms"), 1u);
+}
+
 TEST(Wire, WriterRoundTripsThroughParser) {
   JsonWriter w;
   w.field("cmd", "query");

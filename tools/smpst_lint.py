@@ -6,7 +6,8 @@ express:
 
   SL001 implicit-memory-order
       Every operation on a std::atomic / std::atomic_ref / std::atomic_flag
-      variable declared in src/core or src/sched must name an explicit
+      variable declared in src/core, src/sched or src/obs must name an
+      explicit
       std::memory_order.  Defaulted seq_cst hides the author's intent and
       makes the memory-order audit unreviewable.  Compound operators
       (++, --, +=, =, ...) on atomics are implicit seq_cst and are flagged
@@ -25,7 +26,7 @@ express:
       that window strands the other parties at the barrier forever.
 
   SL004 raw-concurrency-primitive
-      src/core and src/sched must not use raw std::mutex,
+      src/core, src/sched and src/obs must not use raw std::mutex,
       std::recursive_mutex, std::timed_mutex, std::shared_mutex,
       std::lock_guard, std::unique_lock, std::scoped_lock,
       std::condition_variable(_any), std::thread or std::jthread.  The
@@ -315,7 +316,8 @@ def classify(root: pathlib.Path, path: pathlib.Path,
         rel = path.resolve().relative_to(root.resolve()).as_posix()
     except ValueError:
         rel = path.as_posix()
-    core_or_sched = ("src/core/" in f"/{rel}" or "src/sched/" in f"/{rel}")
+    core_or_sched = ("src/core/" in f"/{rel}" or "src/sched/" in f"/{rel}"
+                     or "src/obs/" in f"/{rel}")
     if forced_scope in ("core", "sched"):
         core_or_sched = True
     thread_owner = bool(re.search(r"sched/thread_pool\.(hpp|cpp)$", rel))

@@ -13,6 +13,12 @@
 //                                        as one atomically-admitted batch
 //   stats                                service + registry counters, tail
 //                                        latency percentiles
+//   metrics                              process-wide MetricsRegistry dump
+//                                        (counters, gauges, histograms)
+//   trace file=out.json                  drain the trace buffers to a Chrome
+//                                        trace_event file (about:tracing /
+//                                        Perfetto); enables tracing if it is
+//                                        off so later drains see new events
 //   list                                 resident graphs, MRU first
 //   evict name=g1                        drop a graph from the registry
 //   quit                                 drain and exit
@@ -23,6 +29,9 @@
 //   {"ok":true,"name":"g","vertices":16384,...}
 //   query graph=g algo=bader-cong validate=1
 //   {"status":"ok","graph":"g",...}
+//
+// SMPST_TRACE=<file> in the environment enables tracing before main() and
+// writes the Chrome trace at exit (docs/OBSERVABILITY.md).
 #include <iostream>
 #include <memory>
 #include <string>
@@ -31,6 +40,8 @@
 #include "bench_util/cli.hpp"
 #include "core/algorithms.hpp"
 #include "gen/registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/executor.hpp"
 #include "service/wire.hpp"
 
@@ -110,61 +121,6 @@ SpanningTreeRequest request_from(const Fields& f) {
   req.validate = get_bool(f, "validate", false);
   req.want_stats = get_bool(f, "stats", false);
   return req;
-}
-
-std::string render_result(const QueryResult& r) {
-  JsonWriter w;
-  w.field("status", to_string(r.status));
-  w.field("graph", r.graph);
-  w.field("algo", r.algorithm);
-  if (!r.error.empty()) w.field("error", r.error);
-  if (r.forest.num_vertices() > 0) {
-    w.field("vertices", static_cast<std::uint64_t>(r.forest.num_vertices()));
-    w.field("trees", static_cast<std::uint64_t>(r.num_trees));
-  }
-  if (r.validated) w.field("valid", r.validation.ok);
-  // Robustness telemetry, emitted only when something unusual happened so
-  // the common-case response shape stays unchanged.
-  if (r.attempts > 1) {
-    w.field("attempts", static_cast<std::uint64_t>(r.attempts));
-  }
-  if (r.degraded) w.field("degraded", true);
-  if (r.watchdog_cancelled) w.field("watchdog_cancelled", true);
-  if (r.stats.per_thread.size() > 0) {
-    w.field("load_imbalance", r.stats.load_imbalance());
-    w.field("steals", r.stats.total_steals());
-    w.field("duplicate_expansions", r.stats.duplicate_expansions);
-  }
-  w.field("queue_ms", r.queue_ms);
-  w.field("exec_ms", r.exec_ms);
-  w.field("total_ms", r.total_ms);
-  return w.str();
-}
-
-std::string render_stats(const ServiceStats& s) {
-  JsonWriter w;
-  w.field("submitted", s.submitted);
-  w.field("accepted", s.accepted);
-  w.field("rejected", s.rejected);
-  w.field("served_ok", s.served_ok);
-  w.field("timed_out", s.timed_out);
-  w.field("not_found", s.not_found);
-  w.field("failed", s.failed);
-  w.field("invalid", s.invalid);
-  w.field("retries", s.retries);
-  w.field("degraded", s.degraded);
-  w.field("watchdog_cancels", s.watchdog_cancels);
-  w.field("latency_count", s.latency.count);
-  w.field("latency_mean_ms", s.latency.mean_ms);
-  w.field("latency_p50_ms", s.latency.percentile(50));
-  w.field("latency_p95_ms", s.latency.percentile(95));
-  w.field("latency_p99_ms", s.latency.percentile(99));
-  w.field("registry_entries", static_cast<std::uint64_t>(s.registry.entries));
-  w.field("registry_bytes",
-          static_cast<std::uint64_t>(s.registry.resident_bytes));
-  w.field("registry_hit_rate", s.registry.hit_rate());
-  w.field("registry_evictions", s.registry.evictions);
-  return w.str();
 }
 
 std::string describe(const GraphRegistry::EntryInfo& e) {
@@ -257,6 +213,22 @@ int serve(GraphRegistry& registry, QueryExecutor& executor) {
         for (const auto& r : responses) std::cout << r << "\n";
       } else if (cmd == "stats") {
         std::cout << render_stats(executor.stats()) << "\n";
+      } else if (cmd == "metrics") {
+        std::cout << render_metrics(obs::MetricsRegistry::instance().snapshot())
+                  << "\n";
+      } else if (cmd == "trace") {
+        const std::string path = require(f, "file");
+        // First use turns tracing on, so a session can ask for a trace
+        // without restarting under SMPST_TRACE; this drain is then empty and
+        // the next one covers the load that follows.
+        if (!obs::trace::enabled()) obs::trace::enable();
+        std::size_t events = 0;
+        const bool ok = obs::trace::write_chrome_trace_file(path, &events);
+        JsonWriter w;
+        w.field("ok", ok);
+        w.field("file", path);
+        w.field("events", static_cast<std::uint64_t>(events));
+        std::cout << w.str() << "\n";
       } else if (cmd == "list") {
         for (const auto& e : registry.list()) {
           std::cout << describe(e) << "\n";
@@ -309,6 +281,7 @@ int main(int argc, char** argv) try {
       static_cast<std::size_t>(cli.get_int("queue-capacity", 64));
   cli.reject_unknown();
 
+  smpst::obs::trace::label_current_thread("main");
   GraphRegistry registry(reg_opts);
   QueryExecutor executor(registry, exec_opts);
   return serve(registry, executor);
