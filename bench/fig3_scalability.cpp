@@ -9,6 +9,7 @@
 //
 // Usage: fig3_scalability [--sizes=65536,131072,262144] [--p=8] [--reps=3]
 //        [--seed=...] [--csv] [--full]  (--full uses the paper's 1M..4M)
+//        [--pin]                        (pin workers: steadier curves)
 //        [--trace=out.json]             (Chrome trace of the whole sweep)
 #include <iostream>
 
@@ -38,6 +39,7 @@ int main(int argc, char** argv) try {
   const auto reps = static_cast<std::size_t>(cli.get_int("reps", 3));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 0x5eed));
   const bool csv = cli.get_bool("csv", false);
+  const bool pin = cli.get_bool("pin", false);
   const std::string trace_path = cli.get_string("trace", "");
   cli.reject_unknown();
   if (!trace_path.empty()) {
@@ -52,7 +54,9 @@ int main(int argc, char** argv) try {
   bench::Table table({"n", "m", "seq_wall", "par_wall", "seq_e4500",
                       "par_e4500", "speedup_e4500"});
   const auto machine = model::sun_e4500();
-  ThreadPool pool(p);
+  ThreadPoolOptions pool_opts;
+  pool_opts.pin_threads = pin;
+  ThreadPool pool(p, pool_opts);
 
   for (const std::int64_t size : sizes) {
     const auto n = static_cast<VertexId>(size);

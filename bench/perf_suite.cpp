@@ -1,0 +1,40 @@
+// Reproducible benchmark baseline: runs seq-BFS, Bader–Cong, parallel-BFS,
+// and SV over the paper's graph families and writes the machine-readable,
+// schema-versioned BENCH_smpst.json next to the human-readable progress
+// report, so perf claims can be diffed across commits (docs/BENCHMARKING.md).
+//
+// Usage: perf_suite [--scale=tiny|small|medium|large] [--n=32768]
+//                   [--families=torus-rowmajor,random-nlogn,...]
+//                   [--threads=1,2,4] [--repeats=5] [--seed=...]
+//                   [--no-sv] [--no-pbfs] [--pin]
+//                   [--out=BENCH_smpst.json] [--trace=out.json]
+//                   [--failpoints=site=spec;...]
+#include <iostream>
+
+#include "bench_util/cli.hpp"
+#include "bench_util/perf_suite.hpp"
+
+using namespace smpst;
+
+int main(int argc, char** argv) try {
+  const bench::Cli cli(argc, argv);
+  const bench::PerfSuiteConfig config = bench::perf_suite_config_from_cli(cli);
+  const std::string out_path = cli.get_string("out", "BENCH_smpst.json");
+  cli.reject_unknown();
+
+  std::cout << "== perf_suite: seq-BFS / Bader-Cong / parallel-BFS / SV, n="
+            << config.n << ", repeats=" << config.repeats << " ==\n";
+  const bench::PerfSuiteResult result =
+      bench::run_perf_suite(config, std::cout);
+
+  if (!bench::write_perf_suite_json_file(result, out_path)) {
+    std::cerr << "perf_suite: failed to write " << out_path << "\n";
+    return 1;
+  }
+  std::cout << "# wrote " << out_path << " (schema_version="
+            << bench::kPerfSuiteSchemaVersion << ")\n";
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "perf_suite: " << e.what() << "\n";
+  return 1;
+}

@@ -1,0 +1,358 @@
+#include "bench_util/perf_suite.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "core/bader_cong.hpp"
+#include "core/bfs.hpp"
+#include "core/parallel_bfs.hpp"
+#include "core/shiloach_vishkin.hpp"
+#include "core/validate.hpp"
+#include "gen/registry.hpp"
+#include "graph/stats.hpp"
+#include "obs/trace.hpp"
+#include "sched/thread_pool.hpp"
+#include "support/assert.hpp"
+#include "support/cpu.hpp"
+#include "support/failpoint.hpp"
+
+namespace smpst::bench {
+
+namespace {
+
+/// Wall times can quantize to ~0 on tiny instances; dividing by the clamp
+/// instead keeps every published speedup finite and positive.
+constexpr double kMinSeconds = 1e-12;
+
+double safe_speedup(double baseline_s, double this_s) {
+  return (baseline_s < kMinSeconds ? kMinSeconds : baseline_s) /
+         (this_s < kMinSeconds ? kMinSeconds : this_s);
+}
+
+VertexId scale_to_n(const std::string& scale) {
+  if (scale == "tiny") return 1 << 12;
+  if (scale == "small") return 1 << 15;
+  if (scale == "medium") return 1 << 17;
+  if (scale == "large") return 1 << 20;
+  throw std::invalid_argument("unknown --scale '" + scale +
+                              "' (tiny|small|medium|large)");
+}
+
+/// JSON string escaping for the keys/values we emit (family names, algo
+/// names, failpoint specs). Control characters become \u00XX.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// JSON has no NaN/Infinity literals; non-finite values (which the suite
+/// should never produce) degrade to 0 rather than corrupting the document.
+std::string json_double(double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+void write_timing(std::ostream& os, const TimingStats& t,
+                  const char* indent) {
+  os << "{\n"
+     << indent << "  \"median_s\": " << json_double(t.median_s) << ",\n"
+     << indent << "  \"min_s\": " << json_double(t.min_s) << ",\n"
+     << indent << "  \"mean_s\": " << json_double(t.mean_s) << ",\n"
+     << indent << "  \"stddev_s\": " << json_double(t.stddev_s) << ",\n"
+     << indent << "  \"repetitions\": " << t.repetitions << "\n"
+     << indent << "}";
+}
+
+PerfRun measure_bader_cong(const Graph& g, ThreadPool& pool, std::size_t p,
+                           const PerfSuiteConfig& config, double seq_median) {
+  BaderCongOptions opts;
+  opts.seed = config.seed;
+  SpanningForest forest;
+  PerfRun run;
+  run.algo = "bader_cong";
+  run.p = p;
+  run.timing = time_repeated(
+      [&] { forest = bader_cong_spanning_tree(g, pool, opts); },
+      config.repeats);
+  const auto report = validate_spanning_forest(g, forest);
+  SMPST_CHECK(report.ok, report.error.c_str());
+  run.speedup_vs_seq_bfs = safe_speedup(seq_median, run.timing.median_s);
+
+  // One extra instrumented run for the observability column (kept out of the
+  // timed loop: stats collection is cheap but not free).
+  TraversalStats stats;
+  opts.stats = &stats;
+  forest = bader_cong_spanning_tree(g, pool, opts);
+  SMPST_CHECK(validate_spanning_forest(g, forest).ok,
+              "instrumented bader_cong run produced an invalid forest");
+  run.steals = stats.total_steals();
+  for (const auto& t : stats.per_thread) {
+    run.steal_attempts += t.steal_attempts;
+    run.sleep_episodes += t.sleep_episodes;
+  }
+  run.duplicate_expansions = stats.duplicate_expansions;
+  run.fallback_triggered = stats.fallback_triggered;
+  run.load_imbalance = stats.load_imbalance();
+  return run;
+}
+
+PerfRun measure_parallel_bfs(const Graph& g, ThreadPool& pool, std::size_t p,
+                             const PerfSuiteConfig& config,
+                             double seq_median) {
+  ParallelBfsOptions opts;
+  SpanningForest forest;
+  PerfRun run;
+  run.algo = "parallel_bfs";
+  run.p = p;
+  run.timing = time_repeated(
+      [&] { forest = parallel_bfs_spanning_tree(g, pool, opts); },
+      config.repeats);
+  const auto report = validate_spanning_forest(g, forest);
+  SMPST_CHECK(report.ok, report.error.c_str());
+  run.speedup_vs_seq_bfs = safe_speedup(seq_median, run.timing.median_s);
+  return run;
+}
+
+PerfRun measure_sv(const Graph& g, ThreadPool& pool, std::size_t p,
+                   const PerfSuiteConfig& config, double seq_median) {
+  SvOptions opts;
+  SvStats stats;
+  opts.stats = &stats;
+  SpanningForest forest;
+  PerfRun run;
+  run.algo = "sv";
+  run.p = p;
+  run.timing = time_repeated(
+      [&] { forest = sv_spanning_tree(g, pool, opts); }, config.repeats);
+  const auto report = validate_spanning_forest(g, forest);
+  SMPST_CHECK(report.ok, report.error.c_str());
+  run.speedup_vs_seq_bfs = safe_speedup(seq_median, run.timing.median_s);
+  run.sv_iterations = stats.iterations;
+  return run;
+}
+
+}  // namespace
+
+PerfSuiteConfig perf_suite_config_from_cli(const Cli& cli) {
+  PerfSuiteConfig cfg;
+
+  const std::string families = cli.get_string("families", "");
+  if (!families.empty()) {
+    cfg.families.clear();
+    std::size_t start = 0;
+    while (start <= families.size()) {
+      const std::size_t comma = families.find(',', start);
+      const std::size_t end = comma == std::string::npos ? families.size()
+                                                         : comma;
+      if (end > start) {
+        cfg.families.push_back(families.substr(start, end - start));
+      }
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
+
+  cfg.n = scale_to_n(cli.get_string("scale", "small"));
+  cfg.n = static_cast<VertexId>(cli.get_int("n", cfg.n));
+  cfg.threads = cli.get_int_list("threads", cfg.threads);
+  cfg.repeats = static_cast<std::size_t>(cli.get_int("repeats", 5));
+  cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 0x5eed));
+  cfg.run_sv = !cli.get_bool("no-sv", false);
+  cfg.run_parallel_bfs = !cli.get_bool("no-pbfs", false);
+  cfg.pin_threads = cli.get_bool("pin", false);
+  cfg.trace_path = cli.get_string("trace", "");
+  cfg.failpoint_spec = cli.get_string("failpoints", "");
+  return cfg;
+}
+
+PerfSuiteResult run_perf_suite(const PerfSuiteConfig& config,
+                               std::ostream& progress) {
+  SMPST_CHECK(!config.families.empty(), "perf_suite: no families given");
+  SMPST_CHECK(!config.threads.empty(), "perf_suite: no thread counts given");
+  SMPST_CHECK(config.repeats >= 1, "perf_suite: repeats must be >= 1");
+  for (const auto& family : config.families) {
+    if (!gen::is_family(family)) {
+      throw std::invalid_argument("perf_suite: unknown family '" + family +
+                                  "'");
+    }
+  }
+
+  if (!config.trace_path.empty()) {
+    obs::trace::label_current_thread("perf-suite-driver");
+    obs::trace::enable();
+  }
+  if (!config.failpoint_spec.empty()) {
+    fail::enable_from_spec_list(config.failpoint_spec);
+  }
+
+  PerfSuiteResult result;
+  result.config = config;
+  result.host_hardware_threads = hardware_threads();
+  result.generated_unix_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+
+  for (const auto& family : config.families) {
+    PerfFamilyResult fam;
+    fam.family = family;
+    const Graph g = gen::make_family(family, config.n, config.seed);
+    const auto gstats = compute_stats(g);
+    fam.n = g.num_vertices();
+    fam.m = g.num_edges();
+    fam.components = gstats.num_components;
+
+    SpanningForest seq_forest;
+    fam.seq_bfs = time_repeated(
+        [&] { seq_forest = bfs_spanning_tree(g); }, config.repeats);
+    SMPST_CHECK(validate_spanning_forest(g, seq_forest).ok,
+                "sequential baseline produced an invalid forest");
+    progress << "# family=" << family << " n=" << fam.n << " m=" << fam.m
+             << " seq_bfs_median=" << json_double(fam.seq_bfs.median_s)
+             << "s\n";
+
+    for (const std::int64_t pi : config.threads) {
+      const auto p = static_cast<std::size_t>(pi);
+      SMPST_CHECK(p >= 1, "perf_suite: thread counts must be >= 1");
+      ThreadPoolOptions pool_opts;
+      pool_opts.pin_threads = config.pin_threads;
+      ThreadPool pool(p, pool_opts);
+
+      fam.runs.push_back(
+          measure_bader_cong(g, pool, p, config, fam.seq_bfs.median_s));
+      progress << "#   p=" << p << " bader_cong median="
+               << json_double(fam.runs.back().timing.median_s) << "s speedup="
+               << json_double(fam.runs.back().speedup_vs_seq_bfs) << "\n";
+
+      if (config.run_parallel_bfs) {
+        fam.runs.push_back(
+            measure_parallel_bfs(g, pool, p, config, fam.seq_bfs.median_s));
+      }
+      if (config.run_sv) {
+        fam.runs.push_back(
+            measure_sv(g, pool, p, config, fam.seq_bfs.median_s));
+      }
+    }
+    result.families.push_back(std::move(fam));
+  }
+
+  if (!config.trace_path.empty()) {
+    std::size_t events = 0;
+    if (obs::trace::write_chrome_trace_file(config.trace_path, &events)) {
+      progress << "# trace: " << events << " events -> " << config.trace_path
+               << "\n";
+    } else {
+      progress << "# trace: failed to write " << config.trace_path << "\n";
+    }
+  }
+  if (!config.failpoint_spec.empty()) {
+    fail::disable_all();  // leave the process clean for in-process callers
+  }
+  return result;
+}
+
+void write_perf_suite_json(const PerfSuiteResult& result, std::ostream& os) {
+  const auto& cfg = result.config;
+  os << "{\n"
+     << "  \"schema_version\": " << kPerfSuiteSchemaVersion << ",\n"
+     << "  \"benchmark\": \"smpst.perf_suite\",\n"
+     << "  \"generated_unix_ms\": " << result.generated_unix_ms << ",\n"
+     << "  \"host\": {\n"
+     << "    \"hardware_threads\": " << result.host_hardware_threads << ",\n"
+     << "    \"pinned\": " << (cfg.pin_threads ? "true" : "false") << "\n"
+     << "  },\n"
+     << "  \"config\": {\n"
+     << "    \"n\": " << cfg.n << ",\n"
+     << "    \"repeats\": " << cfg.repeats << ",\n"
+     << "    \"seed\": " << cfg.seed << ",\n"
+     << "    \"failpoints\": \"" << json_escape(cfg.failpoint_spec) << "\",\n"
+     << "    \"threads\": [";
+  for (std::size_t i = 0; i < cfg.threads.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << cfg.threads[i];
+  }
+  os << "],\n"
+     << "    \"families\": [";
+  for (std::size_t i = 0; i < cfg.families.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << '"' << json_escape(cfg.families[i]) << '"';
+  }
+  os << "]\n"
+     << "  },\n"
+     << "  \"families\": [\n";
+
+  for (std::size_t fi = 0; fi < result.families.size(); ++fi) {
+    const auto& fam = result.families[fi];
+    os << "    {\n"
+       << "      \"family\": \"" << json_escape(fam.family) << "\",\n"
+       << "      \"n\": " << fam.n << ",\n"
+       << "      \"m\": " << fam.m << ",\n"
+       << "      \"components\": " << fam.components << ",\n"
+       << "      \"seq_bfs\": ";
+    write_timing(os, fam.seq_bfs, "      ");
+    os << ",\n"
+       << "      \"runs\": [\n";
+    for (std::size_t ri = 0; ri < fam.runs.size(); ++ri) {
+      const auto& run = fam.runs[ri];
+      os << "        {\n"
+         << "          \"algo\": \"" << json_escape(run.algo) << "\",\n"
+         << "          \"p\": " << run.p << ",\n"
+         << "          \"timing\": ";
+      write_timing(os, run.timing, "          ");
+      os << ",\n"
+         << "          \"speedup_vs_seq_bfs\": "
+         << json_double(run.speedup_vs_seq_bfs) << ",\n"
+         << "          \"obs\": {\n"
+         << "            \"steals\": " << run.steals << ",\n"
+         << "            \"steal_attempts\": " << run.steal_attempts << ",\n"
+         << "            \"duplicate_expansions\": "
+         << run.duplicate_expansions << ",\n"
+         << "            \"sleep_episodes\": " << run.sleep_episodes << ",\n"
+         << "            \"fallback_triggered\": "
+         << (run.fallback_triggered ? "true" : "false") << ",\n"
+         << "            \"load_imbalance\": "
+         << json_double(run.load_imbalance) << ",\n"
+         << "            \"sv_iterations\": " << run.sv_iterations << "\n"
+         << "          }\n"
+         << "        }" << (ri + 1 < fam.runs.size() ? "," : "") << "\n";
+    }
+    os << "      ]\n"
+       << "    }" << (fi + 1 < result.families.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n"
+     << "}\n";
+}
+
+bool write_perf_suite_json_file(const PerfSuiteResult& result,
+                                const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_perf_suite_json(result, out);
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace smpst::bench

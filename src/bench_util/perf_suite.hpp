@@ -1,0 +1,110 @@
+// Reproducible performance baseline harness (`bench/perf_suite`).
+//
+// Runs the paper's four algorithm columns — sequential BFS (the baseline the
+// paper claims speedup over), Bader–Cong, level-synchronous parallel BFS,
+// and Shiloach–Vishkin — over a configurable set of graph families and
+// thread counts, reports median-of-k wall times plus speedup versus
+// sequential BFS, and serializes everything into a machine-readable,
+// schema-versioned `BENCH_smpst.json` so perf claims can be diffed across
+// commits (docs/BENCHMARKING.md).
+//
+// Lives in bench_util (not bench/) so tests can drive the suite in-process
+// and so it composes with the rest of the harness: the same `--trace` flag
+// as the panel runner and the failpoint spec grammar of the chaos tools.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "bench_util/cli.hpp"
+#include "bench_util/stats.hpp"
+#include "graph/graph.hpp"
+
+namespace smpst::bench {
+
+/// Version of the BENCH_smpst.json layout. Bump on any field rename,
+/// removal, or semantic change; additions of new fields do not require a
+/// bump (consumers must ignore unknown keys).
+inline constexpr int kPerfSuiteSchemaVersion = 1;
+
+struct PerfSuiteConfig {
+  /// Graph families to measure (names from gen::make_family). The default is
+  /// the paper-representative subset covering regular (torus), random,
+  /// mesh-like, geographic, and degenerate-chain structure.
+  std::vector<std::string> families = {"torus-rowmajor", "random-nlogn",
+                                       "2d60", "geo-flat", "chain-seq"};
+  VertexId n = 1 << 15;
+  std::vector<std::int64_t> threads = {1, 2, 4};
+  std::size_t repeats = 5;  ///< samples per timing (median-of-k)
+  std::uint64_t seed = 0x5eed;
+  bool run_sv = true;  ///< SV is slow on degenerate inputs; can be skipped
+  bool run_parallel_bfs = true;
+  bool pin_threads = false;  ///< opt-in worker affinity (ThreadPoolOptions)
+
+  /// Same semantics as PanelConfig::trace_path: non-empty enables tracing
+  /// and writes a Chrome trace_event file when the suite finishes.
+  std::string trace_path;
+
+  /// Failpoint spec list ("site=spec;..."), armed for the whole suite run —
+  /// lets the chaos options compose with measurement (e.g. measuring the
+  /// perf cost of delay-injected steals). Empty = untouched.
+  std::string failpoint_spec;
+};
+
+/// One timed (algorithm, thread-count) cell.
+struct PerfRun {
+  std::string algo;  ///< "bader_cong" | "parallel_bfs" | "sv"
+  std::size_t p = 1;
+  TimingStats timing;
+  double speedup_vs_seq_bfs = 0.0;  ///< seq median / this median
+
+  // Observability column (from one instrumented, untimed run).
+  // Bader–Cong only; zero elsewhere.
+  std::uint64_t steals = 0;
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t duplicate_expansions = 0;
+  std::uint64_t sleep_episodes = 0;
+  bool fallback_triggered = false;
+  double load_imbalance = 0.0;
+  std::uint64_t sv_iterations = 0;  ///< SV only; zero elsewhere
+};
+
+struct PerfFamilyResult {
+  std::string family;
+  VertexId n = 0;
+  EdgeId m = 0;
+  std::uint64_t components = 0;
+  TimingStats seq_bfs;  ///< the denominator of every speedup in `runs`
+  std::vector<PerfRun> runs;
+};
+
+struct PerfSuiteResult {
+  PerfSuiteConfig config;
+  std::size_t host_hardware_threads = 0;
+  std::int64_t generated_unix_ms = 0;
+  std::vector<PerfFamilyResult> families;
+};
+
+/// Reads the suite flags: --families --scale (tiny|small|medium|large, a
+/// preset for --n) --n --threads --repeats --seed --no-sv --no-pbfs --pin
+/// --trace --failpoints. `--out` is left to the caller (it names a file,
+/// not a measurement).
+PerfSuiteConfig perf_suite_config_from_cli(const Cli& cli);
+
+/// Runs every (family, algorithm, p) cell, validating each algorithm's
+/// forest once per cell. Progress lines ("# family=... p=...") go to
+/// `progress`. Throws on invalid config (unknown family, empty thread list).
+PerfSuiteResult run_perf_suite(const PerfSuiteConfig& config,
+                               std::ostream& progress);
+
+/// Serializes the result as the BENCH_smpst.json document (schema above;
+/// layout documented in docs/BENCHMARKING.md). Always emits finite numbers.
+void write_perf_suite_json(const PerfSuiteResult& result, std::ostream& os);
+
+/// write_perf_suite_json to `path`; returns false on I/O failure.
+bool write_perf_suite_json_file(const PerfSuiteResult& result,
+                                const std::string& path);
+
+}  // namespace smpst::bench

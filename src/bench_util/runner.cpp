@@ -29,6 +29,7 @@ PanelConfig panel_from_cli(const Cli& cli, const std::string& default_family,
   cfg.csv = cli.get_bool("csv", false);
   cfg.run_sv = !cli.get_bool("no-sv", false);
   cfg.sv_locked = cli.get_bool("sv-lock", false);
+  cfg.pin_threads = cli.get_bool("pin", false);
   cfg.trace_path = cli.get_string("trace", "");
   return cfg;
 }
@@ -68,7 +69,9 @@ void run_panel(const PanelConfig& config, std::ostream& os) {
 
   for (const std::int64_t pi : config.threads) {
     const auto p = static_cast<std::size_t>(pi);
-    ThreadPool pool(p);
+    ThreadPoolOptions pool_opts;
+    pool_opts.pin_threads = config.pin_threads;
+    ThreadPool pool(p, pool_opts);
 
     // Bader-Cong: time uninstrumented runs, then one instrumented run for
     // the cost-model replay and race statistics.

@@ -28,6 +28,8 @@ struct PanelConfig {
   bool csv = false;
   bool run_sv = true;       ///< SV is slow on big instances; can be skipped
   bool sv_locked = false;   ///< also run the lock-grafting variant
+  bool pin_threads = false; ///< opt-in worker affinity: steadier scaling
+                            ///< curves on multi-core hosts (BENCHMARKING.md)
 
   /// When non-empty, enable per-phase tracing for the panel and write a
   /// Chrome trace_event file here when the panel finishes
@@ -36,7 +38,7 @@ struct PanelConfig {
 };
 
 /// Reads the standard panel flags: --family --n --threads --reps --seed
-/// --csv --no-sv --sv-lock --trace.
+/// --csv --no-sv --sv-lock --pin --trace.
 PanelConfig panel_from_cli(const Cli& cli, const std::string& default_family,
                            VertexId default_n = 1 << 17);
 

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "core/shiloach_vishkin.hpp"
+#include "core/steal_policy.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sched/termination.hpp"
@@ -13,6 +14,7 @@
 #include "support/cacheline.hpp"
 #include "support/cpu.hpp"
 #include "support/failpoint.hpp"
+#include "support/prefetch.hpp"
 #include "support/prng.hpp"
 #include "support/race.hpp"
 #include "support/timer.hpp"
@@ -45,6 +47,12 @@ struct TraversalState {
       color[v] = 0;
       parent[v] = kInvalidVertex;
     }
+    // Pre-size every worker's queue for its expected share of the frontier:
+    // push_bulk must never reallocate mid-traversal, because the owner holds
+    // the queue's SpinLock across the insert and a reallocation stretches
+    // that critical section exactly when a thief is spinning on it.
+    const std::size_t expected = static_cast<std::size_t>(n) / p + 64;
+    for (auto& q : queues) q->reserve(expected);
   }
 
   const Graph& g;
@@ -106,29 +114,49 @@ bool try_claim_root(TraversalState& st, std::size_t tid, std::uint32_t label,
 
 /// Expands one vertex: colour-and-enqueue every unvisited neighbour (Alg. 1
 /// lines 2.3–2.7).
+/// Colour lines of neighbours this many iterations ahead are prefetched; far
+/// enough to cover an L2 miss at typical expansion cost, near enough that the
+/// line is rarely evicted again before use.
+constexpr std::size_t kColorPrefetchDistance = 4;
+
 void expand_vertex(TraversalState& st, std::size_t tid, std::uint32_t label,
                    VertexId v, std::vector<VertexId>& children,
                    ThreadStats& ts) {
   children.clear();
   const auto nbrs = st.g.neighbors(v);
-  ts.edges_scanned += nbrs.size();
-  for (VertexId w : nbrs) {
+  const std::size_t deg = nbrs.size();
+  ts.edges_scanned += deg;
+  for (std::size_t i = 0; i < deg; ++i) {
+    // The colour check is a random access per edge — the traversal's
+    // dominant miss source — so request upcoming lines a few edges early.
+    if (i + kColorPrefetchDistance < deg) {
+      prefetch_read(&st.color[nbrs[i + kColorPrefetchDistance]]);
+    }
+    const VertexId w = nbrs[i];
     // Deliberately check-then-set (no CAS): the race is benign (§2, Fig. 1).
     // Two threads may both see 0 and both enqueue w; the duplicate expansion
     // is absorbed by the pending counter and parent stays valid either way.
     if (SMPST_BENIGN_RACE_LOAD(st.color[w]) == 0) {
-      st.pending.add(1);
       SMPST_BENIGN_RACE_STORE(st.color[w], label);
       SMPST_BENIGN_RACE_STORE(st.parent[w], v);
       children.push_back(w);
     }
   }
+  // One batched counter update per expansion instead of one per child: the
+  // pending counter is the single most contended cacheline at p >= 8, and
+  // v's own in-flight count makes the batching safe — children become
+  // counted (+k) and v consumed (-1) in a single RMW *before* the children
+  // are published to the queue, so the counter can never drain (or even dip)
+  // while any coloured-but-uncounted child exists, and a thief can never
+  // decrement a child the batch has not yet counted.
   if (!children.empty()) {
+    st.pending.consumed_produced(static_cast<std::int64_t>(children.size()));
     st.queues[tid]->push_bulk(children.data(), children.size());
     ts.enqueues += children.size();
     st.gate.notify_work();
+  } else {
+    st.pending.add(-1);  // v consumed, nothing produced
   }
-  st.pending.add(-1);  // v consumed
   ++ts.vertices_processed;
 }
 
@@ -167,7 +195,14 @@ void traversal_worker(TraversalState& st, std::size_t tid,
       break;
     }
     VertexId v;
-    if (st.queues[tid]->pop(v)) {
+    VertexId next_hint = kInvalidVertex;
+    if (st.queues[tid]->pop(v, &next_hint)) {
+      // Warm the *next* frontier vertex's CSR slice while this one expands:
+      // neighbors() touches the offsets line and the first targets line, both
+      // cold for vertices that arrived by steal or long-ago enqueue.
+      if (next_hint != kInvalidVertex) {
+        prefetch_read(st.g.neighbors(next_hint).data());
+      }
       starving_rounds = 0;
       expand_vertex(st, tid, label, v, children, ts);
       continue;
@@ -187,10 +222,13 @@ void traversal_worker(TraversalState& st, std::size_t tid,
     }
 
     // Steal the front half (or a fixed chunk) of a random victim's queue.
+    // Victims are sampled from [0, p) \ {tid} directly (core/steal_policy.hpp)
+    // so self-picks cannot burn the attempt budget — at p = 2 the old
+    // [0, p)-with-continue sampling wasted half of every probe round and sent
+    // starving workers to sleep early.
     bool got = false;
     for (std::size_t a = 0; a < steal_attempts && p > 1; ++a) {
-      const auto victim = static_cast<std::size_t>(rng.next_bounded(p));
-      if (victim == tid) continue;
+      const std::size_t victim = sample_steal_victim(rng, p, tid);
       ++ts.steal_attempts;
       const std::size_t avail = st.queues[victim]->size();
       if (avail == 0) continue;
@@ -370,6 +408,7 @@ SpanningForest bader_cong_spanning_tree(const Graph& g, ThreadPool& pool,
     throw CancelledError();
   }
 
+  VertexId colored = 0;
   if (st.starved.load(std::memory_order_relaxed)) {
     // Detection mechanism fired: merge and finish with SV.
     local_stats.fallback_triggered = true;
@@ -379,21 +418,31 @@ SpanningForest bader_cong_spanning_tree(const Graph& g, ThreadPool& pool,
       forest = finish_with_sv(st, pool, opts);
     }
     local_stats.fallback_seconds = fb_timer.elapsed_seconds();
+    // The forest came from the merge, but the traversal-phase colouring is
+    // still what the duplicate accounting below is measured against.
+    for (VertexId v = 0; v < n; ++v) {
+      if (st.color[v] != 0) ++colored;
+    }
   } else {
-    // duplicate_expansions = dequeues beyond one per *coloured* vertex. The
-    // coloured count, not n: isolated or unreached vertices are never
-    // dequeued, so subtracting n would wrap the uint64 whenever fewer than n
-    // vertices entered the queues. Saturate at 0 for the cancel-then-complete
-    // edge where a worker's final decrement raced the drain.
-    VertexId colored = 0;
     for (VertexId v = 0; v < n; ++v) {
       forest.parent[v] = st.parent[v];  // after the region join: race-free
       if (st.color[v] != 0) ++colored;
     }
-    const std::uint64_t dequeued = local_stats.total_processed();
-    local_stats.duplicate_expansions =
-        dequeued > colored ? dequeued - colored : 0;
   }
+  // duplicate_expansions = dequeues beyond one per *coloured* vertex,
+  // computed on BOTH the normal and the starvation-fallback exits — a
+  // fallback run used to leave it at zero, silently zeroing the
+  // bc.duplicate_expansions metric exactly on the runs where races matter
+  // most. The coloured count, not n: isolated or unreached vertices are
+  // never dequeued, so subtracting n would wrap the uint64 whenever fewer
+  // than n vertices entered the queues. Saturate at 0 for the
+  // cancel-then-complete edge where a worker's final decrement raced the
+  // drain (and for fallback halts, where coloured-but-never-dequeued
+  // frontier vertices outnumber the dequeues).
+  local_stats.colored_vertices = colored;
+  const std::uint64_t dequeued = local_stats.total_processed();
+  local_stats.duplicate_expansions =
+      dequeued > colored ? dequeued - colored : 0;
 
   {
     auto& reg = obs::MetricsRegistry::instance();

@@ -35,8 +35,14 @@ struct TraversalStats {
   /// vertices"). Computed as total dequeues minus distinct *coloured*
   /// vertices, saturating at zero — isolated or unreached vertices are never
   /// dequeued, so subtracting the full vertex count would underflow on
-  /// disconnected graphs.
+  /// disconnected graphs. Filled on both the normal and the
+  /// starvation-fallback exits.
   std::uint64_t duplicate_expansions = 0;
+
+  /// Vertices coloured when the traversal phase ended: n on a completed run
+  /// over a graph without isolated vertices, possibly fewer on fallback or
+  /// cancelled runs. The base the duplicate accounting subtracts.
+  std::uint64_t colored_vertices = 0;
 
   [[nodiscard]] std::uint64_t total_processed() const noexcept {
     std::uint64_t total = 0;

@@ -1,0 +1,26 @@
+// Victim selection for the work-stealing traversal.
+//
+// Kept out of bader_cong.cpp so the sampling distribution is unit-testable:
+// a regression (rediscovered the hard way) drew victims from [0, p) and
+// `continue`d on self-picks, which silently consumed the steal-attempt
+// budget — at p = 2 half of every idle worker's probes were wasted on
+// itself, so starving workers gave up and slept twice as early as intended.
+#pragma once
+
+#include <cstddef>
+
+#include "support/prng.hpp"
+
+namespace smpst {
+
+/// Samples a uniformly random victim in [0, p) \ {tid}. Draws from the
+/// (p-1)-element set directly and remaps past `tid`, so every draw is a
+/// usable victim and none of the caller's attempt budget is spent on self.
+/// Requires p >= 2.
+inline std::size_t sample_steal_victim(Xoshiro256& rng, std::size_t p,
+                                       std::size_t tid) noexcept {
+  const auto draw = static_cast<std::size_t>(rng.next_bounded(p - 1));
+  return draw + static_cast<std::size_t>(draw >= tid);
+}
+
+}  // namespace smpst

@@ -7,7 +7,9 @@
 
 namespace smpst {
 
-ThreadPool::ThreadPool(std::size_t num_threads) {
+ThreadPool::ThreadPool(std::size_t num_threads,
+                       const ThreadPoolOptions& options)
+    : options_(options) {
   SMPST_CHECK(num_threads >= 1, "thread pool needs at least one worker");
   threads_.reserve(num_threads);
   for (std::size_t t = 0; t < num_threads; ++t) {
@@ -47,7 +49,7 @@ void ThreadPool::run(const std::function<void(std::size_t)>& body) {
 }
 
 void ThreadPool::worker_loop(std::size_t tid) {
-  pin_current_thread(tid);
+  if (options_.pin_threads) pin_current_thread(tid);
   obs::trace::label_current_thread("pool-worker", tid);
   std::uint64_t seen_epoch = 0;
   for (;;) {

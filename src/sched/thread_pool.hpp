@@ -16,11 +16,21 @@
 
 namespace smpst {
 
+struct ThreadPoolOptions {
+  /// Pin worker t to hardware context t (round-robin, best-effort). Off by
+  /// default: pinning removes migration jitter from dedicated benchmark runs
+  /// (the fig3/fig4 scaling curves), but actively hurts when several pools
+  /// share the machine — as the query service does — because every pool
+  /// would stack its worker t onto the same core. See
+  /// docs/BENCHMARKING.md ("Affinity caveats").
+  bool pin_threads = false;
+};
+
 class ThreadPool {
  public:
-  /// Spawns `num_threads` workers (>= 1). Workers are pinned round-robin to
-  /// hardware contexts on a best-effort basis.
-  explicit ThreadPool(std::size_t num_threads);
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(std::size_t num_threads,
+                      const ThreadPoolOptions& options = {});
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -38,8 +48,18 @@ class ThreadPool {
   /// threads per query.
   void run(const std::function<void(std::size_t)>& body);
 
+  /// Whether workers were asked to pin themselves (the call itself is
+  /// best-effort; on single-context hosts it is a no-op).
+  [[nodiscard]] bool pin_threads() const noexcept {
+    return options_.pin_threads;
+  }
+
  private:
   void worker_loop(std::size_t tid);
+
+  // Set in the constructor before any worker spawns and never written again,
+  // so workers may read it without synchronization.
+  const ThreadPoolOptions options_;
 
   // The one translation unit in sched/ allowed to own std::thread directly:
   // every other component runs on this pool (tools/smpst_lint.py enforces it).

@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -48,13 +49,18 @@ class SplitQueue {
   }
 
   /// Owner: remove the front element (BFS order). Returns false when empty.
-  bool pop(T& out) {
+  /// When `next_hint` is non-null and another element remains after the pop,
+  /// the new front is copied into it (left untouched otherwise) — a free
+  /// peek, taken under the same lock acquisition, that lets the caller
+  /// prefetch the next item's data while processing the popped one.
+  bool pop(T& out, T* next_hint = nullptr) {
     // Fault site before the lock and before any element moves: a throw or
     // delay here leaves every queued vertex in place for thieves.
     SMPST_FAILPOINT("sched.work_queue.pop");
     LockGuard<SpinLock> lk(lock_);
     if (head_ == buf_.size()) return false;
     out = buf_[head_++];
+    if (next_hint != nullptr && head_ < buf_.size()) *next_hint = buf_[head_];
     maybe_compact();
     return true;
   }
@@ -94,7 +100,8 @@ class SplitQueue {
   void maybe_compact() SMPST_REQUIRES(lock_) {
     // Reclaim the dead prefix once it dominates the buffer.
     if (head_ > 64 && head_ * 2 > buf_.size()) {
-      buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(head_));
+      buf_.erase(buf_.begin(),
+                 buf_.begin() + static_cast<std::ptrdiff_t>(head_));
       head_ = 0;
     }
   }
@@ -193,6 +200,19 @@ class ChaseLevDeque {
 
   [[nodiscard]] bool empty() const { return size_estimate() == 0; }
 
+  /// Smallest power of two >= n (minimum 8), saturating at the largest
+  /// power of two representable in size_t. Public and static so the
+  /// saturation is unit-testable: the pre-fix version looped forever once
+  /// `c <<= 1` wrapped to zero for n above 2^63.
+  static constexpr std::size_t round_up(std::size_t n) noexcept {
+    constexpr std::size_t kMaxPow2 =
+        std::size_t{1} << (std::numeric_limits<std::size_t>::digits - 1);
+    if (n > kMaxPow2) return kMaxPow2;
+    std::size_t c = 8;
+    while (c < n) c <<= 1;
+    return c;
+  }
+
  private:
   struct Buffer {
     explicit Buffer(std::size_t cap)
@@ -215,13 +235,13 @@ class ChaseLevDeque {
     std::atomic<T>* data;
   };
 
-  static std::size_t round_up(std::size_t n) {
-    std::size_t c = 8;
-    while (c < n) c <<= 1;
-    return c;
-  }
-
   Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
+    // Doubling past the largest representable power of two would wrap the
+    // capacity to zero and corrupt the index mask; a deque that large is a
+    // caller bug (the element count alone would exceed the address space).
+    SMPST_CHECK(
+        old->capacity <= std::numeric_limits<std::size_t>::max() / 2,
+        "ChaseLevDeque capacity overflow: cannot double further");
     auto* bigger = new Buffer(old->capacity * 2);
     for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
     buffer_.store(bigger, std::memory_order_release);

@@ -1,0 +1,26 @@
+// Portable software-prefetch hints for traversal hot paths.
+//
+// The traversal's dominant cost is the random-access colour check per edge
+// (the Helman–JáJá "non-contiguous access" the cost model charges for). The
+// neighbour ids of the vertex being expanded are already in hand, so the
+// colour lines of upcoming neighbours — and the CSR slice of the next
+// frontier vertex — can be requested a few iterations ahead of use, hiding
+// part of the miss latency behind the current iteration's work.
+//
+// prefetch_read is a pure hint: it never faults, never changes semantics,
+// and compiles to nothing on toolchains without __builtin_prefetch.
+#pragma once
+
+namespace smpst {
+
+/// Hints that `addr` will be read soon. High temporal locality (the line is
+/// about to be used, keep it in all cache levels).
+inline void prefetch_read(const void* addr) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(addr, /*rw=*/0, /*locality=*/3);
+#else
+  (void)addr;
+#endif
+}
+
+}  // namespace smpst

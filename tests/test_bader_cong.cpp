@@ -5,13 +5,16 @@
 
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include "core/bader_cong.hpp"
+#include "core/steal_policy.hpp"
 #include "core/validate.hpp"
 #include "gen/registry.hpp"
 #include "gen/simple.hpp"
 #include "graph/builder.hpp"
 #include "sched/thread_pool.hpp"
+#include "support/prng.hpp"
 
 namespace smpst {
 namespace {
@@ -198,6 +201,68 @@ TEST(BaderCong, OversubscriptionBeyondCores) {
   const Graph g = gen::make_family("random-1.5n", 3000, 17);
   const auto f = bader_cong_spanning_tree(g, opts_with(16));
   ASSERT_TRUE(validate_spanning_forest(g, f));
+}
+
+TEST(StealPolicy, NeverSamplesSelfAndCoversEveryOtherVictim) {
+  // Regression: the old sampler drew from [0, p) and `continue`d on
+  // victim == tid, burning the steal-attempt budget on self-picks (half of
+  // it at p = 2). Every draw must now be a usable victim, and all p-1
+  // candidates must stay reachable.
+  for (const std::size_t p : {2u, 3u, 8u}) {
+    for (std::size_t tid = 0; tid < p; ++tid) {
+      Xoshiro256 rng(0x5eed + tid);
+      std::vector<int> seen(p, 0);
+      for (int draw = 0; draw < 4000; ++draw) {
+        const std::size_t victim = sample_steal_victim(rng, p, tid);
+        ASSERT_LT(victim, p);
+        ASSERT_NE(victim, tid) << "p=" << p << " tid=" << tid;
+        ++seen[victim];
+      }
+      for (std::size_t v = 0; v < p; ++v) {
+        if (v == tid) continue;
+        EXPECT_GT(seen[v], 0) << "p=" << p << " tid=" << tid
+                              << " never chose victim " << v;
+      }
+    }
+  }
+}
+
+TEST(BaderCong, FallbackRunsStillComputeDuplicateAccounting) {
+  // Regression: fallback runs used to skip the duplicate-expansions pass
+  // entirely, silently reporting 0 with no colour accounting — exactly the
+  // starvation runs the bc.duplicate_expansions metric exists for. Same
+  // forced-fallback recipe as FallbackProducesValidForest.
+  const Graph g = gen::chain(2'000'000);
+  TraversalStats stats;
+  BaderCongOptions o = opts_with(8);
+  o.starvation_fraction = 0.01;
+  o.starvation_patience = 1;
+  o.steal_attempts = 1;
+  o.idle_sleep = std::chrono::microseconds(50);
+  o.stats = &stats;
+  const auto f = bader_cong_spanning_tree(g, o);
+  ASSERT_TRUE(validate_spanning_forest(g, f));
+  ASSERT_TRUE(stats.fallback_triggered);
+
+  // The traversal made progress before the halt, and the accounting must
+  // reflect it: colour base recorded, and the saturating identity
+  // duplicates = max(0, dequeued - coloured) holds exactly.
+  EXPECT_GT(stats.colored_vertices, 0u);
+  const std::uint64_t dequeued = stats.total_processed();
+  const std::uint64_t expected =
+      dequeued > stats.colored_vertices ? dequeued - stats.colored_vertices
+                                        : 0;
+  EXPECT_EQ(stats.duplicate_expansions, expected);
+}
+
+TEST(BaderCong, CompletedRunsColourEveryVertex) {
+  const Graph g = gen::make_family("torus-rowmajor", 900, 3);
+  TraversalStats stats;
+  BaderCongOptions o = opts_with(4);
+  o.stats = &stats;
+  ASSERT_TRUE(validate_spanning_forest(g, bader_cong_spanning_tree(g, o)));
+  ASSERT_FALSE(stats.fallback_triggered);
+  EXPECT_EQ(stats.colored_vertices, g.num_vertices());
 }
 
 }  // namespace

@@ -1,0 +1,225 @@
+// Tests for the perf_suite baseline harness: the emitted BENCH_smpst.json
+// must parse as JSON, carry the advertised schema version, and publish a
+// positive, finite speedup for every (family, algorithm, p) cell — the
+// properties the cross-commit perf trajectory depends on.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "bench_util/cli.hpp"
+#include "bench_util/perf_suite.hpp"
+
+namespace smpst::bench {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal strict JSON syntax checker (no document model): accepts exactly the
+// RFC 8259 grammar, so NaN/Infinity tokens, trailing commas, or unbalanced
+// brackets in the writer fail the test. Good enough to prove "parses".
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(
+                    static_cast<unsigned char>(s_[pos_]))) return false;
+          }
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!digits()) return false;
+    if (peek() == '.') { ++pos_; if (!digits()) return false; }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!digits()) return false;
+    }
+    return pos_ > start;
+  }
+
+  bool digits() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    return pos_ > start;
+  }
+
+  bool literal(const char* word) {
+    for (const char* c = word; *c != '\0'; ++c, ++pos_) {
+      if (pos_ >= s_.size() || s_[pos_] != *c) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+PerfSuiteConfig tiny_config(std::uint64_t seed) {
+  PerfSuiteConfig cfg;
+  cfg.families = {"random-nlogn", "torus-rowmajor"};
+  cfg.n = 512;
+  cfg.threads = {1, 2, 4};
+  cfg.repeats = 2;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(PerfSuite, JsonParsesAndSchemaVersionMatches) {
+  std::ostringstream progress;
+  const auto result = run_perf_suite(tiny_config(1), progress);
+  std::ostringstream json;
+  write_perf_suite_json(result, json);
+  const std::string doc = json.str();
+
+  EXPECT_TRUE(JsonChecker(doc).valid()) << doc;
+  EXPECT_NE(doc.find("\"schema_version\": " +
+                     std::to_string(kPerfSuiteSchemaVersion)),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"benchmark\": \"smpst.perf_suite\""),
+            std::string::npos);
+  // JSON has no representation for these; the writer must never emit them.
+  EXPECT_EQ(doc.find("nan"), std::string::npos);
+  EXPECT_EQ(doc.find("inf"), std::string::npos);
+}
+
+// Property fuzz over seeds: every cell of every run must publish a positive,
+// finite speedup at p in {1, 2, 4}, and the JSON must stay syntactically
+// valid — run-to-run timing noise must never corrupt the document.
+TEST(PerfSuite, SpeedupsPositiveAndFiniteAcrossSeeds) {
+  for (const std::uint64_t seed : {7ULL, 99ULL, 2024ULL}) {
+    std::ostringstream progress;
+    const auto result = run_perf_suite(tiny_config(seed), progress);
+
+    ASSERT_EQ(result.families.size(), 2u);
+    for (const auto& fam : result.families) {
+      EXPECT_GT(fam.n, 0u);
+      EXPECT_GT(fam.seq_bfs.median_s, 0.0);
+      // 3 thread counts x 3 algorithms (bader_cong, parallel_bfs, sv).
+      ASSERT_EQ(fam.runs.size(), 9u) << fam.family;
+      for (const auto& run : fam.runs) {
+        EXPECT_TRUE(run.p == 1 || run.p == 2 || run.p == 4);
+        EXPECT_GT(run.speedup_vs_seq_bfs, 0.0)
+            << fam.family << " " << run.algo << " p=" << run.p;
+        EXPECT_TRUE(std::isfinite(run.speedup_vs_seq_bfs))
+            << fam.family << " " << run.algo << " p=" << run.p;
+        EXPECT_GT(run.timing.median_s, 0.0);
+        EXPECT_EQ(run.timing.repetitions, 2u);
+      }
+    }
+
+    std::ostringstream json;
+    write_perf_suite_json(result, json);
+    EXPECT_TRUE(JsonChecker(json.str()).valid()) << "seed=" << seed;
+  }
+}
+
+TEST(PerfSuite, RejectsUnknownFamily) {
+  PerfSuiteConfig cfg = tiny_config(1);
+  cfg.families = {"no-such-family"};
+  std::ostringstream progress;
+  EXPECT_THROW(run_perf_suite(cfg, progress), std::invalid_argument);
+}
+
+TEST(PerfSuite, CliRoundTrip) {
+  const char* argv[] = {"perf_suite",      "--scale=tiny",
+                        "--threads=1,2",   "--repeats=3",
+                        "--families=ad3,chain-seq", "--no-sv", "--pin"};
+  const Cli cli(7, argv);
+  const auto cfg = perf_suite_config_from_cli(cli);
+  EXPECT_EQ(cfg.n, 4096u);
+  EXPECT_EQ(cfg.threads, (std::vector<std::int64_t>{1, 2}));
+  EXPECT_EQ(cfg.repeats, 3u);
+  EXPECT_EQ(cfg.families, (std::vector<std::string>{"ad3", "chain-seq"}));
+  EXPECT_FALSE(cfg.run_sv);
+  EXPECT_TRUE(cfg.pin_threads);
+}
+
+}  // namespace
+}  // namespace smpst::bench

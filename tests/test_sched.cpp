@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
+#include <new>
 #include <numeric>
 #include <thread>
 #include <vector>
@@ -71,7 +73,9 @@ void barrier_phase_test() {
 }
 
 TEST(SpinBarrier, SeparatesPhases) { barrier_phase_test<SpinBarrier>(); }
-TEST(BlockingBarrier, SeparatesPhases) { barrier_phase_test<BlockingBarrier>(); }
+TEST(BlockingBarrier, SeparatesPhases) {
+  barrier_phase_test<BlockingBarrier>();
+}
 
 TEST(SpinBarrier, CountsEpisodes) {
   SpinBarrier b(1);
@@ -350,6 +354,67 @@ TEST(IdleGate, ReportsSimultaneousSleepers) {
   }
   for (auto& t : threads) t.join();
   EXPECT_GE(max_seen.load(), 2u);  // at least two overlapped
+}
+
+TEST(ThreadPool, PinnedOptionRunsEveryThread) {
+  // Pinning is best-effort (a no-op on single-context hosts); the contract
+  // under test is that an opted-in pool still runs regions normally.
+  ThreadPoolOptions opts;
+  opts.pin_threads = true;
+  ThreadPool pool(3, opts);
+  EXPECT_TRUE(pool.pin_threads());
+  std::atomic<int> total{0};
+  pool.run([&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ThreadPool, DefaultIsUnpinned) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.pin_threads());
+}
+
+TEST(SplitQueue, PopExposesNextFrontAsHint) {
+  SplitQueue<int> q;
+  for (int i = 0; i < 3; ++i) q.push(i);
+  int v = -1;
+  int hint = -1;
+  ASSERT_TRUE(q.pop(v, &hint));
+  EXPECT_EQ(v, 0);
+  EXPECT_EQ(hint, 1);
+  ASSERT_TRUE(q.pop(v, &hint));
+  EXPECT_EQ(v, 1);
+  EXPECT_EQ(hint, 2);
+  hint = -1;
+  ASSERT_TRUE(q.pop(v, &hint));  // last element: hint must stay untouched
+  EXPECT_EQ(v, 2);
+  EXPECT_EQ(hint, -1);
+  EXPECT_FALSE(q.pop(v, &hint));
+}
+
+TEST(ChaseLevDeque, RoundUpSaturatesInsteadOfLoopingForever) {
+  constexpr std::size_t kMaxPow2 =
+      std::size_t{1} << (std::numeric_limits<std::size_t>::digits - 1);
+  // Pre-fix, any request above the largest power of two shifted the probe
+  // to zero and spun forever; now it saturates.
+  EXPECT_EQ(ChaseLevDeque<int>::round_up(kMaxPow2 + 1), kMaxPow2);
+  EXPECT_EQ(ChaseLevDeque<int>::round_up(
+                std::numeric_limits<std::size_t>::max()),
+            kMaxPow2);
+  EXPECT_EQ(ChaseLevDeque<int>::round_up(kMaxPow2), kMaxPow2);
+  // Normal cases are unchanged.
+  EXPECT_EQ(ChaseLevDeque<int>::round_up(0), 8u);
+  EXPECT_EQ(ChaseLevDeque<int>::round_up(8), 8u);
+  EXPECT_EQ(ChaseLevDeque<int>::round_up(9), 16u);
+  EXPECT_EQ(ChaseLevDeque<int>::round_up(1024), 1024u);
+}
+
+TEST(ChaseLevDeque, HostileCapacityThrowsInsteadOfHanging) {
+  // round_up saturates to 2^63; allocating that many atomic<int> overflows
+  // the array-new size computation, which must surface as bad_alloc (the
+  // compiler throws bad_array_new_length, a bad_alloc subclass) — never as
+  // a hang or a silently wrapped, undersized buffer.
+  EXPECT_THROW(ChaseLevDeque<int> d(std::numeric_limits<std::size_t>::max()),
+               std::bad_alloc);
 }
 
 }  // namespace
