@@ -1,0 +1,589 @@
+// ext_net_load — open-loop zipfian load generator for the TCP front end.
+//
+// Drives `smpst_serve --tcp` with an offered load that does NOT slow down
+// when the server does (open loop: arrivals are a Poisson process per
+// connection, so queueing at the server cannot mask overload the way a
+// closed-loop driver's back-to-back requests do). Graph popularity is
+// zipfian (bench_util/zipf.hpp) over a set of pre-registered graphs, and the
+// algorithm per request is drawn uniformly from --algos, approximating a
+// mixed production workload against a shared registry.
+//
+// A run sweeps --rates (total offered qps, split evenly across
+// --connections), each for --duration-ms, over the same warm connections,
+// and reports per step: achieved send rate, goodput (ok responses/s), shed
+// rate (typed `overloaded` responses), and p50/p99/p999 latency of
+// successful responses — exact percentiles over all recorded samples, not a
+// histogram sketch. Push the rates past capacity and the expected shape is:
+// goodput plateaus at capacity, shed rate absorbs the excess, and the p99 of
+// ACCEPTED requests stays bounded (admission control rejects instead of
+// queueing without bound).
+//
+//   build/bench/ext_net_load --port=$(cat /tmp/port)
+//       --connections=8 --rates=200,400,800,1600 --duration-ms=2000
+//
+// Robustness probes:
+//   --sigterm-pid=P --sigterm-after-ms=T   send SIGTERM to the server T ms
+//       into the sweep, stop offering load shortly after, and verify the
+//       drain contract: every request written before the server closed got
+//       exactly one response (accepted ones with results, post-drain ones
+//       with `shutting-down`), ending in a clean EOF. Violations exit 4.
+//   --chaos   tolerate mid-run disconnects (failpoint storms at
+//       net.conn.read / net.conn.write abort connections by design) and
+//       reconnect to keep offering load; count invariants are waived, the
+//       server staying up is the assertion (checked by the caller).
+//
+// --json=PATH writes a machine-readable summary; bench/perf_suite can embed
+// it as the optional "serving" section (docs/BENCHMARKING.md).
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util/cli.hpp"
+#include "bench_util/zipf.hpp"
+#include "service/codec.hpp"
+#include "service/wire.hpp"
+#include "support/prng.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace {
+
+using namespace smpst;
+using namespace smpst::bench;
+using Clock = std::chrono::steady_clock;
+
+constexpr int kControlStep = -1;
+constexpr int kExitContractViolated = 4;
+
+struct Config {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::size_t connections = 8;
+  std::vector<std::int64_t> rates;  // total offered qps per step
+  std::int64_t duration_ms = 2000;
+  std::size_t graphs = 4;
+  std::int64_t graph_n = 1 << 14;
+  std::string family = "random-nlogn";
+  double theta = 0.99;
+  std::vector<std::string> algos;
+  std::int64_t timeout_ms = -1;
+  std::uint64_t seed = 0x5eed;
+  std::string json_path;
+  pid_t sigterm_pid = 0;
+  std::int64_t sigterm_after_ms = 0;
+  bool chaos = false;
+};
+
+struct StepStats {
+  std::atomic<std::uint64_t> sent{0};
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> shed{0};
+  std::atomic<std::uint64_t> drain_shed{0};
+  std::atomic<std::uint64_t> timed_out{0};
+  std::atomic<std::uint64_t> errors{0};
+
+  Mutex mutex;
+  std::vector<double> ok_latency_ms SMPST_GUARDED_BY(mutex);
+
+  void record_latency(double ms) {
+    LockGuard<Mutex> lk(mutex);
+    ok_latency_ms.push_back(ms);
+  }
+};
+
+struct Totals {
+  std::atomic<std::uint64_t> sent{0};       // request lines fully written
+  std::atomic<std::uint64_t> received{0};   // response lines matched
+  std::atomic<std::uint64_t> disconnects{0};
+  std::atomic<std::uint64_t> conn_rejected{0};
+  std::atomic<std::uint64_t> unclean_eof{0};
+};
+
+struct Conn {
+  int fd = -1;
+  std::atomic<bool> dead{false};
+
+  Mutex mutex;
+  std::deque<std::pair<Clock::time_point, int>> outstanding
+      SMPST_GUARDED_BY(mutex);
+
+  bool connect_to(const std::string& host, std::uint16_t port) {
+    fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+        ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) < 0) {
+      ::close(fd);
+      fd = -1;
+      return false;
+    }
+    const int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    timeval tv{};
+    tv.tv_sec = 2;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    return true;
+  }
+
+  /// Writes the whole line; returns false on any error (connection dead).
+  bool send_all(const std::string& data) {
+    std::size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t n =
+          ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+      if (n > 0) {
+        off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    return true;
+  }
+};
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// One request line against a zipf-popular graph with a uniform-random
+/// algorithm from the mix.
+std::string compose_request(const Config& cfg, const ZipfianGenerator& zipf,
+                            Xoshiro256& rng) {
+  std::string line = "query graph=lg";
+  line += std::to_string(zipf.next(rng));
+  line += " algo=";
+  line += cfg.algos[rng.next_bounded(cfg.algos.size())];
+  if (cfg.timeout_ms >= 0) {
+    line += " timeout=";
+    line += std::to_string(cfg.timeout_ms);
+  }
+  line += "\n";
+  return line;
+}
+
+/// Registers the lg0..lgN graphs over a throwaway control connection.
+bool setup_graphs(const Config& cfg) {
+  Conn c;
+  if (!c.connect_to(cfg.host, cfg.port)) {
+    std::cerr << "ext_net_load: cannot connect to " << cfg.host << ":"
+              << cfg.port << "\n";
+    return false;
+  }
+  std::string req;
+  for (std::size_t i = 0; i < cfg.graphs; ++i) {
+    req += "gen name=lg" + std::to_string(i) + " family=" + cfg.family +
+           " n=" + std::to_string(cfg.graph_n) +
+           " seed=" + std::to_string(cfg.seed + i) + "\n";
+  }
+  req += "quit\n";
+  if (!c.send_all(req)) {
+    ::close(c.fd);
+    return false;
+  }
+  service::LineCodec codec;
+  char buf[16 * 1024];
+  std::size_t ok_lines = 0;
+  bool eof = false;
+  while (!eof) {
+    const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      eof = true;
+    } else {
+      codec.feed(buf, static_cast<std::size_t>(n));
+    }
+    std::string line;
+    while (codec.next(line) == service::LineCodec::Event::kLine) {
+      try {
+        service::Fields f = service::parse_line(line);
+        if (f.count("bye") != 0) continue;
+        if (f["ok"] == "1") {
+          ++ok_lines;
+        } else {
+          std::cerr << "ext_net_load: setup failed: " << line << "\n";
+        }
+      } catch (const std::exception&) {
+        std::cerr << "ext_net_load: unparseable setup response: " << line
+                  << "\n";
+      }
+    }
+  }
+  ::close(c.fd);
+  return ok_lines == cfg.graphs;
+}
+
+class LoadDriver {
+ public:
+  LoadDriver(const Config& cfg) : cfg_(cfg), steps_(cfg.rates.size()) {
+    for (auto& s : steps_) s = std::make_unique<StepStats>();
+  }
+
+  int run() {
+    t0_ = Clock::now();
+    run_end_ = t0_ + std::chrono::milliseconds(
+                         cfg_.duration_ms *
+                         static_cast<std::int64_t>(cfg_.rates.size()));
+    if (cfg_.sigterm_pid != 0) {
+      stop_sending_at_ = t0_ + std::chrono::milliseconds(
+                                   cfg_.sigterm_after_ms + 500);
+    } else {
+      stop_sending_at_ = run_end_;
+    }
+
+    std::vector<std::thread> slots;
+    slots.reserve(cfg_.connections);
+    for (std::size_t i = 0; i < cfg_.connections; ++i) {
+      slots.emplace_back([this, i] { run_slot(i); });
+    }
+    if (cfg_.sigterm_pid != 0) {
+      std::this_thread::sleep_until(
+          t0_ + std::chrono::milliseconds(cfg_.sigterm_after_ms));
+      std::cout << "# sending SIGTERM to pid " << cfg_.sigterm_pid << "\n";
+      (void)::kill(cfg_.sigterm_pid, SIGTERM);
+    }
+    for (auto& t : slots) t.join();
+    return report();
+  }
+
+ private:
+  /// Which rate step a moment belongs to.
+  int step_at(Clock::time_point t) const {
+    const auto ms = static_cast<std::int64_t>(ms_between(t0_, t));
+    const auto idx = ms / cfg_.duration_ms;
+    if (idx < 0) return 0;
+    if (idx >= static_cast<std::int64_t>(steps_.size())) {
+      return static_cast<int>(steps_.size()) - 1;
+    }
+    return static_cast<int>(idx);
+  }
+
+  void run_slot(std::size_t slot) {
+    Xoshiro256 rng(derive_stream_seed(cfg_.seed, slot));
+    const ZipfianGenerator zipf(cfg_.graphs, cfg_.theta);
+    while (Clock::now() < stop_sending_at_) {
+      Conn conn;
+      if (!conn.connect_to(cfg_.host, cfg_.port)) {
+        if (!cfg_.chaos) {
+          std::cerr << "ext_net_load: slot " << slot << " cannot connect\n";
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        continue;
+      }
+      std::thread sender([&] { run_sender(conn, zipf, rng); });
+      run_receiver(conn);
+      conn.dead.store(true, std::memory_order_release);
+      sender.join();
+      ::close(conn.fd);
+      std::size_t orphans;
+      {
+        LockGuard<Mutex> lk(conn.mutex);
+        orphans = conn.outstanding.size();
+      }
+      if (orphans != 0) {
+        totals_.unclean_eof.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (!cfg_.chaos) return;  // one connection per slot unless chaotic
+      totals_.disconnects.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void run_sender(Conn& conn, const ZipfianGenerator& zipf, Xoshiro256& rng) {
+    const double per_conn_rate =
+        static_cast<double>(cfg_.rates.empty() ? 0 : cfg_.rates[0]) /
+        static_cast<double>(cfg_.connections);
+    auto next_send = Clock::now();
+    while (!conn.dead.load(std::memory_order_acquire)) {
+      const auto now = Clock::now();
+      if (now >= stop_sending_at_) break;
+      const int step = step_at(now);
+      const double rate = static_cast<double>(cfg_.rates[
+                              static_cast<std::size_t>(step)]) /
+                          static_cast<double>(cfg_.connections);
+      (void)per_conn_rate;
+      // Poisson arrivals: exponential inter-arrival at the step's rate.
+      const double gap_s =
+          -std::log(1.0 - rng.next_double()) / (rate > 0 ? rate : 1.0);
+      next_send += std::chrono::microseconds(
+          static_cast<std::int64_t>(gap_s * 1e6));
+      if (next_send > now) std::this_thread::sleep_until(next_send);
+      if (Clock::now() >= stop_sending_at_ ||
+          conn.dead.load(std::memory_order_acquire)) {
+        break;
+      }
+      const std::string line = compose_request(cfg_, zipf, rng);
+      {
+        LockGuard<Mutex> lk(conn.mutex);
+        conn.outstanding.emplace_back(Clock::now(), step);
+      }
+      if (!conn.send_all(line)) {
+        LockGuard<Mutex> lk(conn.mutex);
+        conn.outstanding.pop_back();  // never reached the server
+        return;
+      }
+      steps_[static_cast<std::size_t>(step)]->sent.fetch_add(
+          1, std::memory_order_relaxed);
+      totals_.sent.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (cfg_.sigterm_pid == 0 && !conn.dead.load(std::memory_order_acquire)) {
+      // Pipelined quit: the session answers every outstanding query first,
+      // then bye, then closes — the receiver's EOF is the drain barrier.
+      {
+        LockGuard<Mutex> lk(conn.mutex);
+        conn.outstanding.emplace_back(Clock::now(), kControlStep);
+      }
+      if (conn.send_all("quit\n")) {
+        totals_.sent.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        LockGuard<Mutex> lk(conn.mutex);
+        conn.outstanding.pop_back();
+      }
+    }
+  }
+
+  void run_receiver(Conn& conn) {
+    service::LineCodec codec;
+    char buf[64 * 1024];
+    while (true) {
+      const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        // SO_RCVTIMEO tick: bail once nothing more can arrive.
+        if (conn.dead.load(std::memory_order_acquire)) return;
+        if (Clock::now() >
+            stop_sending_at_ + std::chrono::milliseconds(20'000)) {
+          std::cerr << "ext_net_load: receiver hung past drain window\n";
+          return;
+        }
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return;  // EOF or fatal error
+      codec.feed(buf, static_cast<std::size_t>(n));
+      std::string line;
+      while (codec.next(line) == service::LineCodec::Event::kLine) {
+        classify(conn, line);
+      }
+    }
+  }
+
+  void classify(Conn& conn, const std::string& line) {
+    Clock::time_point sent_at{};
+    int step = kControlStep;
+    bool matched = false;
+    {
+      LockGuard<Mutex> lk(conn.mutex);
+      if (!conn.outstanding.empty()) {
+        std::tie(sent_at, step) = conn.outstanding.front();
+        conn.outstanding.pop_front();
+        matched = true;
+      }
+    }
+    service::Fields f;
+    try {
+      f = service::parse_line(line);
+    } catch (const std::exception&) {
+      if (matched && step >= 0) {
+        steps_[static_cast<std::size_t>(step)]->errors.fetch_add(
+            1, std::memory_order_relaxed);
+      }
+      totals_.received.fetch_add(matched ? 1 : 0, std::memory_order_relaxed);
+      return;
+    }
+    if (!matched) {
+      // A response with no request can only be the admission-control
+      // rejection the server sends on accept past the connection cap.
+      if (f.count("code") != 0 && f["code"] == "overloaded") {
+        totals_.conn_rejected.fetch_add(1, std::memory_order_relaxed);
+      }
+      return;
+    }
+    totals_.received.fetch_add(1, std::memory_order_relaxed);
+    if (step < 0) return;  // control (quit/bye)
+    StepStats& s = *steps_[static_cast<std::size_t>(step)];
+    const auto code = f.find("code");
+    if (code != f.end()) {
+      if (code->second == "overloaded") {
+        s.shed.fetch_add(1, std::memory_order_relaxed);
+      } else if (code->second == "shutting-down") {
+        s.drain_shed.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        s.errors.fetch_add(1, std::memory_order_relaxed);
+      }
+      return;
+    }
+    const auto status = f.find("status");
+    if (status == f.end()) {
+      s.errors.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (status->second == "ok") {
+      s.ok.fetch_add(1, std::memory_order_relaxed);
+      s.record_latency(ms_between(sent_at, Clock::now()));
+    } else if (status->second == "timed-out") {
+      s.timed_out.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      s.errors.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  static double percentile(std::vector<double>& sorted, double p) {
+    if (sorted.empty()) return 0.0;
+    const auto idx = static_cast<std::size_t>(
+        p / 100.0 * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[idx < sorted.size() ? idx : sorted.size() - 1];
+  }
+
+  int report() {
+    const double step_s = static_cast<double>(cfg_.duration_ms) / 1000.0;
+    std::ostringstream json;
+    json << "{\"connections\":" << cfg_.connections
+         << ",\"graphs\":" << cfg_.graphs << ",\"theta\":" << cfg_.theta
+         << ",\"duration_ms\":" << cfg_.duration_ms << ",\"steps\":[";
+    std::cout << "# offered_qps sent goodput_qps ok shed drain_shed "
+                 "timed_out errors p50_ms p99_ms p999_ms\n";
+    for (std::size_t i = 0; i < steps_.size(); ++i) {
+      StepStats& s = *steps_[i];
+      std::vector<double> lat;
+      {
+        LockGuard<Mutex> lk(s.mutex);
+        lat = s.ok_latency_ms;
+      }
+      std::sort(lat.begin(), lat.end());
+      const double p50 = percentile(lat, 50), p99 = percentile(lat, 99),
+                   p999 = percentile(lat, 99.9);
+      const double goodput =
+          static_cast<double>(s.ok.load()) / (step_s > 0 ? step_s : 1.0);
+      std::cout << cfg_.rates[i] << " " << s.sent.load() << " " << goodput
+                << " " << s.ok.load() << " " << s.shed.load() << " "
+                << s.drain_shed.load() << " " << s.timed_out.load() << " "
+                << s.errors.load() << " " << p50 << " " << p99 << " " << p999
+                << "\n";
+      if (i != 0) json << ",";
+      json << "{\"offered_qps\":" << cfg_.rates[i]
+           << ",\"sent\":" << s.sent.load() << ",\"ok\":" << s.ok.load()
+           << ",\"shed\":" << s.shed.load()
+           << ",\"drain_shed\":" << s.drain_shed.load()
+           << ",\"timed_out\":" << s.timed_out.load()
+           << ",\"errors\":" << s.errors.load()
+           << ",\"goodput_qps\":" << goodput << ",\"p50_ms\":" << p50
+           << ",\"p99_ms\":" << p99 << ",\"p999_ms\":" << p999 << "}";
+    }
+    json << "]";
+
+    const std::uint64_t sent = totals_.sent.load();
+    const std::uint64_t received = totals_.received.load();
+    const bool counts_match = sent == received;
+    std::cout << "# totals: sent=" << sent << " received=" << received
+              << " disconnects=" << totals_.disconnects.load()
+              << " conn_rejected=" << totals_.conn_rejected.load()
+              << " unclean_eof=" << totals_.unclean_eof.load() << "\n";
+    json << ",\"totals\":{\"sent\":" << sent << ",\"received\":" << received
+         << ",\"disconnects\":" << totals_.disconnects.load()
+         << ",\"conn_rejected\":" << totals_.conn_rejected.load()
+         << ",\"unclean_eof\":" << totals_.unclean_eof.load() << "}";
+    if (cfg_.sigterm_pid != 0) {
+      json << ",\"sigterm\":{\"after_ms\":" << cfg_.sigterm_after_ms
+           << ",\"one_response_per_request\":"
+           << (counts_match ? "true" : "false") << "}";
+    }
+    json << "}";
+
+    if (!cfg_.json_path.empty()) {
+      std::ofstream out(cfg_.json_path, std::ios::trunc);
+      out << json.str() << "\n";
+    }
+    if (!cfg_.chaos && !counts_match) {
+      std::cerr << "ext_net_load: response contract violated: sent=" << sent
+                << " received=" << received << "\n";
+      return kExitContractViolated;
+    }
+    return 0;
+  }
+
+  const Config& cfg_;
+  std::vector<std::unique_ptr<StepStats>> steps_;
+  Totals totals_;
+  Clock::time_point t0_{};
+  Clock::time_point run_end_{};
+  Clock::time_point stop_sending_at_{};
+};
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const bench::Cli cli(argc, argv);
+  Config cfg;
+  cfg.host = cli.get_string("host", cfg.host);
+  const std::string port_file = cli.get_string("port-file", "");
+  if (!port_file.empty()) {
+    std::ifstream in(port_file);
+    std::int64_t p = 0;
+    in >> p;
+    cfg.port = static_cast<std::uint16_t>(p);
+  }
+  cfg.port = static_cast<std::uint16_t>(
+      cli.get_int("port", static_cast<std::int64_t>(cfg.port)));
+  cfg.connections =
+      static_cast<std::size_t>(cli.get_int("connections", 8));
+  cfg.rates = cli.get_int_list("rates", {200, 400, 800});
+  cfg.duration_ms = cli.get_int("duration-ms", cfg.duration_ms);
+  cfg.graphs = static_cast<std::size_t>(cli.get_int("graphs", 4));
+  cfg.graph_n = cli.get_int("graph-n", cfg.graph_n);
+  cfg.family = cli.get_string("family", cfg.family);
+  cfg.theta = cli.get_double("theta", cfg.theta);
+  cfg.algos = split_csv(cli.get_string("algos", "bader-cong,bfs,sv"));
+  cfg.timeout_ms = cli.get_int("timeout-ms", cfg.timeout_ms);
+  cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 0x5eed));
+  cfg.json_path = cli.get_string("json", "");
+  cfg.sigterm_pid = static_cast<pid_t>(cli.get_int("sigterm-pid", 0));
+  cfg.sigterm_after_ms = cli.get_int("sigterm-after-ms", 1000);
+  cfg.chaos = cli.get_bool("chaos", false);
+  cli.reject_unknown();
+  if (cfg.port == 0) {
+    std::cerr << "ext_net_load: --port or --port-file is required\n";
+    return 1;
+  }
+  if (cfg.rates.empty() || cfg.connections == 0 || cfg.graphs == 0 ||
+      cfg.algos.empty()) {
+    std::cerr << "ext_net_load: need at least one rate, connection, graph "
+                 "and algorithm\n";
+    return 1;
+  }
+  (void)std::signal(SIGPIPE, SIG_IGN);
+
+  if (!setup_graphs(cfg)) return 1;
+  LoadDriver driver(cfg);
+  return driver.run();
+} catch (const std::exception& e) {
+  std::cerr << "ext_net_load: " << e.what() << "\n";
+  return 1;
+}

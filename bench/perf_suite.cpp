@@ -9,7 +9,14 @@
 //                   [--no-sv] [--no-pbfs] [--pin]
 //                   [--out=BENCH_smpst.json] [--trace=out.json]
 //                   [--failpoints=site=spec;...]
+//                   [--serving=net_load.json]
+//
+// --serving embeds a bench/ext_net_load --json summary as the optional
+// "serving" section of the document (schema v2), so the serving-path
+// baseline rides along with the algorithm columns.
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "bench_util/cli.hpp"
 #include "bench_util/perf_suite.hpp"
@@ -20,12 +27,23 @@ int main(int argc, char** argv) try {
   const bench::Cli cli(argc, argv);
   const bench::PerfSuiteConfig config = bench::perf_suite_config_from_cli(cli);
   const std::string out_path = cli.get_string("out", "BENCH_smpst.json");
+  const std::string serving_path = cli.get_string("serving", "");
   cli.reject_unknown();
 
   std::cout << "== perf_suite: seq-BFS / Bader-Cong / parallel-BFS / SV, n="
             << config.n << ", repeats=" << config.repeats << " ==\n";
-  const bench::PerfSuiteResult result =
-      bench::run_perf_suite(config, std::cout);
+  bench::PerfSuiteResult result = bench::run_perf_suite(config, std::cout);
+  if (!serving_path.empty()) {
+    std::ifstream in(serving_path);
+    if (!in) {
+      std::cerr << "perf_suite: cannot read --serving file " << serving_path
+                << "\n";
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    result.serving_json = buf.str();
+  }
 
   if (!bench::write_perf_suite_json_file(result, out_path)) {
     std::cerr << "perf_suite: failed to write " << out_path << "\n";

@@ -342,8 +342,19 @@ void write_perf_suite_json(const PerfSuiteResult& result, std::ostream& os) {
     os << "      ]\n"
        << "    }" << (fi + 1 < result.families.size() ? "," : "") << "\n";
   }
-  os << "  ]\n"
-     << "}\n";
+  os << "  ]";
+  if (!result.serving_json.empty()) {
+    // Embed the ext_net_load summary verbatim; trim whitespace so the
+    // document stays a single well-formed object.
+    std::string serving = result.serving_json;
+    while (!serving.empty() &&
+           (serving.back() == '\n' || serving.back() == '\r' ||
+            serving.back() == ' ')) {
+      serving.pop_back();
+    }
+    os << ",\n  \"serving\": " << serving;
+  }
+  os << "\n}\n";
 }
 
 bool write_perf_suite_json_file(const PerfSuiteResult& result,

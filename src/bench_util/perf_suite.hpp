@@ -27,7 +27,10 @@ namespace smpst::bench {
 /// Version of the BENCH_smpst.json layout. Bump on any field rename,
 /// removal, or semantic change; additions of new fields do not require a
 /// bump (consumers must ignore unknown keys).
-inline constexpr int kPerfSuiteSchemaVersion = 1;
+/// v2: optional top-level "serving" section (an embedded ext_net_load
+/// summary: offered-load sweep, goodput, shed rate, tail latency) so the
+/// serving-path baseline can be diffed alongside the algorithm columns.
+inline constexpr int kPerfSuiteSchemaVersion = 2;
 
 struct PerfSuiteConfig {
   /// Graph families to measure (names from gen::make_family). The default is
@@ -85,6 +88,11 @@ struct PerfSuiteResult {
   std::size_t host_hardware_threads = 0;
   std::int64_t generated_unix_ms = 0;
   std::vector<PerfFamilyResult> families;
+
+  /// Optional serving-path measurement: the verbatim JSON object written by
+  /// `bench/ext_net_load --json` (docs/SERVICE.md). Empty = section omitted.
+  /// Embedded raw, not re-parsed — the load generator owns that layout.
+  std::string serving_json;
 };
 
 /// Reads the suite flags: --families --scale (tiny|small|medium|large, a

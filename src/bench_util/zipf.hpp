@@ -1,0 +1,66 @@
+// Zipfian item popularity for load generators.
+//
+// YCSB-style rejection-free zipfian sampler over [0, n): item 0 is the most
+// popular, with P(k) proportional to 1/(k+1)^theta. theta in (0, 1) — 0.99
+// is the YCSB default and a reasonable stand-in for real content popularity;
+// theta -> 0 approaches uniform. The zeta normalization constant is computed
+// once in the constructor (O(n)), so sampling is O(1) and allocation-free.
+//
+// Deterministic given the caller's Xoshiro256 stream, like every randomized
+// component in this repo (support/prng.hpp).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+#include "support/prng.hpp"
+
+namespace smpst::bench {
+
+class ZipfianGenerator {
+ public:
+  explicit ZipfianGenerator(std::uint64_t n, double theta = 0.99)
+      : n_(n), theta_(theta) {
+    if (n == 0) throw std::invalid_argument("zipf: n must be >= 1");
+    if (!(theta > 0.0 && theta < 1.0)) {
+      throw std::invalid_argument("zipf: theta must be in (0, 1)");
+    }
+    zetan_ = zeta(n_, theta_);
+    const double zeta2 = zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+  }
+
+  /// Samples one item rank in [0, n); rank 0 is the hottest.
+  [[nodiscard]] std::uint64_t next(Xoshiro256& rng) const noexcept {
+    const double u = rng.next_double();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return n_ > 1 ? 1 : 0;
+    const auto rank = static_cast<std::uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= n_ ? n_ - 1 : rank;
+  }
+
+  [[nodiscard]] std::uint64_t n() const noexcept { return n_; }
+  [[nodiscard]] double theta() const noexcept { return theta_; }
+
+ private:
+  static double zeta(std::uint64_t n, double theta) noexcept {
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  std::uint64_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+};
+
+}  // namespace smpst::bench

@@ -1,0 +1,559 @@
+#include "net/tcp_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "service/wire.hpp"
+#include "support/failpoint.hpp"
+
+namespace smpst::net {
+
+namespace {
+
+constexpr std::uint64_t kListenId = 0;
+constexpr std::uint64_t kWakeId = 1;
+constexpr int kEpollTickMs = 50;
+constexpr std::size_t kReadChunkBytes = 16 * 1024;
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+obs::Counter& counter(const char* name) {
+  return obs::MetricsRegistry::instance().counter(name);
+}
+
+}  // namespace
+
+TcpServer::TcpServer(service::GraphRegistry& registry,
+                     service::QueryExecutor& executor, TcpServerOptions opts)
+    : registry_(registry), executor_(executor), opts_(std::move(opts)) {
+  try {
+    setup_listener();
+  } catch (...) {
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    throw;
+  }
+}
+
+TcpServer::~TcpServer() {
+  for (auto& [id, conn] : conns_) {
+    conn->session->detach();
+    ::close(conn->fd);
+  }
+  conns_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void TcpServer::setup_listener() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw_errno("epoll_create1");
+
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) throw_errno("eventfd");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) throw_errno("socket");
+
+  const int one = 1;
+  if (::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) <
+      0) {
+    throw_errno("setsockopt(SO_REUSEADDR)");
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts_.port);
+  if (::inet_pton(AF_INET, opts_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("bad bind address: " + opts_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    throw_errno("bind " + opts_.bind_address + ":" +
+                std::to_string(opts_.port));
+  }
+  if (::listen(listen_fd_, 128) < 0) throw_errno("listen");
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) <
+      0) {
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenId;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) < 0) {
+    throw_errno("epoll_ctl(listen)");
+  }
+  ev.events = EPOLLIN;
+  ev.data.u64 = kWakeId;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+    throw_errno("epoll_ctl(wake)");
+  }
+}
+
+void TcpServer::request_shutdown() noexcept {
+  // Called from signal handlers: atomic store + write(2) only.
+  shutdown_requested_.store(true, std::memory_order_release);
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t rc = ::write(wake_fd_, &one, sizeof(one));
+}
+
+DrainReport TcpServer::run() {
+  obs::Gauge& g_conns = obs::MetricsRegistry::instance().gauge(
+      "net.connections");
+  epoll_event events[64];
+  while (true) {
+    const int n = ::epoll_wait(epoll_fd_, events,
+                               static_cast<int>(std::size(events)),
+                               kEpollTickMs);
+    now_ = std::chrono::steady_clock::now();
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("epoll_wait");
+    }
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t id = events[i].data.u64;
+      if (id == kWakeId) {
+        std::uint64_t drained = 0;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+      } else if (id == kListenId) {
+        do_accept();
+      } else {
+        handle_event(id, events[i].events);
+      }
+    }
+    drain_mailbox();
+    if (shutdown_requested_.load(std::memory_order_acquire) && !draining_) {
+      begin_drain();
+    }
+    tick();
+    g_conns.set(static_cast<std::int64_t>(conns_.size()));
+    if (draining_) {
+      if (conns_.empty()) break;
+      if (now_ >= drain_deadline_) {
+        // Deadline: whoever still owes or holds anything gets cut.
+        std::vector<std::uint64_t> ids;
+        ids.reserve(conns_.size());
+        for (const auto& [id, conn] : conns_) ids.push_back(id);
+        for (const std::uint64_t id : ids) {
+          Conn& c = *conns_.at(id);
+          ++report_.forced_connections;
+          report_.responses_dropped += c.session->pending();
+          counter("net.conn.forced_close").add(1);
+          close_conn(id, "drain-deadline");
+        }
+        break;
+      }
+    }
+  }
+  report_.clean = report_.forced_connections == 0;
+  g_conns.set(0);
+  return report_;
+}
+
+void TcpServer::do_accept() {
+  while (true) {
+    try {
+      SMPST_FAILPOINT("net.server.accept");
+    } catch (const fail::FailpointError&) {
+      // The pending connection stays in the backlog; level-triggered epoll
+      // re-reports it, so a probabilistic spec only delays the accept.
+      counter("net.accept.faults").add(1);
+      return;
+    }
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      // EMFILE/ENFILE/ECONNABORTED and friends: drop this attempt, keep
+      // serving; the listener itself is fine.
+      counter("net.accept.errors").add(1);
+      return;
+    }
+    if (conns_.size() >= opts_.max_connections) {
+      // Typed rejection instead of a silent RST: the client learns it hit
+      // admission control, not a network fault. Best-effort single send.
+      const std::string line =
+          service::render_error(
+              service::WireErrorCode::kOverloaded,
+              "connection limit reached (" +
+                  std::to_string(opts_.max_connections) + ")",
+              250) +
+          "\n";
+      (void)::send(fd, line.data(), line.size(),
+                   MSG_NOSIGNAL | MSG_DONTWAIT);
+      ::close(fd);
+      counter("net.conn.rejected").add(1);
+      continue;
+    }
+    add_conn(fd);
+  }
+}
+
+void TcpServer::add_conn(int fd) {
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  const std::uint64_t id = next_conn_id_++;
+  auto conn = std::make_unique<Conn>();
+  conn->fd = fd;
+  conn->id = id;
+  conn->opened = now_;
+  conn->last_progress = now_;
+  conn->last_write_progress = now_;
+
+  service::SessionOptions sopts;
+  sopts.max_batch = opts_.max_batch;
+  sopts.on_shutdown = [this] { request_shutdown(); };
+  conn->session = service::Session::create(
+      registry_, executor_,
+      [this, id](std::string&& line) { post_response(id, std::move(line)); },
+      sopts);
+
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLRDHUP;
+  ev.data.u64 = id;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    conn->session->detach();
+    ::close(fd);
+    counter("net.accept.errors").add(1);
+    return;
+  }
+  conn->armed_events = ev.events;
+  conns_.emplace(id, std::move(conn));
+  counter("net.conn.accepted").add(1);
+}
+
+void TcpServer::handle_event(std::uint64_t id, std::uint32_t events) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;  // closed earlier this iteration
+  Conn& c = *it->second;
+  if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+    close_conn(id, "socket-error");
+    return;
+  }
+  if ((events & EPOLLOUT) != 0) {
+    flush_conn(c);
+    if (conns_.find(id) == conns_.end()) return;  // flush closed it
+  }
+  if ((events & (EPOLLIN | EPOLLRDHUP)) != 0 && !c.peer_half_closed) {
+    handle_readable(c);
+  }
+}
+
+void TcpServer::handle_readable(Conn& c) {
+  const std::uint64_t id = c.id;
+  char buf[kReadChunkBytes];
+  ssize_t n;
+  try {
+    SMPST_FAILPOINT("net.conn.read");
+    n = ::recv(c.fd, buf, sizeof(buf), 0);
+  } catch (const fail::FailpointError&) {
+    counter("net.conn.read_faults").add(1);
+    close_conn(id, "injected-read-fault");
+    return;
+  }
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+    close_conn(id, "read-error");
+    return;
+  }
+  if (n == 0) {
+    handle_eof(c);
+    return;
+  }
+  c.codec.feed(buf, static_cast<std::size_t>(n));
+  pump_lines(c);
+}
+
+void TcpServer::handle_eof(Conn& c) {
+  // Half-close: the peer is done sending but still expects its responses.
+  c.peer_half_closed = true;
+  pump_lines(c);
+  std::string tail = c.codec.take_partial();
+  if (!tail.empty()) c.session->on_line(std::move(tail));
+  c.session->on_eof();
+  c.closing = true;
+  update_interest(c);
+  maybe_finish(c);
+}
+
+void TcpServer::pump_lines(Conn& c) {
+  std::string line;
+  while (!c.closing) {
+    if (c.session->pending() >= opts_.max_pipeline ||
+        outbox_bytes(c) >= opts_.outbox_max_bytes / 2) {
+      break;  // backpressure; the rest of the codec buffer waits
+    }
+    const service::LineCodec::Event ev = c.codec.next(line);
+    if (ev == service::LineCodec::Event::kNone) break;
+    if (ev == service::LineCodec::Event::kOversized) {
+      c.last_progress = now_;
+      c.session->on_oversized_line(c.codec.last_oversized_bytes());
+      continue;
+    }
+    c.last_progress = now_;
+    c.session->on_line(std::move(line));
+    if (c.session->quit_requested()) {
+      c.closing = true;  // flush what is owed, then hang up
+    }
+  }
+  refresh_backpressure(c);
+  update_interest(c);
+  maybe_finish(c);
+}
+
+void TcpServer::refresh_backpressure(Conn& c) {
+  const bool paused = c.session->pending() >= opts_.max_pipeline ||
+                      outbox_bytes(c) >= opts_.outbox_max_bytes / 2;
+  if (paused && !c.read_paused) counter("net.conn.read_pauses").add(1);
+  c.read_paused = paused;
+}
+
+void TcpServer::flush_conn(Conn& c) {
+  const std::uint64_t id = c.id;
+  while (c.outbox_off < c.outbox.size()) {
+    ssize_t n;
+    try {
+      SMPST_FAILPOINT("net.conn.write");
+      n = ::send(c.fd, c.outbox.data() + c.outbox_off,
+                 c.outbox.size() - c.outbox_off, MSG_NOSIGNAL);
+    } catch (const fail::FailpointError&) {
+      counter("net.conn.write_faults").add(1);
+      close_conn(id, "injected-write-fault");
+      return;
+    }
+    if (n > 0) {
+      c.outbox_off += static_cast<std::size_t>(n);
+      c.last_write_progress = now_;
+      c.last_progress = now_;
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    close_conn(id, "write-error");  // EPIPE, ECONNRESET, ...
+    return;
+  }
+  if (c.outbox_off == c.outbox.size()) {
+    c.outbox.clear();
+    c.outbox_off = 0;
+    c.last_write_progress = now_;
+  } else if (c.outbox_off > c.outbox.size() / 2) {
+    // Compact the sent prefix so the buffer cannot grow without bound
+    // behind a slowly-draining peer.
+    c.outbox.erase(0, c.outbox_off);
+    c.outbox_off = 0;
+  }
+  refresh_backpressure(c);
+  update_interest(c);
+  maybe_finish(c);
+}
+
+void TcpServer::update_interest(Conn& c) {
+  std::uint32_t want = 0;
+  if (!c.peer_half_closed && !c.read_paused && !c.closing) {
+    want |= EPOLLIN | EPOLLRDHUP;
+  }
+  if (c.outbox_off < c.outbox.size()) want |= EPOLLOUT;
+  if (want == c.armed_events) return;
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.u64 = c.id;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c.fd, &ev) == 0) {
+    c.armed_events = want;
+  }
+}
+
+void TcpServer::post_response(std::uint64_t id, std::string&& line) {
+  bool need_wake;
+  {
+    LockGuard<Mutex> lk(mail_mutex_);
+    need_wake = mailbox_.empty();
+    mailbox_.emplace_back(id, std::move(line));
+  }
+  if (need_wake) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t rc = ::write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+void TcpServer::drain_mailbox() {
+  std::vector<std::pair<std::uint64_t, std::string>> batch;
+  {
+    LockGuard<Mutex> lk(mail_mutex_);
+    batch.swap(mailbox_);
+  }
+  if (batch.empty()) return;
+  for (auto& [id, line] : batch) {
+    const auto it = conns_.find(id);
+    if (it == conns_.end()) {
+      // Posted before the connection closed; its session is detached now,
+      // but this line was already in flight.
+      counter("net.responses.orphaned").add(1);
+      continue;
+    }
+    Conn& c = *it->second;
+    if (outbox_bytes(c) + line.size() + 1 > opts_.outbox_max_bytes) {
+      // The peer is not reading; a typed error could not reach it either.
+      counter("net.conn.outbox_overflow").add(1);
+      close_conn(id, "outbox-overflow");
+      continue;
+    }
+    c.outbox.append(line);
+    c.outbox.push_back('\n');
+  }
+  for (auto& [id, line] : batch) {
+    const auto it = conns_.find(id);
+    if (it != conns_.end() && outbox_bytes(*it->second) > 0) {
+      flush_conn(*it->second);
+    }
+  }
+}
+
+void TcpServer::begin_drain() {
+  draining_ = true;
+  drain_deadline_ =
+      now_ + std::chrono::milliseconds(
+                 opts_.drain_timeout_ms > 0 ? opts_.drain_timeout_ms : 0);
+  if (listen_fd_ >= 0) {
+    (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (auto& [id, conn] : conns_) {
+    conn->session->begin_drain();
+    conn->closing = true;
+    update_interest(*conn);
+  }
+  counter("net.drains").add(1);
+}
+
+void TcpServer::tick() {
+  // Snapshot the ids: pump_lines/maybe_finish below may close (erase) the
+  // connection they are handed, which would invalidate a live map iterator.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(conns_.size());
+  for (const auto& [id, conn] : conns_) ids.push_back(id);
+  for (const std::uint64_t id : ids) {
+    const auto it = conns_.find(id);
+    if (it == conns_.end()) continue;
+    Conn& c = *it->second;
+    // Paused reads resume here once the pipeline or outbox shrank. The codec
+    // buffer may hold complete lines that arrived before backpressure kicked
+    // in — they must be pumped even when the pause has since lifted, because
+    // level-triggered EPOLLIN only fires for bytes still in the socket, not
+    // for lines already framed.
+    if (c.read_paused) {
+      const bool still = c.session->pending() >= opts_.max_pipeline ||
+                         outbox_bytes(c) >= opts_.outbox_max_bytes / 2;
+      if (!still) {
+        c.read_paused = false;
+        pump_lines(c);
+        if (conns_.find(id) == conns_.end()) continue;
+      }
+    } else if (c.codec.buffered() > 0 && !c.closing) {
+      pump_lines(c);
+      if (conns_.find(id) == conns_.end()) continue;
+    }
+    if (outbox_bytes(c) > 0 && opts_.write_stall_timeout_ms > 0 &&
+        now_ - c.last_write_progress >
+            std::chrono::milliseconds(opts_.write_stall_timeout_ms)) {
+      counter("net.conn.write_stalls").add(1);
+      close_conn(id, "write-stall");
+      continue;
+    }
+    if (!c.closing && opts_.idle_timeout_ms > 0 &&
+        c.session->pending() == 0 && outbox_bytes(c) == 0 &&
+        now_ - c.last_progress >
+            std::chrono::milliseconds(opts_.idle_timeout_ms)) {
+      // Covers the slow-loris shape too: dribbled bytes that never complete
+      // a line do not count as progress.
+      counter("net.conn.idle_closes").add(1);
+      close_conn(id, "idle");
+      continue;
+    }
+    maybe_finish(c);
+  }
+}
+
+bool TcpServer::has_undelivered(std::uint64_t id) {
+  LockGuard<Mutex> lk(mail_mutex_);
+  for (const auto& [mid, line] : mailbox_) {
+    if (mid == id) return true;
+  }
+  return false;
+}
+
+void TcpServer::maybe_finish(Conn& c) {
+  if (!(c.closing || draining_)) return;
+  if (c.session->pending() != 0 || outbox_bytes(c) != 0) return;
+  // pending() only reaches 0 after every response passed through the sink,
+  // i.e. was posted to the mailbox — so this check is the close barrier that
+  // keeps a final `bye` (or a drain's last answers) from being dropped
+  // between an executor thread's post and the loop's mailbox drain. Posting
+  // always wakes the loop, so a deferred close is retried promptly.
+  if (has_undelivered(c.id)) return;
+  if (draining_ && !c.peer_half_closed) {
+    // Last-gasp read: lines that raced in after the drain began still
+    // deserve their typed `shutting-down` answer before we hang up.
+    char buf[kReadChunkBytes];
+    const ssize_t n = ::recv(c.fd, buf, sizeof(buf), MSG_DONTWAIT);
+    if (n > 0) {
+      c.codec.feed(buf, static_cast<std::size_t>(n));
+      std::string line;
+      while (true) {
+        const service::LineCodec::Event ev = c.codec.next(line);
+        if (ev == service::LineCodec::Event::kNone) break;
+        if (ev == service::LineCodec::Event::kOversized) {
+          c.session->on_oversized_line(c.codec.last_oversized_bytes());
+        } else {
+          c.session->on_line(std::move(line));
+        }
+      }
+      if (c.session->pending() != 0 || outbox_bytes(c) != 0 ||
+          has_undelivered(c.id)) {
+        return;  // answers owed again; flushed and closed on a later pass
+      }
+    }
+  }
+  close_conn(c.id, "done");
+}
+
+void TcpServer::close_conn(std::uint64_t id, const char* why) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Conn& c = *it->second;
+  c.session->detach();  // in-flight completions drain into the void
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, c.fd, nullptr);
+  ::close(c.fd);
+  counter("net.conn.closed").add(1);
+  obs::MetricsRegistry::instance()
+      .histogram("net.conn.lifetime_ms")
+      .record_ms(std::chrono::duration<double, std::milli>(now_ - c.opened)
+                     .count());
+  (void)why;
+  conns_.erase(it);
+}
+
+}  // namespace smpst::net

@@ -1,0 +1,195 @@
+// TcpServer — nonblocking epoll front end for the spanning-tree query
+// service, speaking the service/wire line protocol over TCP.
+//
+// One thread (the caller of run()) owns an epoll loop: it accepts, frames
+// bytes into lines with service::LineCodec, and feeds them to a per-
+// connection service::Session. Query responses complete on executor worker
+// threads; the session sink posts them to a mutex-protected mailbox and
+// wakes the loop through an eventfd, so every socket write happens on the
+// loop thread.
+//
+// Robustness is the organizing principle (docs/SERVICE.md):
+//   - Bounded buffers everywhere. Read framing is capped at
+//     service::kMaxLineBytes per line (over-limit lines are answered with a
+//     typed `too-large` error and the stream resynchronizes — no
+//     disconnect); the write-side outbox is capped by outbox_max_bytes and
+//     a connection that will not read past it is closed.
+//   - Admission control. A connection beyond max_connections is answered
+//     with a single `overloaded` line and closed; a query the executor's
+//     bounded queue cannot take is answered `overloaded` with a
+//     retry_after_ms hint. Reads pause (EPOLLIN off) while a connection has
+//     max_pipeline unanswered requests, so a pipelining client is
+//     flow-controlled instead of ballooning server memory.
+//   - Slow-loris defense. A connection that makes no protocol progress for
+//     idle_timeout_ms (dribbling bytes that never finish a line counts as
+//     no progress) is closed, as is one whose peer accepts no bytes for
+//     write_stall_timeout_ms while responses are owed.
+//   - Graceful drain. request_shutdown() — async-signal-safe, callable from
+//     a SIGTERM handler — stops accepting, sheds new queries with
+//     `shutting-down`, completes queries accepted before the drain, flushes
+//     every owed response, and force-closes only at drain_timeout_ms. The
+//     DrainReport says whether every accepted request was answered.
+//
+// Failpoints (docs/ROBUSTNESS.md): net.server.accept, net.conn.read,
+// net.conn.write — an injected throw aborts that one accept/connection,
+// never the loop.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "service/codec.hpp"
+#include "service/executor.hpp"
+#include "service/session.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace smpst::net {
+
+struct TcpServerOptions {
+  /// IPv4 address to bind; loopback by default (tests, local tooling).
+  std::string bind_address = "127.0.0.1";
+
+  /// 0 = ephemeral; the chosen port is available via port() after
+  /// construction (listen happens in the constructor).
+  std::uint16_t port = 0;
+
+  /// Connections beyond this are answered `overloaded` and closed.
+  std::size_t max_connections = 256;
+
+  /// Unanswered requests per connection before its reads pause (pipelining
+  /// flow control).
+  std::size_t max_pipeline = 128;
+
+  /// Hard cap on buffered-but-unsent response bytes per connection; a peer
+  /// that will not read past it is closed (it is not consuming responses,
+  /// so a typed error could not reach it either).
+  std::size_t outbox_max_bytes = std::size_t{4} << 20;
+
+  /// Close a connection with no protocol progress (complete line in, or
+  /// response byte out) for this long. <= 0 disables.
+  std::int64_t idle_timeout_ms = 30'000;
+
+  /// Close a connection whose peer accepts no response bytes for this long
+  /// while responses are owed. <= 0 disables.
+  std::int64_t write_stall_timeout_ms = 10'000;
+
+  /// After request_shutdown(): force-close connections still owing
+  /// responses once this much time has passed.
+  std::int64_t drain_timeout_ms = 10'000;
+
+  /// Forwarded to the per-connection Session (`batch count=K` bound).
+  std::size_t max_batch = 4096;
+};
+
+/// What run() observed while shutting down.
+struct DrainReport {
+  /// Every accepted request was answered and every connection closed
+  /// voluntarily before the drain deadline.
+  bool clean = true;
+
+  /// Connections force-closed at the drain deadline.
+  std::size_t forced_connections = 0;
+
+  /// Responses still owed by force-closed connections (0 when clean).
+  std::size_t responses_dropped = 0;
+};
+
+class TcpServer {
+ public:
+  /// Binds and listens immediately (so port() is valid before run());
+  /// throws std::runtime_error when the socket cannot be set up. The
+  /// registry and executor must outlive the server.
+  TcpServer(service::GraphRegistry& registry,
+            service::QueryExecutor& executor,
+            TcpServerOptions opts = TcpServerOptions());
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// The bound port (resolves opts.port == 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Runs the accept/serve loop on the calling thread until a shutdown is
+  /// requested (request_shutdown(), or a client's `shutdown` command) and
+  /// the drain completes. Call at most once.
+  DrainReport run();
+
+  /// Begins a graceful drain. Async-signal-safe (an atomic store and an
+  /// eventfd write), so it may be called directly from a SIGTERM/SIGINT
+  /// handler or from any thread. Idempotent.
+  void request_shutdown() noexcept;
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::uint64_t id = 0;
+    service::LineCodec codec;
+    std::shared_ptr<service::Session> session;
+
+    std::string outbox;          ///< rendered responses awaiting the socket
+    std::size_t outbox_off = 0;  ///< sent prefix of outbox
+
+    std::uint32_t armed_events = 0;  ///< epoll interest currently installed
+    bool read_paused = false;        ///< backpressure gate on EPOLLIN
+    bool peer_half_closed = false;   ///< read side saw EOF
+    bool closing = false;            ///< close once idle (quit/EOF/drain)
+
+    std::chrono::steady_clock::time_point opened{};
+    std::chrono::steady_clock::time_point last_progress{};
+    std::chrono::steady_clock::time_point last_write_progress{};
+  };
+
+  void setup_listener();
+  void do_accept();
+  void add_conn(int fd);
+  void handle_event(std::uint64_t id, std::uint32_t events);
+  void handle_readable(Conn& c);
+  void handle_eof(Conn& c);
+  void pump_lines(Conn& c);
+  void refresh_backpressure(Conn& c);
+  void flush_conn(Conn& c);
+  void update_interest(Conn& c);
+  void drain_mailbox();
+  void begin_drain();
+  void tick();
+  [[nodiscard]] bool has_undelivered(std::uint64_t id);
+  void maybe_finish(Conn& c);
+  void close_conn(std::uint64_t id, const char* why);
+  void post_response(std::uint64_t id, std::string&& line);
+  [[nodiscard]] std::size_t outbox_bytes(const Conn& c) const noexcept {
+    return c.outbox.size() - c.outbox_off;
+  }
+
+  service::GraphRegistry& registry_;
+  service::QueryExecutor& executor_;
+  const TcpServerOptions opts_;
+
+  int epoll_fd_ = -1;
+  int listen_fd_ = -1;
+  int wake_fd_ = -1;
+  std::uint16_t port_ = 0;
+
+  // Loop-thread-only state (run() is single-threaded by contract).
+  std::map<std::uint64_t, std::unique_ptr<Conn>> conns_;
+  std::uint64_t next_conn_id_ = 2;  ///< 0 = listener, 1 = wake eventfd
+  bool draining_ = false;
+  std::chrono::steady_clock::time_point now_{};
+  std::chrono::steady_clock::time_point drain_deadline_{};
+  DrainReport report_;
+
+  std::atomic<bool> shutdown_requested_{false};
+
+  /// Responses posted by executor threads, pending loop-thread delivery.
+  Mutex mail_mutex_;
+  std::vector<std::pair<std::uint64_t, std::string>> mailbox_
+      SMPST_GUARDED_BY(mail_mutex_);
+};
+
+}  // namespace smpst::net

@@ -1,0 +1,72 @@
+#include "service/codec.hpp"
+
+#include <cstring>
+
+namespace smpst::service {
+
+void LineCodec::feed(const char* data, std::size_t len) {
+  if (len == 0) return;
+  if (discarding_) {
+    // Bytes of an oversized line's tail never enter the buffer: scan the
+    // incoming chunk for the resynchronizing newline directly.
+    const char* nl = static_cast<const char*>(std::memchr(data, '\n', len));
+    if (nl == nullptr) {
+      oversized_bytes_ += len;
+      return;
+    }
+    const std::size_t consumed = static_cast<std::size_t>(nl - data) + 1;
+    oversized_bytes_ += consumed - 1;
+    discarding_ = false;
+    data += consumed;
+    len -= consumed;
+    if (len == 0) return;
+  }
+  buffer_.append(data, len);
+}
+
+LineCodec::Event LineCodec::next(std::string& out) {
+  const std::size_t nl = buffer_.find('\n', scan_from_);
+  if (nl == std::string::npos) {
+    scan_from_ = buffer_.size();
+    if (!discarding_ && buffer_.size() > max_line_bytes_) {
+      // Cap crossed with no newline in sight: drop what we have, discard the
+      // rest of this line as it arrives, tell the caller once.
+      oversized_bytes_ = buffer_.size();
+      buffer_.clear();
+      scan_from_ = 0;
+      discarding_ = true;
+      out.clear();
+      return Event::kOversized;
+    }
+    return Event::kNone;
+  }
+  if (nl > max_line_bytes_) {
+    // The whole oversized line (newline included) arrived in one buffered
+    // run; consume it and report, no discard phase needed.
+    oversized_bytes_ = nl;
+    buffer_.erase(0, nl + 1);
+    scan_from_ = 0;
+    out.clear();
+    return Event::kOversized;
+  }
+  out.assign(buffer_, 0, nl);
+  if (!out.empty() && out.back() == '\r') out.pop_back();
+  buffer_.erase(0, nl + 1);
+  scan_from_ = 0;
+  return Event::kLine;
+}
+
+std::string LineCodec::take_partial() {
+  if (discarding_) {
+    // The stream ended inside an oversized line; its tail is gone by design.
+    discarding_ = false;
+    return {};
+  }
+  std::string out = std::move(buffer_);
+  buffer_.clear();
+  scan_from_ = 0;
+  if (!out.empty() && out.back() == '\r') out.pop_back();
+  return out;
+}
+
+}  // namespace smpst::service

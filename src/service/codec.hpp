@@ -1,0 +1,70 @@
+// Incremental line framing shared by every front end of the query service.
+//
+// Both the stdin loop and the TCP server speak "one request per line"; this
+// codec is the single hardened path that turns an arbitrary byte stream into
+// framed lines. Its robustness properties:
+//
+//   - the internal buffer is bounded by the wire line cap (kMaxLineBytes):
+//     a client that never sends '\n' cannot grow server memory;
+//   - an oversized line is reported exactly once (Event::kOversized) and the
+//     stream resynchronizes at the next newline — one typed `too-large`
+//     response per oversized request, connection survives;
+//   - '\r' before '\n' is stripped, so telnet/CRLF clients work;
+//   - a final unterminated line is recoverable at EOF via take_partial()
+//     (getline semantics: EOF terminates the last line).
+//
+// Not thread-safe: one codec per connection, driven by its reader.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "service/wire.hpp"
+
+namespace smpst::service {
+
+class LineCodec {
+ public:
+  explicit LineCodec(std::size_t max_line_bytes = kMaxLineBytes)
+      : max_line_bytes_(max_line_bytes) {}
+
+  enum class Event {
+    kNone,       ///< no complete line buffered; feed more bytes
+    kLine,       ///< `out` holds one complete line (newline stripped)
+    kOversized,  ///< a line exceeded the cap; its bytes are being discarded
+  };
+
+  /// Appends raw bytes from the transport.
+  void feed(const char* data, std::size_t len);
+
+  /// Extracts the next framing event. Call repeatedly until kNone.
+  /// kOversized is reported once per oversized line, at the moment the cap
+  /// is crossed; the line's remaining bytes (through its newline) are
+  /// silently discarded as they arrive.
+  Event next(std::string& out);
+
+  /// Bytes currently buffered (the partial line in progress).
+  [[nodiscard]] std::size_t buffered() const noexcept { return buffer_.size(); }
+
+  /// True while discarding the tail of an oversized line.
+  [[nodiscard]] bool discarding() const noexcept { return discarding_; }
+
+  /// Surrenders the trailing unterminated line (for EOF handling). Empty when
+  /// the stream ended cleanly on a newline or mid-discard.
+  [[nodiscard]] std::string take_partial();
+
+  /// Bytes observed so far of the line behind the most recent kOversized
+  /// (grows while its tail is still being discarded). Informational.
+  [[nodiscard]] std::size_t last_oversized_bytes() const noexcept {
+    return oversized_bytes_;
+  }
+
+ private:
+  const std::size_t max_line_bytes_;
+  std::string buffer_;
+  std::size_t scan_from_ = 0;   ///< no '\n' before this offset
+  bool discarding_ = false;  ///< inside an oversized line's tail
+  std::size_t oversized_bytes_ = 0;
+};
+
+}  // namespace smpst::service

@@ -1,6 +1,7 @@
 #include "service/executor.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <utility>
 
 #include "core/algorithms.hpp"
@@ -110,31 +111,75 @@ QueryExecutor::QueryExecutor(GraphRegistry& registry, ExecutorOptions opts)
 
 QueryExecutor::~QueryExecutor() { shutdown(); }
 
+void QueryExecutor::reject_inline(Item& item, std::string reason) {
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+  QueryResult r;
+  r.status = QueryStatus::kRejected;
+  r.error = std::move(reason);
+  r.graph = item.req.graph;
+  r.algorithm = item.req.algorithm;
+  if (item.done) {
+    try {
+      item.done(r);
+    } catch (...) {
+      // A throwing completion must not break the submitter.
+    }
+  }
+  item.promise.set_value(std::move(r));
+}
+
+/// One accepted request fully completed (promise + completion delivered).
+void QueryExecutor::finish_pending() {
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Empty critical section orders the notify after any drain() caller has
+    // entered its wait; without it the last decrement could slip between the
+    // waiter's predicate check and its sleep.
+    { LockGuard<Mutex> lk(drain_mutex_); }
+    drain_cv_.notify_all();
+  }
+}
+
 std::future<QueryResult> QueryExecutor::submit(SpanningTreeRequest req) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
-  Item item{std::move(req), {}, std::chrono::steady_clock::now()};
+  Item item{std::move(req), {}, std::chrono::steady_clock::now(), {}};
   auto future = item.promise.get_future();
   bool pushed = false;
   std::string reject_reason = "request queue full";
   // submit() must never throw and must always satisfy the future, even when
   // the queue itself faults (failpoints, allocation failure).
+  pending_.fetch_add(1, std::memory_order_acq_rel);
   try {
     pushed = queue_.try_push(std::move(item));
   } catch (const std::exception& e) {
     reject_reason = std::string("admission failure: ") + e.what();
   }
   if (!pushed) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
-    QueryResult r;
-    r.status = QueryStatus::kRejected;
-    r.error = std::move(reject_reason);
-    r.graph = item.req.graph;
-    r.algorithm = item.req.algorithm;
-    item.promise.set_value(std::move(r));
+    reject_inline(item, std::move(reject_reason));
+    finish_pending();
   } else {
     accepted_.fetch_add(1, std::memory_order_relaxed);
   }
   return future;
+}
+
+void QueryExecutor::submit(SpanningTreeRequest req, Completion done) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  Item item{std::move(req), {}, std::chrono::steady_clock::now(),
+            std::move(done)};
+  bool pushed = false;
+  std::string reject_reason = "request queue full";
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  try {
+    pushed = queue_.try_push(std::move(item));
+  } catch (const std::exception& e) {
+    reject_reason = std::string("admission failure: ") + e.what();
+  }
+  if (!pushed) {
+    reject_inline(item, std::move(reject_reason));
+    finish_pending();
+  } else {
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 std::vector<std::future<QueryResult>> QueryExecutor::submit_batch(
@@ -146,30 +191,71 @@ std::vector<std::future<QueryResult>> QueryExecutor::submit_batch(
   items.reserve(reqs.size());
   futures.reserve(reqs.size());
   for (auto& req : reqs) {
-    items.push_back(Item{std::move(req), {}, now});
+    items.push_back(Item{std::move(req), {}, now, {}});
     futures.push_back(items.back().promise.get_future());
   }
+  const std::size_t count = items.size();
   bool pushed = false;
   std::string reject_reason = "request queue cannot take the whole batch";
+  pending_.fetch_add(count, std::memory_order_acq_rel);
   try {
     pushed = queue_.try_push_all(items);
   } catch (const std::exception& e) {
     reject_reason = std::string("admission failure: ") + e.what();
   }
   if (!pushed) {
-    rejected_.fetch_add(items.size(), std::memory_order_relaxed);
     for (auto& item : items) {
-      QueryResult r;
-      r.status = QueryStatus::kRejected;
-      r.error = reject_reason;
-      r.graph = item.req.graph;
-      r.algorithm = item.req.algorithm;
-      item.promise.set_value(std::move(r));
+      reject_inline(item, reject_reason);
+      finish_pending();
     }
     return futures;
   }
-  accepted_.fetch_add(futures.size(), std::memory_order_relaxed);
+  accepted_.fetch_add(count, std::memory_order_relaxed);
   return futures;
+}
+
+void QueryExecutor::submit_batch(std::vector<SpanningTreeRequest> reqs,
+                                 std::vector<Completion> dones) {
+  if (reqs.size() != dones.size()) {
+    throw std::invalid_argument("submit_batch: one completion per request");
+  }
+  submitted_.fetch_add(reqs.size(), std::memory_order_relaxed);
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<Item> items;
+  items.reserve(reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    items.push_back(Item{std::move(reqs[i]), {}, now, std::move(dones[i])});
+  }
+  const std::size_t count = items.size();
+  bool pushed = false;
+  std::string reject_reason = "request queue cannot take the whole batch";
+  pending_.fetch_add(count, std::memory_order_acq_rel);
+  try {
+    pushed = queue_.try_push_all(items);
+  } catch (const std::exception& e) {
+    reject_reason = std::string("admission failure: ") + e.what();
+  }
+  if (!pushed) {
+    for (auto& item : items) {
+      reject_inline(item, reject_reason);
+      finish_pending();
+    }
+    return;
+  }
+  accepted_.fetch_add(count, std::memory_order_relaxed);
+}
+
+bool QueryExecutor::drain(std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  LockGuard<Mutex> lk(drain_mutex_);
+  while (pending_.load(std::memory_order_acquire) != 0) {
+    if (drain_cv_.wait_until(drain_mutex_, deadline) ==
+            std::cv_status::timeout &&
+        pending_.load(std::memory_order_acquire) != 0) {
+      return false;
+    }
+  }
+  return true;
 }
 
 void QueryExecutor::resume() {
@@ -324,11 +410,20 @@ void QueryExecutor::worker_loop(std::size_t slot) {
     latency_.record_ms(result.total_ms);
     m_latency.record_ms(result.total_ms);
     m_inflight.add(-1);
+    if (item.done) {
+      // Before the promise: set_value moves the result out. A completion that
+      // throws is contained here — the worker owes the rest of the queue.
+      try {
+        item.done(result);
+      } catch (...) {
+      }
+    }
     try {
       item.promise.set_value(std::move(result));
     } catch (const std::exception&) {
       // Future abandoned (promise already satisfied or moved); nothing to do.
     }
+    finish_pending();
   }
 }
 

@@ -23,6 +23,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <thread>
@@ -114,17 +115,54 @@ class QueryExecutor {
   /// kRejected. The future is always eventually satisfied.
   std::future<QueryResult> submit(SpanningTreeRequest req);
 
+  /// Completion handler for the callback-based submit path. Invoked exactly
+  /// once per request — from the worker thread that executed it, or inline
+  /// from submit() for a rejected request. It must not block for long (it
+  /// runs on the serving path) and must not re-enter the executor.
+  using Completion = std::function<void(const QueryResult&)>;
+
+  /// Event-driven submit for network front ends: no future, no waiting
+  /// thread. `done` always fires, even on rejection (status kRejected) or
+  /// executor shutdown. A throwing completion is contained and counted, never
+  /// propagated.
+  void submit(SpanningTreeRequest req, Completion done);
+
   /// Admits the batch atomically: either every request is queued or the whole
   /// batch is rejected (partial admission would make batch latency depend on
   /// its own rejected remainder).
   std::vector<std::future<QueryResult>> submit_batch(
       std::vector<SpanningTreeRequest> reqs);
 
+  /// Callback flavor of submit_batch; `dones` must be the same length as
+  /// `reqs` and every entry fires exactly once (kRejected inline when the
+  /// batch does not fit).
+  void submit_batch(std::vector<SpanningTreeRequest> reqs,
+                    std::vector<Completion> dones);
+
   /// Releases workers when constructed with start_paused.
   void resume();
 
   /// Stops admissions, drains accepted requests, joins workers. Idempotent.
   void shutdown();
+
+  /// Blocks until every accepted request has completed (its promise satisfied
+  /// and completion invoked) or `timeout` elapses; does NOT stop admissions —
+  /// the caller is expected to have stopped submitting. Returns true when the
+  /// executor went idle within the deadline. The watchdog keeps hard-
+  /// cancelling overrunning queries meanwhile, which is what bounds a drain
+  /// of deadlined traffic.
+  bool drain(std::chrono::milliseconds timeout);
+
+  /// Requests currently queued (admission headroom = capacity - depth).
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  [[nodiscard]] std::size_t queue_capacity() const noexcept {
+    return queue_.capacity();
+  }
+
+  /// Accepted-but-not-completed requests (queued + in flight).
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return pending_.load(std::memory_order_acquire);
+  }
 
   [[nodiscard]] ServiceStats stats() const;
 
@@ -140,6 +178,7 @@ class QueryExecutor {
     SpanningTreeRequest req;
     std::promise<QueryResult> promise;
     std::chrono::steady_clock::time_point enqueued;
+    Completion done;  ///< optional; invoked exactly once when set
   };
 
   /// Per-slot in-flight query descriptor, published for the watchdog.
@@ -160,6 +199,8 @@ class QueryExecutor {
   void watchdog_loop();
   QueryResult execute(Item& item, ThreadPool& pool, std::size_t slot);
   void wait_if_paused();
+  void reject_inline(Item& item, std::string reason);
+  void finish_pending();
 
   GraphRegistry& registry_;
   const ExecutorOptions opts_;
@@ -179,6 +220,11 @@ class QueryExecutor {
   CondVar watchdog_cv_;
   bool watchdog_stop_ SMPST_GUARDED_BY(watchdog_mutex_) = false;
   std::thread watchdog_;
+
+  /// Accepted-but-not-completed count; drain() waits for it to hit zero.
+  std::atomic<std::size_t> pending_{0};
+  Mutex drain_mutex_;
+  CondVar drain_cv_;
 
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> accepted_{0};

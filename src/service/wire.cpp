@@ -236,6 +236,16 @@ JsonWriter& JsonWriter::field(const std::string& name, bool value) {
 
 std::string JsonWriter::str() const { return "{" + body_ + "}"; }
 
+std::string render_error(WireErrorCode code, const std::string& message,
+                         std::int64_t retry_after_ms) {
+  JsonWriter w;
+  w.field("ok", false);
+  w.field("code", to_string(code));
+  w.field("error", message);
+  if (retry_after_ms >= 0) w.field("retry_after_ms", retry_after_ms);
+  return w.str();
+}
+
 std::string render_result(const QueryResult& r) {
   JsonWriter w;
   w.field("status", to_string(r.status));
@@ -286,6 +296,7 @@ std::string render_stats(const ServiceStats& s) {
   w.field("latency_p50_ms", s.latency.percentile(50));
   w.field("latency_p95_ms", s.latency.percentile(95));
   w.field("latency_p99_ms", s.latency.percentile(99));
+  w.field("latency_p999_ms", s.latency.percentile(99.9));
   w.field("registry_entries", static_cast<std::uint64_t>(s.registry.entries));
   w.field("registry_bytes",
           static_cast<std::uint64_t>(s.registry.resident_bytes));
@@ -304,6 +315,7 @@ std::string render_metrics(const obs::MetricsRegistry::Snapshot& m) {
     w.field(h.name + ".p50_ms", h.snapshot.percentile(50));
     w.field(h.name + ".p95_ms", h.snapshot.percentile(95));
     w.field(h.name + ".p99_ms", h.snapshot.percentile(99));
+    w.field(h.name + ".p999_ms", h.snapshot.percentile(99.9));
   }
   return w.str();
 }

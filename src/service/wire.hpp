@@ -32,6 +32,43 @@ class WireError : public std::invalid_argument {
   explicit WireError(const std::string& what) : std::invalid_argument(what) {}
 };
 
+/// Machine-readable error classes for failure response lines. Every error
+/// response carries `"ok":false` plus `"code":"<one of these>"`, so clients
+/// branch on the code instead of string-matching prose:
+///   kBadRequest    the line parsed or validated wrong; retrying is pointless
+///   kTooLarge      the request line exceeded kMaxLineBytes; the rest of the
+///                  oversized line was discarded and the stream resynchronized
+///                  at the next newline
+///   kOverloaded    admission control shed the request (executor queue full
+///                  or connection cap); retry after `retry_after_ms`
+///   kShuttingDown  the server is draining; finish reading responses for
+///                  requests already accepted, then reconnect elsewhere
+///   kInternal      contained server-side fault (e.g. injected); the
+///                  connection survives, the request did not
+enum class WireErrorCode : std::uint8_t {
+  kBadRequest,
+  kTooLarge,
+  kOverloaded,
+  kShuttingDown,
+  kInternal,
+};
+
+[[nodiscard]] constexpr const char* to_string(WireErrorCode c) noexcept {
+  switch (c) {
+    case WireErrorCode::kBadRequest: return "bad-request";
+    case WireErrorCode::kTooLarge: return "too-large";
+    case WireErrorCode::kOverloaded: return "overloaded";
+    case WireErrorCode::kShuttingDown: return "shutting-down";
+    case WireErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+/// One typed error response line: {"ok":false,"code":...,"error":...} plus
+/// "retry_after_ms" when `retry_after_ms` >= 0 (the shed/backoff hint).
+std::string render_error(WireErrorCode code, const std::string& message,
+                         std::int64_t retry_after_ms = -1);
+
 /// Hard cap on request-line length; longer lines are rejected up front so a
 /// hostile client cannot make the parser chew an unbounded buffer.
 inline constexpr std::size_t kMaxLineBytes = std::size_t{1} << 16;
@@ -75,8 +112,8 @@ std::string render_stats(const ServiceStats& s);
 
 /// One response line for the `metrics` command: every registered counter and
 /// gauge by name, histograms flattened to <name>.count / <name>.mean_ms /
-/// <name>.p50_ms / <name>.p95_ms / <name>.p99_ms. Flat JSON, so parse_line
-/// round-trips it.
+/// <name>.p50_ms / <name>.p95_ms / <name>.p99_ms / <name>.p999_ms. Flat
+/// JSON, so parse_line round-trips it.
 std::string render_metrics(const obs::MetricsRegistry::Snapshot& m);
 
 }  // namespace smpst::service

@@ -1,7 +1,14 @@
 // smpst_serve — line-protocol front end of the spanning-tree query service.
 //
-// Reads one request per line from stdin (flat JSON or "cmd key=value ..."),
-// writes one JSON response per line to stdout. Commands:
+// Two transports share one command dispatcher (service/session.hpp):
+//
+//   default      read requests from stdin, write responses to stdout
+//   --tcp        serve the same protocol over TCP (src/net/tcp_server.hpp):
+//                nonblocking epoll loop, bounded buffers, admission control,
+//                idle/write-stall timeouts, graceful drain
+//
+// One request per line (flat JSON or "cmd key=value ..."), one JSON response
+// per line. Commands:
 //
 //   load name=g1 path=graph.bin          register a graph from disk
 //   gen name=g1 family=random-nlogn n=65536 [seed=1]
@@ -21,7 +28,16 @@
 //                                        off so later drains see new events
 //   list                                 resident graphs, MRU first
 //   evict name=g1                        drop a graph from the registry
+//   shutdown                             begin a graceful drain
 //   quit                                 drain and exit
+//
+// Error responses are typed ({"ok":false,"code":"overloaded",...}); see
+// docs/SERVICE.md for the overload/shed/drain contract.
+//
+// SIGINT/SIGTERM begin the same graceful drain the `shutdown` command does:
+// stop taking input, complete and answer every accepted request, then exit.
+// Exit codes: 0 clean, 1 startup error, 3 drain deadline exceeded with
+// responses still owed.
 //
 // Example session:
 //   $ build/tools/smpst_serve --workers=2
@@ -32,236 +48,135 @@
 //
 // SMPST_TRACE=<file> in the environment enables tracing before main() and
 // writes the Chrome trace at exit (docs/OBSERVABILITY.md).
+#include <csignal>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
-#include <vector>
+
+#include <unistd.h>
 
 #include "bench_util/cli.hpp"
-#include "core/algorithms.hpp"
-#include "gen/registry.hpp"
-#include "obs/metrics.hpp"
+#include "net/tcp_server.hpp"
 #include "obs/trace.hpp"
+#include "service/codec.hpp"
 #include "service/executor.hpp"
+#include "service/session.hpp"
 #include "service/wire.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace {
 
 using namespace smpst;
 using namespace smpst::service;
 
-std::string get(const Fields& f, const std::string& key,
-                const std::string& fallback) {
-  const auto it = f.find(key);
-  return it == f.end() ? fallback : it->second;
+constexpr int kExitDrainTimedOut = 3;
+
+std::atomic<net::TcpServer*> g_server{nullptr};
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) {
+  // Async-signal-safe: atomic stores plus TcpServer's eventfd write.
+  g_stop.store(true, std::memory_order_release);
+  if (net::TcpServer* server = g_server.load(std::memory_order_acquire)) {
+    server->request_shutdown();
+  }
 }
 
-std::int64_t get_int(const Fields& f, const std::string& key,
-                     std::int64_t fallback) {
-  const auto it = f.find(key);
-  if (it == f.end() || it->second.empty()) return fallback;
-  std::size_t consumed = 0;
-  std::int64_t value = 0;
-  try {
-    value = std::stoll(it->second, &consumed);
-  } catch (const std::exception&) {
-  }
-  if (consumed != it->second.size()) {
-    throw std::invalid_argument(key + " must be an integer, got: " +
-                                it->second);
-  }
-  return value;
+void install_signal_handlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: a blocked stdin read must see EINTR
+  (void)sigaction(SIGINT, &sa, nullptr);
+  (void)sigaction(SIGTERM, &sa, nullptr);
+  (void)std::signal(SIGPIPE, SIG_IGN);  // surfaced as EPIPE instead
 }
 
-bool get_bool(const Fields& f, const std::string& key, bool fallback) {
-  const auto it = f.find(key);
-  if (it == f.end() || it->second.empty()) return fallback;
-  if (it->second == "true" || it->second == "1") return true;
-  if (it->second == "false" || it->second == "0") return false;
-  throw std::invalid_argument(key + " must be a boolean, got: " + it->second);
-}
+int serve_stdin(GraphRegistry& registry, QueryExecutor& executor,
+                std::int64_t drain_timeout_ms) {
+  // Executor workers and the reader thread interleave on stdout; the mutex
+  // keeps response lines whole.
+  Mutex out_mutex;
+  auto session = Session::create(
+      registry, executor, [&out_mutex](std::string&& line) {
+        LockGuard<Mutex> lk(out_mutex);
+        line.push_back('\n');
+        std::fwrite(line.data(), 1, line.size(), stdout);
+        std::fflush(stdout);
+      });
 
-std::string require(const Fields& f, const std::string& key) {
-  const auto it = f.find(key);
-  if (it == f.end() || it->second.empty()) {
-    throw std::invalid_argument("missing required field: " + key);
-  }
-  return it->second;
-}
-
-SpanningTreeRequest request_from(const Fields& f) {
-  // A typo in a field name must not silently drop (say) the timeout: reject
-  // anything we would otherwise ignore.
-  static const char* const known[] = {"cmd",     "graph",      "algo",
-                                      "algorithm", "root",     "timeout",
-                                      "timeout_ms", "seed",    "validate",
-                                      "stats"};
-  for (const auto& [key, value] : f) {
-    bool ok = false;
-    for (const char* k : known) ok = ok || key == k;
-    if (!ok) throw std::invalid_argument("unknown query field: " + key);
-  }
-  SpanningTreeRequest req;
-  req.graph = require(f, "graph");
-  req.algorithm = get(f, "algo", get(f, "algorithm", "bader-cong"));
-  if (f.count("root") != 0) {
-    // Validate before the narrowing cast: root=-1 would otherwise wrap to
-    // kInvalidVertex and silently mean "default root".
-    const std::int64_t root = get_int(f, "root", 0);
-    if (root < 0 || root >= static_cast<std::int64_t>(kInvalidVertex)) {
-      throw std::invalid_argument("root out of range: " +
-                                  std::to_string(root));
+  LineCodec codec;
+  char buf[1 << 16];
+  bool eof = false;
+  while (!eof && !g_stop.load(std::memory_order_acquire) &&
+         !session->quit_requested()) {
+    const ssize_t n = ::read(STDIN_FILENO, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;  // the loop condition re-checks g_stop
+      break;
     }
-    req.root = static_cast<VertexId>(root);
-  } else {
-    req.root = kInvalidVertex;
-  }
-  req.seed = static_cast<std::uint64_t>(get_int(f, "seed", 0x5eed));
-  req.timeout_ms = get_int(f, "timeout", get_int(f, "timeout_ms", -1));
-  req.validate = get_bool(f, "validate", false);
-  req.want_stats = get_bool(f, "stats", false);
-  return req;
-}
-
-std::string describe(const GraphRegistry::EntryInfo& e) {
-  JsonWriter w;
-  w.field("name", e.name);
-  w.field("vertices", static_cast<std::uint64_t>(e.vertices));
-  w.field("edges", e.edges);
-  w.field("bytes", static_cast<std::uint64_t>(e.bytes));
-  return w.str();
-}
-
-int serve(GraphRegistry& registry, QueryExecutor& executor) {
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    if (line.empty()) continue;
-    try {
-      const Fields f = parse_line(line);
-      const std::string cmd = require(f, "cmd");
-      if (cmd == "quit" || cmd == "exit") {
-        std::cout << JsonWriter().field("ok", true).field("bye", true).str()
-                  << "\n";
-        return 0;
-      }
-      if (cmd == "load" || cmd == "gen") {
-        const std::string name = require(f, "name");
-        std::shared_ptr<const Graph> graph;
-        if (cmd == "load") {
-          graph = registry.load_file(name, require(f, "path"));
-        } else {
-          const std::int64_t n = get_int(f, "n", 1 << 16);
-          if (n < 0 || n >= static_cast<std::int64_t>(kInvalidVertex)) {
-            throw std::invalid_argument("n out of range: " +
-                                        std::to_string(n));
-          }
-          graph = registry.generate(
-              name, require(f, "family"), static_cast<VertexId>(n),
-              static_cast<std::uint64_t>(get_int(f, "seed", 0x5eed)));
-        }
-        JsonWriter w;
-        w.field("ok", true);
-        w.field("name", name);
-        w.field("vertices", static_cast<std::uint64_t>(graph->num_vertices()));
-        w.field("edges", graph->num_edges());
-        w.field("bytes", static_cast<std::uint64_t>(graph->memory_bytes()));
-        std::cout << w.str() << "\n";
-      } else if (cmd == "query") {
-        std::cout << render_result(executor.submit(request_from(f)).get())
-                  << "\n";
-      } else if (cmd == "batch") {
-        const auto count = get_int(f, "count", 0);
-        if (count <= 0) throw std::invalid_argument("batch needs count>=1");
-        if (count > 4096) {
-          throw std::invalid_argument("batch count too large (max 4096)");
-        }
-        // Exactly one response line per announced query line, in order, no
-        // matter what: a sub-line that fails to parse gets an error line and
-        // the remaining valid lines are still admitted as one batch.
-        // Replying with fewer lines than the client announced would leave it
-        // blocked waiting for the remainder.
-        std::vector<std::string> responses(static_cast<std::size_t>(count));
-        std::vector<SpanningTreeRequest> reqs;
-        std::vector<std::size_t> req_pos;  // batch position of reqs[i]
-        std::string sub;
-        for (std::int64_t i = 0; i < count; ++i) {
-          const auto pos = static_cast<std::size_t>(i);
-          if (!std::getline(std::cin, sub)) {
-            for (std::int64_t j = i; j < count; ++j) {
-              responses[static_cast<std::size_t>(j)] =
-                  JsonWriter()
-                      .field("ok", false)
-                      .field("error", "batch truncated by end of input")
-                      .str();
-            }
-            break;
-          }
-          try {
-            reqs.push_back(request_from(parse_line(sub)));
-            req_pos.push_back(pos);
-          } catch (const std::exception& e) {
-            responses[pos] = JsonWriter()
-                                 .field("ok", false)
-                                 .field("error", e.what())
-                                 .str();
-          }
-        }
-        auto futures = executor.submit_batch(std::move(reqs));
-        for (std::size_t i = 0; i < futures.size(); ++i) {
-          responses[req_pos[i]] = render_result(futures[i].get());
-        }
-        for (const auto& r : responses) std::cout << r << "\n";
-      } else if (cmd == "stats") {
-        std::cout << render_stats(executor.stats()) << "\n";
-      } else if (cmd == "metrics") {
-        std::cout << render_metrics(obs::MetricsRegistry::instance().snapshot())
-                  << "\n";
-      } else if (cmd == "trace") {
-        const std::string path = require(f, "file");
-        // First use turns tracing on, so a session can ask for a trace
-        // without restarting under SMPST_TRACE; this drain is then empty and
-        // the next one covers the load that follows.
-        if (!obs::trace::enabled()) obs::trace::enable();
-        std::size_t events = 0;
-        const bool ok = obs::trace::write_chrome_trace_file(path, &events);
-        JsonWriter w;
-        w.field("ok", ok);
-        w.field("file", path);
-        w.field("events", static_cast<std::uint64_t>(events));
-        std::cout << w.str() << "\n";
-      } else if (cmd == "list") {
-        for (const auto& e : registry.list()) {
-          std::cout << describe(e) << "\n";
-        }
-        std::cout << JsonWriter()
-                         .field("ok", true)
-                         .field("entries", static_cast<std::uint64_t>(
-                                               registry.list().size()))
-                         .str()
-                  << "\n";
-      } else if (cmd == "evict") {
-        std::cout << JsonWriter()
-                         .field("ok", registry.evict(require(f, "name")))
-                         .str()
-                  << "\n";
+    if (n == 0) {
+      eof = true;
+      break;
+    }
+    codec.feed(buf, static_cast<std::size_t>(n));
+    std::string line;
+    while (!session->quit_requested()) {
+      const LineCodec::Event ev = codec.next(line);
+      if (ev == LineCodec::Event::kNone) break;
+      if (ev == LineCodec::Event::kOversized) {
+        session->on_oversized_line(codec.last_oversized_bytes());
       } else {
-        throw std::invalid_argument("unknown command: " + cmd);
+        session->on_line(std::move(line));
       }
-    } catch (const std::exception& e) {
-      std::cout << JsonWriter()
-                       .field("ok", false)
-                       .field("error", e.what())
-                       .str()
-                << "\n";
-    } catch (...) {
-      // A request must never take the server down, whatever it threw.
-      std::cout << JsonWriter()
-                       .field("ok", false)
-                       .field("error", "unknown exception")
-                       .str()
-                << "\n";
     }
-    std::cout.flush();
+  }
+  if (eof) {
+    // getline semantics for a final unterminated line.
+    std::string tail = codec.take_partial();
+    if (!tail.empty()) session->on_line(std::move(tail));
+  }
+  // Signal, EOF and quit all drain the same way: a half-collected batch is
+  // finalized (truncation errors + admission of what was collected), every
+  // accepted query completes and is answered, and only then do we exit.
+  session->on_eof();
+  if (!session->wait_idle(std::chrono::milliseconds(drain_timeout_ms))) {
+    std::cerr << "smpst_serve: drain timed out with " << session->pending()
+              << " responses outstanding\n";
+    return kExitDrainTimedOut;
+  }
+  return 0;
+}
+
+int serve_tcp(GraphRegistry& registry, QueryExecutor& executor,
+              net::TcpServerOptions net_opts, const std::string& port_file) {
+  net::TcpServer server(registry, executor, std::move(net_opts));
+  g_server.store(&server, std::memory_order_release);
+  if (g_stop.load(std::memory_order_acquire)) {
+    // A signal raced server construction; honor it.
+    server.request_shutdown();
+  }
+  {
+    JsonWriter w;
+    w.field("ok", true);
+    w.field("listening", true);
+    w.field("port", static_cast<std::uint64_t>(server.port()));
+    std::cout << w.str() << "\n" << std::flush;
+  }
+  if (!port_file.empty()) {
+    // Shell-friendly discovery of an ephemeral port (tests, CI).
+    std::ofstream out(port_file, std::ios::trunc);
+    out << server.port() << "\n";
+  }
+  const net::DrainReport report = server.run();
+  g_server.store(nullptr, std::memory_order_release);
+  if (!report.clean) {
+    std::cerr << "smpst_serve: drain deadline forced "
+              << report.forced_connections << " connections, dropping "
+              << report.responses_dropped << " pending responses\n";
+    return kExitDrainTimedOut;
   }
   return 0;
 }
@@ -279,12 +194,31 @@ int main(int argc, char** argv) try {
       static_cast<std::size_t>(cli.get_int("threads-per-query", 0));
   exec_opts.queue_capacity =
       static_cast<std::size_t>(cli.get_int("queue-capacity", 64));
+
+  const bool tcp = cli.get_bool("tcp", false);
+  net::TcpServerOptions net_opts;
+  net_opts.bind_address = cli.get_string("bind", net_opts.bind_address);
+  net_opts.port = static_cast<std::uint16_t>(cli.get_int("port", 0));
+  net_opts.max_connections = static_cast<std::size_t>(
+      cli.get_int("max-connections",
+                  static_cast<std::int64_t>(net_opts.max_connections)));
+  net_opts.max_pipeline = static_cast<std::size_t>(cli.get_int(
+      "max-pipeline", static_cast<std::int64_t>(net_opts.max_pipeline)));
+  net_opts.idle_timeout_ms =
+      cli.get_int("idle-timeout-ms", net_opts.idle_timeout_ms);
+  net_opts.write_stall_timeout_ms =
+      cli.get_int("write-stall-timeout-ms", net_opts.write_stall_timeout_ms);
+  net_opts.drain_timeout_ms =
+      cli.get_int("drain-timeout-ms", net_opts.drain_timeout_ms);
+  const std::string port_file = cli.get_string("port-file", "");
   cli.reject_unknown();
 
   smpst::obs::trace::label_current_thread("main");
+  install_signal_handlers();
   GraphRegistry registry(reg_opts);
   QueryExecutor executor(registry, exec_opts);
-  return serve(registry, executor);
+  return tcp ? serve_tcp(registry, executor, std::move(net_opts), port_file)
+             : serve_stdin(registry, executor, net_opts.drain_timeout_ms);
 } catch (const std::exception& e) {
   std::cerr << "smpst_serve: " << e.what() << "\n";
   return 1;
