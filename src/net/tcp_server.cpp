@@ -226,6 +226,10 @@ void TcpServer::add_conn(int fd) {
   service::SessionOptions sopts;
   sopts.max_batch = opts_.max_batch;
   sopts.on_shutdown = [this] { request_shutdown(); };
+  // The loop thread must never block on disk or heavy compute: load/gen/
+  // trace run on executor workers, and input arriving meanwhile is deferred
+  // by the session and replayed from tick() (see resume_ready()).
+  sopts.offload_heavy = true;
   conn->session = service::Session::create(
       registry_, executor_,
       [this, id](std::string&& line) { post_response(id, std::move(line)); },
@@ -459,6 +463,17 @@ void TcpServer::tick() {
     const auto it = conns_.find(id);
     if (it == conns_.end()) continue;
     Conn& c = *it->second;
+    // Input deferred behind an offloaded admin command replays as soon as
+    // the command completes — its completion posts to the mailbox, which
+    // wakes the loop into this very tick.
+    if (c.session->resume_ready()) {
+      c.session->pump_deferred();
+      if (c.session->quit_requested() && !c.closing) {
+        c.closing = true;
+        update_interest(c);
+      }
+      refresh_backpressure(c);
+    }
     // Paused reads resume here once the pipeline or outbox shrank. The codec
     // buffer may hold complete lines that arrived before backpressure kicked
     // in — they must be pumped even when the pause has since lifted, because

@@ -187,7 +187,7 @@ class TcpServer {
   std::atomic<bool> shutdown_requested_{false};
 
   /// Responses posted by executor threads, pending loop-thread delivery.
-  Mutex mail_mutex_;
+  Mutex mail_mutex_{lockdep::rank::kNetMailbox};
   std::vector<std::pair<std::uint64_t, std::string>> mailbox_
       SMPST_GUARDED_BY(mail_mutex_);
 };

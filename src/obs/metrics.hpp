@@ -99,7 +99,7 @@ class MetricsRegistry {
     T instrument;
   };
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{lockdep::rank::kMetrics};
   // std::deque: push_back never moves existing elements, so &instrument is
   // stable even as the registry grows.
   std::deque<Named<Counter>> counters_ SMPST_GUARDED_BY(mutex_);

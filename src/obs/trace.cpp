@@ -72,7 +72,7 @@ struct Ring {
 };
 
 struct Registry {
-  Mutex mutex;
+  Mutex mutex{lockdep::rank::kTrace};
   // unique_ptr elements: Ring addresses stay stable as the deque grows, so
   // TLS handles can keep raw pointers.
   std::deque<std::unique_ptr<Ring>> rings SMPST_GUARDED_BY(mutex);

@@ -67,7 +67,7 @@ class BlockingBarrier {
 
  private:
   const std::size_t parties_;
-  Mutex mutex_;
+  Mutex mutex_{lockdep::rank::kBarrier};
   CondVar cv_;
   std::size_t waiting_ SMPST_GUARDED_BY(mutex_) = 0;
   std::uint64_t generation_ SMPST_GUARDED_BY(mutex_) = 0;

@@ -17,10 +17,16 @@ namespace smpst {
 
 class SMPST_CAPABILITY("mutex") SpinLock {
  public:
+  constexpr SpinLock() noexcept = default;
+  constexpr explicit SpinLock(lockdep::Rank rank) noexcept : lockdep_(rank) {}
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
   void lock() noexcept SMPST_ACQUIRE() {
+    lockdep_.note_before_lock();
     int spins = 0;
     for (;;) {
-      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      if (!flag_.exchange(true, std::memory_order_acquire)) break;
       while (flag_.load(std::memory_order_relaxed)) {
         if (++spins < 64) {
 #if defined(__x86_64__)
@@ -32,19 +38,26 @@ class SMPST_CAPABILITY("mutex") SpinLock {
         }
       }
     }
+    lockdep_.note_locked();
   }
 
   bool try_lock() noexcept SMPST_TRY_ACQUIRE(true) {
-    return !flag_.load(std::memory_order_relaxed) &&
-           !flag_.exchange(true, std::memory_order_acquire);
+    if (flag_.load(std::memory_order_relaxed) ||
+        flag_.exchange(true, std::memory_order_acquire)) {
+      return false;
+    }
+    lockdep_.note_try_locked();
+    return true;
   }
 
   void unlock() noexcept SMPST_RELEASE() {
+    lockdep_.note_unlock();
     flag_.store(false, std::memory_order_release);
   }
 
  private:
   std::atomic<bool> flag_{false};
+  [[no_unique_address]] lockdep::Tracked lockdep_;
 };
 
 }  // namespace smpst

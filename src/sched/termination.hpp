@@ -61,7 +61,7 @@ class IdleGate {
 
  private:
   std::atomic<std::size_t> sleepers_{0};
-  Mutex mutex_;
+  Mutex mutex_{lockdep::rank::kIdleGate};
   CondVar cv_;
   std::uint64_t wake_epoch_ SMPST_GUARDED_BY(mutex_) = 0;
 };

@@ -65,8 +65,8 @@ class ThreadPool {
   // every other component runs on this pool (tools/smpst_lint.py enforces it).
   std::vector<std::thread> threads_;
 
-  Mutex region_mutex_;  ///< serializes concurrent run() callers
-  Mutex mutex_;
+  Mutex region_mutex_{lockdep::rank::kPoolRegion};  ///< serializes run() callers
+  Mutex mutex_{lockdep::rank::kPoolState};
   CondVar cv_start_;
   CondVar cv_done_;
   const std::function<void(std::size_t)>* job_ SMPST_GUARDED_BY(mutex_) =

@@ -106,7 +106,7 @@ class SplitQueue {
     }
   }
 
-  mutable SpinLock lock_;
+  mutable SpinLock lock_{lockdep::rank::kWorkQueue};
   std::vector<T> buf_ SMPST_GUARDED_BY(lock_);
   std::size_t head_ SMPST_GUARDED_BY(lock_) = 0;
 };

@@ -88,7 +88,7 @@ class BoundedQueue {
 
  private:
   const std::size_t capacity_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{lockdep::rank::kBoundedQueue};
   CondVar cv_;
   std::deque<T> items_ SMPST_GUARDED_BY(mutex_);
   bool closed_ SMPST_GUARDED_BY(mutex_) = false;

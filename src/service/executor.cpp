@@ -141,7 +141,7 @@ void QueryExecutor::finish_pending() {
 
 std::future<QueryResult> QueryExecutor::submit(SpanningTreeRequest req) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
-  Item item{std::move(req), {}, std::chrono::steady_clock::now(), {}};
+  Item item{std::move(req), {}, std::chrono::steady_clock::now(), {}, {}};
   auto future = item.promise.get_future();
   bool pushed = false;
   std::string reject_reason = "request queue full";
@@ -165,7 +165,7 @@ std::future<QueryResult> QueryExecutor::submit(SpanningTreeRequest req) {
 void QueryExecutor::submit(SpanningTreeRequest req, Completion done) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
   Item item{std::move(req), {}, std::chrono::steady_clock::now(),
-            std::move(done)};
+            std::move(done), {}};
   bool pushed = false;
   std::string reject_reason = "request queue full";
   pending_.fetch_add(1, std::memory_order_acq_rel);
@@ -191,7 +191,7 @@ std::vector<std::future<QueryResult>> QueryExecutor::submit_batch(
   items.reserve(reqs.size());
   futures.reserve(reqs.size());
   for (auto& req : reqs) {
-    items.push_back(Item{std::move(req), {}, now, {}});
+    items.push_back(Item{std::move(req), {}, now, {}, {}});
     futures.push_back(items.back().promise.get_future());
   }
   const std::size_t count = items.size();
@@ -224,7 +224,8 @@ void QueryExecutor::submit_batch(std::vector<SpanningTreeRequest> reqs,
   std::vector<Item> items;
   items.reserve(reqs.size());
   for (std::size_t i = 0; i < reqs.size(); ++i) {
-    items.push_back(Item{std::move(reqs[i]), {}, now, std::move(dones[i])});
+    items.push_back(
+        Item{std::move(reqs[i]), {}, now, std::move(dones[i]), {}});
   }
   const std::size_t count = items.size();
   bool pushed = false;
@@ -243,6 +244,25 @@ void QueryExecutor::submit_batch(std::vector<SpanningTreeRequest> reqs,
     return;
   }
   accepted_.fetch_add(count, std::memory_order_relaxed);
+}
+
+bool QueryExecutor::submit_task(std::function<void()> task) {
+  if (!task) return false;
+  Item item;
+  item.task = std::move(task);
+  item.enqueued = std::chrono::steady_clock::now();
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  bool pushed = false;
+  try {
+    pushed = queue_.try_push(std::move(item));
+  } catch (const std::exception&) {
+    // Injected admission fault: same outcome as a full queue.
+  }
+  if (!pushed) {
+    finish_pending();
+    return false;
+  }
+  return true;
 }
 
 bool QueryExecutor::drain(std::chrono::milliseconds timeout) {
@@ -349,6 +369,16 @@ void QueryExecutor::worker_loop(std::size_t slot) {
     } catch (const std::exception&) {
       // Injected dequeue fault: nothing was taken, so nothing is owed.
       std::this_thread::sleep_for(std::chrono::microseconds(100));
+      continue;
+    }
+    if (item.task) {
+      // Offloaded admin work: contained like a completion, bypasses query
+      // accounting (it is not a query), still settles pending()/drain().
+      try {
+        item.task();
+      } catch (...) {
+      }
+      finish_pending();
       continue;
     }
     // The queue-wait span is emitted at dequeue, stamped from the recorded

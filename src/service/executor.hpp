@@ -139,6 +139,15 @@ class QueryExecutor {
   void submit_batch(std::vector<SpanningTreeRequest> reqs,
                     std::vector<Completion> dones);
 
+  /// Runs an opaque task on a worker slot. Sessions use this to keep heavy
+  /// admin commands (graph load/gen from disk, trace dumps) off the network
+  /// loop thread — the loop must never block on file I/O or long compute.
+  /// Tasks share the bounded queue with queries (same admission control) and
+  /// count toward pending()/drain(), but not query stats. Returns false when
+  /// the queue is full or closed; the caller then answers the client itself.
+  /// A throwing task is contained, never propagated.
+  [[nodiscard]] bool submit_task(std::function<void()> task);
+
   /// Releases workers when constructed with start_paused.
   void resume();
 
@@ -179,11 +188,14 @@ class QueryExecutor {
     std::promise<QueryResult> promise;
     std::chrono::steady_clock::time_point enqueued;
     Completion done;  ///< optional; invoked exactly once when set
+    /// Offloaded admin work; when set, req/promise/done are unused and the
+    /// worker runs the task instead of executing a query.
+    std::function<void()> task;
   };
 
   /// Per-slot in-flight query descriptor, published for the watchdog.
   struct SlotWatch {
-    Mutex mutex;
+    Mutex mutex{lockdep::rank::kExecutorSlotWatch};
     /// Non-null while a deadlined query runs.
     CancelToken* token SMPST_GUARDED_BY(mutex) = nullptr;
     std::chrono::steady_clock::time_point hard_deadline
@@ -207,7 +219,7 @@ class QueryExecutor {
   std::size_t threads_per_query_ = 1;
   BoundedQueue<Item> queue_;
 
-  Mutex pause_mutex_;
+  Mutex pause_mutex_{lockdep::rank::kExecutorPause};
   CondVar pause_cv_;
   bool paused_ SMPST_GUARDED_BY(pause_mutex_) = false;
 
@@ -216,14 +228,14 @@ class QueryExecutor {
   std::vector<std::unique_ptr<SlotWatch>> watches_;
   std::vector<std::thread> workers_;
 
-  Mutex watchdog_mutex_;
+  Mutex watchdog_mutex_{lockdep::rank::kExecutorWatchdog};
   CondVar watchdog_cv_;
   bool watchdog_stop_ SMPST_GUARDED_BY(watchdog_mutex_) = false;
   std::thread watchdog_;
 
   /// Accepted-but-not-completed count; drain() waits for it to hit zero.
   std::atomic<std::size_t> pending_{0};
-  Mutex drain_mutex_;
+  Mutex drain_mutex_{lockdep::rank::kExecutorDrain};
   CondVar drain_cv_;
 
   std::atomic<std::uint64_t> submitted_{0};

@@ -92,7 +92,7 @@ class GraphRegistry {
   void enforce_budget_locked(const std::string& keep) SMPST_REQUIRES(mutex_);
 
   const Options opts_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{lockdep::rank::kGraphRegistry};
   std::map<std::string, Entry> entries_ SMPST_GUARDED_BY(mutex_);
   std::uint64_t tick_ SMPST_GUARDED_BY(mutex_) = 0;
   std::size_t resident_bytes_ SMPST_GUARDED_BY(mutex_) = 0;

@@ -99,6 +99,14 @@ bool is_registry_mutation(const std::string& cmd) {
   return cmd == "load" || cmd == "gen" || cmd == "evict";
 }
 
+// Commands that block or burn CPU for unbounded time: graph load (disk
+// I/O), gen (builds a whole CSR), trace (writes a file). With offload_heavy
+// these must leave the reader thread — the TCP server's epoll loop must
+// never wait on a disk.
+bool is_heavy(const std::string& cmd) {
+  return cmd == "load" || cmd == "gen" || cmd == "trace";
+}
+
 }  // namespace
 
 std::shared_ptr<Session> Session::create(GraphRegistry& registry,
@@ -131,6 +139,10 @@ void Session::deliver(std::uint64_t slot, std::vector<std::string> lines) {
   // slot, so begin() is always the lowest outstanding completion.
   while (!ready_.empty() && ready_.begin()->first == flush_slot_) {
     for (std::string& line : ready_.begin()->second) {
+      // The TCP front end's sink posts into the server mailbox, taking
+      // mail_mutex_ (rank kNetMailbox) under our mutex_ (rank kSession) —
+      // declare the indirect call so the static lock-order graph sees it.
+      // smpst-analyze: calls(smpst::net::TcpServer::post_response)
       sink_(std::move(line));
     }
     ready_.erase(ready_.begin());
@@ -195,7 +207,79 @@ void Session::complete_query(std::uint64_t slot, const QueryResult& r) {
   deliver_one(slot, std::move(line));
 }
 
+bool Session::must_defer() const {
+  return opts_.offload_heavy &&
+         (admin_inflight_.load(std::memory_order_acquire) ||
+          !deferred_.empty());
+}
+
+void Session::defer(DeferredEvent ev) {
+  deferred_.push_back(std::move(ev));
+  deferred_count_.fetch_add(1, std::memory_order_release);
+}
+
+bool Session::resume_ready() const {
+  return opts_.offload_heavy && !deferred_.empty() &&
+         !admin_inflight_.load(std::memory_order_acquire);
+}
+
+void Session::pump_deferred() {
+  // An event replayed here can start another offloaded command, which flips
+  // admin_inflight_ back on; the remaining events keep waiting, still in
+  // arrival order (process_* never re-defers — only the on_* entry points
+  // do, so replay cannot loop on itself).
+  while (!deferred_.empty() &&
+         !admin_inflight_.load(std::memory_order_acquire)) {
+    DeferredEvent ev = std::move(deferred_.front());
+    deferred_.pop_front();
+    deferred_count_.fetch_sub(1, std::memory_order_release);
+    switch (ev.kind) {
+      case DeferredEvent::Kind::kLine:
+        process_line(std::move(ev.line));
+        break;
+      case DeferredEvent::Kind::kOversized:
+        process_oversized_line(ev.bytes);
+        break;
+      case DeferredEvent::Kind::kEof:
+        process_eof();
+        break;
+    }
+  }
+}
+
 void Session::on_line(std::string line) {
+  if (must_defer()) {
+    DeferredEvent ev;
+    ev.kind = DeferredEvent::Kind::kLine;
+    ev.line = std::move(line);
+    defer(std::move(ev));
+    return;
+  }
+  process_line(std::move(line));
+}
+
+void Session::on_oversized_line(std::size_t observed_bytes) {
+  if (must_defer()) {
+    DeferredEvent ev;
+    ev.kind = DeferredEvent::Kind::kOversized;
+    ev.bytes = observed_bytes;
+    defer(std::move(ev));
+    return;
+  }
+  process_oversized_line(observed_bytes);
+}
+
+void Session::on_eof() {
+  if (must_defer()) {
+    DeferredEvent ev;
+    ev.kind = DeferredEvent::Kind::kEof;
+    defer(std::move(ev));
+    return;
+  }
+  process_eof();
+}
+
+void Session::process_line(std::string line) {
   if (line.empty()) return;  // blank keep-alive, no response owed
   if (quit_.load(std::memory_order_acquire)) {
     deliver_one(alloc_slot(),
@@ -209,7 +293,7 @@ void Session::on_line(std::string line) {
   dispatch(alloc_slot(), line);
 }
 
-void Session::on_oversized_line(std::size_t observed_bytes) {
+void Session::process_oversized_line(std::size_t observed_bytes) {
   obs::MetricsRegistry::instance().counter("service.too_large").add(1);
   const std::uint64_t slot = alloc_slot();
   std::string msg = "request line exceeds " + std::to_string(kMaxLineBytes) +
@@ -225,7 +309,7 @@ void Session::on_oversized_line(std::size_t observed_bytes) {
   deliver_one(slot, render_error(WireErrorCode::kTooLarge, std::move(msg)));
 }
 
-void Session::on_eof() {
+void Session::process_eof() {
   while (batch_remaining_ > 0) {
     --batch_remaining_;
     deliver_one(alloc_slot(),
@@ -244,8 +328,12 @@ bool Session::quit_requested() const noexcept {
 }
 
 std::size_t Session::pending() const {
+  // Deferred input events count: they are accepted work that has not been
+  // answered yet, so close barriers and pipelining backpressure must see
+  // them even in the window where every allocated slot has flushed.
+  const std::size_t deferred = deferred_count_.load(std::memory_order_acquire);
   LockGuard<Mutex> lk(mutex_);
-  return static_cast<std::size_t>(next_slot_ - flush_slot_);
+  return static_cast<std::size_t>(next_slot_ - flush_slot_) + deferred;
 }
 
 bool Session::wait_idle(std::chrono::milliseconds timeout) {
@@ -321,6 +409,16 @@ void Session::dispatch(std::uint64_t slot, const std::string& line) {
                                      "read-only"));
       return;
     }
+    if (opts_.offload_heavy && is_heavy(cmd)) {
+      offload(slot, cmd, std::move(f));
+      return;
+    }
+    // On loop-thread (TCP) sessions the heavy commands — load, gen, trace:
+    // disk I/O and pool-joining compute — were dispatched to the executor
+    // just above, so this inline path runs only the bounded registry/stat
+    // commands.  Stdin sessions run everything inline by design (a
+    // dedicated reader thread may block).
+    // smpst-analyze: allow(SA4): heavy commands took the offload branch above; the inline remainder is bounded registry lookups
     deliver(slot, run_sync(cmd, f));
   } catch (const std::invalid_argument& e) {
     deliver_one(slot, render_error(WireErrorCode::kBadRequest, e.what()));
@@ -400,6 +498,42 @@ void Session::finalize_batch() {
     });
   }
   executor_.submit_batch(std::move(reqs), std::move(dones));
+}
+
+void Session::offload(std::uint64_t slot, const std::string& cmd, Fields f) {
+  // The slot is already allocated, so the response lands in pipeline order
+  // no matter when the worker finishes; input that arrives meanwhile defers
+  // (see on_line), preserving dependent-command ordering — a `query` sent
+  // after a `gen` still sees the generated graph.
+  auto self = shared_from_this();
+  admin_inflight_.store(true, std::memory_order_release);
+  const bool queued =
+      executor_.submit_task([self, slot, cmd, f = std::move(f)] {
+        std::vector<std::string> lines;
+        try {
+          lines = self->run_sync(cmd, f);
+        } catch (const std::invalid_argument& e) {
+          lines.push_back(render_error(WireErrorCode::kBadRequest, e.what()));
+        } catch (const std::exception& e) {
+          lines.push_back(render_error(WireErrorCode::kInternal, e.what()));
+        } catch (...) {
+          lines.push_back(
+              render_error(WireErrorCode::kInternal, "unknown exception"));
+        }
+        // Clear the gate before delivering: the deliver wakes the front
+        // end's loop (via the sink), whose next tick replays the deferred
+        // input without waiting out a poll period.
+        self->admin_inflight_.store(false, std::memory_order_release);
+        self->deliver(slot, std::move(lines));
+      });
+  if (!queued) {
+    admin_inflight_.store(false, std::memory_order_release);
+    obs::MetricsRegistry::instance().counter("service.shed").add(1);
+    deliver_one(slot,
+                render_error(WireErrorCode::kOverloaded,
+                             "executor queue full; admin command shed",
+                             retry_after_hint_ms()));
+  }
 }
 
 std::vector<std::string> Session::run_sync(const std::string& cmd,

@@ -34,6 +34,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -54,6 +55,15 @@ struct SessionOptions {
   /// Invoked (outside the session mutex' critical path) when the client
   /// issues `shutdown`. When unset, `shutdown` behaves like `quit`.
   std::function<void()> on_shutdown;
+
+  /// Run heavy admin commands (load / gen / trace — disk I/O and big
+  /// compute) on an executor worker instead of the caller's thread. The TCP
+  /// front end enables this so the epoll loop thread never blocks; while an
+  /// offloaded command runs, subsequent input events are deferred in arrival
+  /// order and replayed via pump_deferred() (see resume_ready()), keeping
+  /// the pipelining contract intact. The stdin front end leaves it off:
+  /// there, blocking the (dedicated) reader thread is fine.
+  bool offload_heavy = false;
 };
 
 class Session : public std::enable_shared_from_this<Session> {
@@ -103,11 +113,33 @@ class Session : public std::enable_shared_from_this<Session> {
   /// dropped (in order) instead of delivered. Idempotent.
   void detach();
 
+  /// True when deferred input events are waiting and no offloaded admin
+  /// command is in flight — the reader thread should call pump_deferred().
+  /// Only meaningful with offload_heavy; reader-thread callers only.
+  [[nodiscard]] bool resume_ready() const;
+
+  /// Replays deferred input events in arrival order until they are exhausted
+  /// or another offloaded command starts. Reader-thread callers only.
+  void pump_deferred();
+
  private:
   Session(GraphRegistry& registry, QueryExecutor& executor, Sink sink,
           Options opts);
 
+  struct DeferredEvent {
+    enum class Kind { kLine, kOversized, kEof };
+    Kind kind = Kind::kLine;
+    std::string line;        ///< kLine payload
+    std::size_t bytes = 0;   ///< kOversized payload
+  };
+
   [[nodiscard]] std::uint64_t alloc_slot();
+  void process_line(std::string line);
+  void process_oversized_line(std::size_t observed_bytes);
+  void process_eof();
+  [[nodiscard]] bool must_defer() const;
+  void defer(DeferredEvent ev);
+  void offload(std::uint64_t slot, const std::string& cmd, Fields f);
   void deliver(std::uint64_t slot, std::vector<std::string> lines);
   void deliver_one(std::uint64_t slot, std::string line);
   void complete_query(std::uint64_t slot, const QueryResult& r);
@@ -123,7 +155,7 @@ class Session : public std::enable_shared_from_this<Session> {
   QueryExecutor& executor_;
   const Options opts_;
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{lockdep::rank::kSession};
   Sink sink_ SMPST_GUARDED_BY(mutex_);
   std::uint64_t next_slot_ SMPST_GUARDED_BY(mutex_) = 0;
   std::uint64_t flush_slot_ SMPST_GUARDED_BY(mutex_) = 0;
@@ -142,6 +174,15 @@ class Session : public std::enable_shared_from_this<Session> {
   std::size_t batch_remaining_ = 0;
   std::vector<SpanningTreeRequest> batch_reqs_;
   std::vector<std::uint64_t> batch_req_slots_;
+
+  // Offload state (offload_heavy only). admin_inflight_ is set by the reader
+  // thread when a heavy command is handed to the executor and cleared by the
+  // worker just before it delivers the response; deferred_ is owned by the
+  // reader thread exclusively, with deferred_count_ mirroring its size for
+  // pending() callers on other threads.
+  std::atomic<bool> admin_inflight_{false};
+  std::deque<DeferredEvent> deferred_;
+  std::atomic<std::size_t> deferred_count_{0};
 };
 
 }  // namespace smpst::service

@@ -20,7 +20,7 @@ std::atomic<std::uint64_t> g_active{0};
 /// and the mutex serializes registration and (re)configuration. Site *hits*
 /// never take it — the per-site fields are atomics.
 struct Registry {
-  Mutex mutex;
+  Mutex mutex{lockdep::rank::kFailpoint};
   std::deque<Site> sites SMPST_GUARDED_BY(mutex);
 };
 

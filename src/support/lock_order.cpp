@@ -1,0 +1,141 @@
+#include "support/lock_order.hpp"
+
+#if SMPST_LOCK_ORDER_CHECKS
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+// Raw std::mutex on purpose: this file implements the instrumentation the
+// smpst wrappers call into, so using the wrappers here would recurse.
+// src/support is outside smpst_lint's SL004 wrapper-only scope for exactly
+// this kind of infrastructure.
+
+namespace smpst::lockdep {
+namespace {
+
+struct Held {
+  const void* m;
+  Rank r;
+};
+
+thread_local std::vector<Held> t_held;
+
+// Dynamic pair-order registry for unranked locks: after[a] is the set of
+// mutexes observed acquired while `a` was held. Heap-allocated and leaked so
+// mutexes destroyed during static teardown can still call destroyed().
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<const void*, std::unordered_set<const void*>> after;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+const char* name_of(Rank r) noexcept {
+  return r.name != nullptr ? r.name : "(unranked)";
+}
+
+[[noreturn]] void violation(const char* why, const void* acquiring,
+                            Rank acquiring_rank, const void* held,
+                            Rank held_rank) noexcept {
+  std::fprintf(stderr,
+               "smpst: lock-order violation: %s\n"
+               "  acquiring %p rank %u \"%s\"\n"
+               "  while holding %p rank %u \"%s\"\n"
+               "  held stack (oldest first):\n",
+               why, acquiring, static_cast<unsigned>(acquiring_rank.order),
+               name_of(acquiring_rank), held,
+               static_cast<unsigned>(held_rank.order), name_of(held_rank));
+  for (const Held& h : t_held) {
+    std::fprintf(stderr, "    %p rank %u \"%s\"\n", h.m,
+                 static_cast<unsigned>(h.r.order), name_of(h.r));
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+// Record "b acquired while a held" and flag an inversion if the reverse
+// edge was ever observed (on any thread). Only consulted when the static
+// rank rule cannot decide, i.e. at least one side is unranked.
+void check_pair(const void* a, Rank ar, const void* b, Rank br) noexcept {
+  Registry& reg = registry();
+  bool inverted = false;
+  {
+    std::lock_guard<std::mutex> lk(reg.mu);
+    auto rev = reg.after.find(b);
+    inverted = rev != reg.after.end() && rev->second.count(a) != 0;
+    if (!inverted) reg.after[a].insert(b);
+  }
+  if (inverted) {
+    violation("acquisition order inverted vs. previously observed order", b,
+              br, a, ar);
+  }
+}
+
+void record_pairs(const void* m, Rank r, bool check_order) noexcept {
+  for (const Held& h : t_held) {
+    if (h.m == m) {
+      violation("recursive acquisition of a non-recursive lock", m, r, h.m,
+                h.r);
+    }
+    if (h.r.order != 0 && r.order != 0) {
+      // Both ranked: the static rule decides, no registry traffic.
+      if (check_order && h.r.order >= r.order) {
+        violation(h.r.order == r.order
+                      ? "same-rank locks may never nest"
+                      : "rank must strictly increase on nested acquisition",
+                  m, r, h.m, h.r);
+      }
+    } else {
+      check_pair(h.m, h.r, m, r);
+    }
+  }
+}
+
+}  // namespace
+
+void before_lock(const void* m, Rank r) noexcept { record_pairs(m, r, true); }
+
+void locked(const void* m, Rank r) noexcept { t_held.push_back({m, r}); }
+
+void try_locked(const void* m, Rank r) noexcept {
+  record_pairs(m, r, false);
+  t_held.push_back({m, r});
+}
+
+void released(const void* m) noexcept {
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->m == m) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void destroyed(const void* m) noexcept {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  reg.after.erase(m);
+  for (auto& [from, tos] : reg.after) tos.erase(m);
+}
+
+std::size_t held_count() noexcept { return t_held.size(); }
+
+}  // namespace smpst::lockdep
+
+#else
+
+// Keep the TU non-empty when the checks are compiled out.
+namespace smpst::lockdep {
+namespace {
+[[maybe_unused]] constexpr int kLockOrderChecksDisabled = 0;
+}
+}  // namespace smpst::lockdep
+
+#endif  // SMPST_LOCK_ORDER_CHECKS

@@ -27,6 +27,8 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "support/lock_order.hpp"
+
 #if defined(__clang__) && defined(__has_attribute)
 #if __has_attribute(capability)
 #define SMPST_THREAD_ANNOTATION(x) __attribute__((x))
@@ -80,19 +82,35 @@
 
 namespace smpst {
 
-/// Annotated std::mutex. Same size and cost; the attribute is compile-time.
+/// Annotated std::mutex. Same size and cost in Release; the attribute is
+/// compile-time. Under SMPST_LOCK_ORDER (Debug default) each lock/unlock
+/// also reports to the lockdep layer; pass a `lockdep::rank::k*` constant to
+/// place the mutex in the global acquisition order (see lock_order.hpp).
 class SMPST_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  constexpr explicit Mutex(lockdep::Rank rank) noexcept : lockdep_(rank) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() SMPST_ACQUIRE() { m_.lock(); }
-  void unlock() SMPST_RELEASE() { m_.unlock(); }
-  bool try_lock() SMPST_TRY_ACQUIRE(true) { return m_.try_lock(); }
+  void lock() SMPST_ACQUIRE() {
+    lockdep_.note_before_lock();
+    m_.lock();
+    lockdep_.note_locked();
+  }
+  void unlock() SMPST_RELEASE() {
+    lockdep_.note_unlock();
+    m_.unlock();
+  }
+  bool try_lock() SMPST_TRY_ACQUIRE(true) {
+    if (!m_.try_lock()) return false;
+    lockdep_.note_try_locked();
+    return true;
+  }
 
  private:
   std::mutex m_;
+  [[no_unique_address]] lockdep::Tracked lockdep_;
 };
 
 /// Annotated scoped guard, usable with any annotated lockable (Mutex,

@@ -1,0 +1,35 @@
+// SA1 fixture: plain accesses to the racy traversal storage from a
+// concurrent context (a worker lambda handed to ThreadPool::run), including
+// a reference alias and a raw-pointer escape.  Expected: SA1 x4.
+#include <cstdint>
+#include <memory>
+
+namespace smpst {
+
+struct TraversalState {
+  std::unique_ptr<std::uint32_t[]> color;
+  std::unique_ptr<std::uint32_t[]> parent;
+  std::uint32_t n = 0;
+};
+
+void expand_bad(TraversalState& st, std::uint32_t v, std::uint32_t label) {
+  // Plain read in a concurrent context: must be SMPST_BENIGN_RACE_LOAD.
+  if (st.color[v] == 0) {                              // SA1
+    // Plain write: must be SMPST_BENIGN_RACE_STORE.
+    st.color[v] = label;                               // SA1
+  }
+  // Alias does not launder the race.
+  auto& par = st.parent;
+  par[v] = v;                                          // SA1
+  // Pointer escape defeats the annotation layer entirely.
+  std::uint32_t* raw = st.color.get();                 // SA1
+  (void)raw;
+}
+
+void run_traversal(TraversalState& st, ThreadPool& pool) {
+  pool.run([&](std::size_t tid) {
+    expand_bad(st, static_cast<std::uint32_t>(tid), 1);
+  });
+}
+
+}  // namespace smpst

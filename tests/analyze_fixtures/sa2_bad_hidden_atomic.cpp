@@ -1,0 +1,28 @@
+// SA2 fixture: atomics whose type hides behind `using` aliases, touched via
+// overloaded operators, defaulted-order member calls, and implicit
+// conversion reads — all invisible to a declaration-site regex.
+// Expected: SA2 x5.
+#include <atomic>
+#include <cstdint>
+
+namespace smpst {
+
+using Flag = std::atomic<bool>;
+using Ticket = std::atomic<std::uint64_t>;
+
+class Dispenser {
+ public:
+  std::uint64_t take() {
+    tickets_++;                      // SA2: implicit seq_cst RMW
+    tickets_ += 2;                   // SA2: implicit seq_cst RMW
+    if (done_) return 0;             // SA2: implicit conversion read
+    done_ = true;                    // SA2: implicit seq_cst store
+    return tickets_.load();          // SA2: defaulted memory_order
+  }
+
+ private:
+  Ticket tickets_{0};
+  Flag done_{false};
+};
+
+}  // namespace smpst

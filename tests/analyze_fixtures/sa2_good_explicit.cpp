@@ -1,0 +1,26 @@
+// SA2 fixture (good twin): same shapes with every memory_order spelled out.
+// Expected: clean.
+#include <atomic>
+#include <cstdint>
+
+namespace smpst {
+
+using Flag = std::atomic<bool>;
+using Ticket = std::atomic<std::uint64_t>;
+
+class Dispenser {
+ public:
+  std::uint64_t take() {
+    tickets_.fetch_add(1, std::memory_order_relaxed);
+    tickets_.fetch_add(2, std::memory_order_relaxed);
+    if (done_.load(std::memory_order_acquire)) return 0;
+    done_.store(true, std::memory_order_release);
+    return tickets_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Ticket tickets_{0};
+  Flag done_{false};
+};
+
+}  // namespace smpst

@@ -1,0 +1,47 @@
+// SA3 fixture: (a) a ranked pair acquired against its lockdep rank order,
+// (b) a same-rank nesting, and (c) a cross-function cycle between two
+// unranked mutexes that no single function exhibits.
+// Expected: SA3 x3 (rank inversion, same-rank nesting, cycle).
+#include "support/thread_annotations.hpp"
+
+namespace smpst {
+
+class RankedPair {
+ public:
+  void backwards() {
+    LockGuard<Mutex> net(mail_mutex_);    // rank 30 first...
+    LockGuard<Mutex> s(session_mutex_);   // SA3: ...then rank 20
+  }
+
+  void same_rank() {
+    LockGuard<Mutex> a(session_mutex_);
+    LockGuard<Mutex> b(peer_mutex_);      // SA3: same rank may never nest
+  }
+
+ private:
+  Mutex session_mutex_{lockdep::rank::kSession};
+  Mutex peer_mutex_{lockdep::rank::kSession};
+  Mutex mail_mutex_{lockdep::rank::kNetMailbox};
+};
+
+class CyclePair {
+ public:
+  void first_then_second() {
+    LockGuard<Mutex> lk(first_);
+    touch_second();                       // acquires second_ under first_
+  }
+
+  void second_then_first() {
+    LockGuard<Mutex> lk(second_);
+    touch_first();                        // SA3: acquires first_ under
+  }                                       //      second_ -> cycle
+
+ private:
+  void touch_first() { LockGuard<Mutex> lk(first_); }
+  void touch_second() { LockGuard<Mutex> lk(second_); }
+
+  Mutex first_;
+  Mutex second_;
+};
+
+}  // namespace smpst

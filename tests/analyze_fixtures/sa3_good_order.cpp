@@ -1,0 +1,44 @@
+// SA3 fixture (good twin): nested acquisition in strictly increasing rank
+// order, cross-function nesting that agrees between callers, and a
+// hand-over-hand unlock that never inverts.  Expected: clean.
+#include "support/thread_annotations.hpp"
+
+namespace smpst {
+
+class OrderedPair {
+ public:
+  void forwards() {
+    LockGuard<Mutex> s(session_mutex_);   // rank 20 first...
+    LockGuard<Mutex> net(mail_mutex_);    // ...then rank 30: increasing
+  }
+
+  void independent() {
+    { LockGuard<Mutex> net(mail_mutex_); }
+    { LockGuard<Mutex> s(session_mutex_); }  // sequential, never nested
+  }
+
+ private:
+  Mutex session_mutex_{lockdep::rank::kSession};
+  Mutex mail_mutex_{lockdep::rank::kNetMailbox};
+};
+
+class AgreeingPair {
+ public:
+  void path_one() {
+    LockGuard<Mutex> lk(first_);
+    touch_second();
+  }
+
+  void path_two() {
+    LockGuard<Mutex> lk(first_);
+    LockGuard<Mutex> lk2(second_);        // same order as path_one
+  }
+
+ private:
+  void touch_second() { LockGuard<Mutex> lk(second_); }
+
+  Mutex first_;
+  Mutex second_;
+};
+
+}  // namespace smpst

@@ -1,0 +1,44 @@
+// SA4 fixture: blocking operations reachable from the epoll loop thread —
+// directly in run(), and transitively through a helper the loop calls.
+// Expected: SA4 x6 (sleep, two unlisted mutexes, condvar wait, file
+// stream, pool-region join).
+#include <chrono>
+#include <fstream>
+#include <thread>
+
+#include "support/thread_annotations.hpp"
+
+namespace smpst::net {
+
+class TcpServer {
+ public:
+  void run() {
+    for (;;) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));  // SA4
+      tick();
+    }
+  }
+
+ private:
+  void tick() {
+    {
+      LockGuard<Mutex> lk(state_mutex_);
+      while (!ready_) cv_.wait(state_mutex_);           // SA4: condvar wait
+    }
+    std::ifstream in("dump.txt");                       // SA4: file I/O
+    load_snapshot();
+  }
+
+  void load_snapshot() {
+    pool_.run([](std::size_t) {});    // SA4: region join is a barrier
+    LockGuard<Mutex> lk(heavy_mutex_);   // SA4: not on the allowlist
+  }
+
+  Mutex state_mutex_;
+  Mutex heavy_mutex_;
+  CondVar cv_;
+  bool ready_ = false;
+  ThreadPool pool_;
+};
+
+}  // namespace smpst::net

@@ -1,0 +1,48 @@
+// SA4 fixture (good twin): the loop thread blocks only in its own
+// epoll_wait, takes only allowlisted bounded-hold mutexes, defers heavy
+// work behind an annotated (audited) boundary, and the deferred lambda —
+// which runs on an executor worker, not the loop — may block freely.
+// Expected: clean.
+#include <fstream>
+
+#include "support/thread_annotations.hpp"
+
+namespace smpst::net {
+
+class TcpServer {
+ public:
+  void run() {
+    for (;;) {
+      ::epoll_wait(epoll_fd_, nullptr, 0, 50);
+      drain_mailbox();
+      dispatch_admin();
+    }
+  }
+
+ private:
+  void drain_mailbox() {
+    LockGuard<Mutex> lk(mail_mutex_);   // allowlisted: O(1) swap
+  }
+
+  void dispatch_admin() {
+    // Heavy commands are offloaded; the lambda runs on an executor worker
+    // thread, so its blocking file I/O never touches the loop.
+    executor_.submit_task([this] {
+      std::ifstream in("graph.txt");
+      (void)in;
+    });
+    // The inline path is audited by hand: bounded registry lookups only.
+    run_light_command();  // smpst-analyze: allow(SA4): registry lookups only; heavy commands take the offload branch above
+  }
+
+  void run_light_command() {
+    std::ifstream in("behind-the-audited-boundary.txt");
+    (void)in;
+  }
+
+  Mutex mail_mutex_{lockdep::rank::kNetMailbox};
+  QueryExecutor executor_;
+  int epoll_fd_ = -1;
+};
+
+}  // namespace smpst::net

@@ -1,0 +1,163 @@
+// Shared fuzz bodies for the wire-facing parsers.
+//
+// Two consumers drive these functions:
+//   - the libFuzzer entry points (fuzz_line_codec.cpp, fuzz_wire_parse.cpp),
+//     built only under Clang with -DSMPST_FUZZ=ON;
+//   - the always-built corpus smoke test (fuzz_smoke.cpp), which replays the
+//     checked-in corpus plus a deterministic pseudo-random stream, so the
+//     same invariants run under GCC on every CI tier.
+//
+// Invariant violations abort via SMPST_FUZZ_CHECK (independent of NDEBUG),
+// which is what libFuzzer and ctest both key on.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "service/codec.hpp"
+#include "service/wire.hpp"
+
+#define SMPST_FUZZ_CHECK(cond, msg)                                   \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::fprintf(stderr, "fuzz invariant violated: %s (%s:%d)\n",   \
+                   msg, __FILE__, __LINE__);                          \
+      std::abort();                                                   \
+    }                                                                 \
+  } while (0)
+
+namespace smpst::fuzz {
+
+// ----------------------------------------------------------- line codec ----
+//
+// Splits the input into adversarially-sized chunks (sizes derived from the
+// input itself), drives a small-cap LineCodec, and checks the result against
+// a trivial reference model of the framing contract:
+//   - the byte stream split on '\n' yields segments; each complete segment
+//     of length <= cap comes back as exactly one kLine (with a trailing
+//     '\r' stripped), each longer one as exactly one kOversized;
+//   - the trailing unterminated segment is recovered by take_partial() iff
+//     it fits the cap, and is lost to the discard path otherwise;
+//   - the internal buffer never holds more than cap bytes once drained.
+inline void run_line_codec(const std::uint8_t* data, std::size_t size) {
+  if (size < 2) return;
+  // Small caps keep the oversized/resync paths hot on short fuzz inputs.
+  const std::size_t cap = 1 + data[0] % 64;
+  std::size_t chunk_seed = 1 + data[1] % 17;
+  data += 2;
+  size -= 2;
+
+  service::LineCodec codec(cap);
+  std::vector<std::string> lines;
+  std::size_t oversized = 0;
+  std::string out;
+
+  std::size_t off = 0;
+  while (off < size) {
+    const std::size_t n =
+        std::min<std::size_t>(size - off, 1 + chunk_seed % 13);
+    chunk_seed = chunk_seed * 1103515245 + 12345;
+    codec.feed(reinterpret_cast<const char*>(data) + off, n);
+    off += n;
+    for (;;) {
+      const auto ev = codec.next(out);
+      if (ev == service::LineCodec::Event::kNone) break;
+      if (ev == service::LineCodec::Event::kLine) {
+        SMPST_FUZZ_CHECK(out.size() <= cap, "framed line exceeds the cap");
+        SMPST_FUZZ_CHECK(out.find('\n') == std::string::npos,
+                         "framed line contains a newline");
+        lines.push_back(out);
+      } else {
+        SMPST_FUZZ_CHECK(codec.last_oversized_bytes() > cap,
+                         "kOversized for a line within the cap");
+        ++oversized;
+      }
+    }
+    SMPST_FUZZ_CHECK(codec.buffered() <= cap,
+                     "drained codec buffers more than the cap");
+  }
+  const std::string partial = codec.take_partial();
+
+  // Reference model over the whole stream.
+  std::vector<std::string> want_lines;
+  std::size_t want_oversized = 0;
+  std::string want_partial;
+  std::size_t seg_start = 0;
+  for (std::size_t i = 0; i <= size; ++i) {
+    const bool at_end = i == size;
+    if (!at_end && data[i] != '\n') continue;
+    std::string seg(reinterpret_cast<const char*>(data) + seg_start,
+                    i - seg_start);
+    seg_start = i + 1;
+    if (seg.size() > cap) {
+      ++want_oversized;  // at EOF: the in-progress discard still reported
+      continue;
+    }
+    if (!seg.empty() && seg.back() == '\r') seg.pop_back();
+    if (at_end) {
+      want_partial = seg;
+    } else {
+      want_lines.push_back(seg);
+    }
+  }
+  // An unterminated tail that crossed the cap was reported as kOversized
+  // only once the buffer actually exceeded it — which the drain loop above
+  // guarantees — and take_partial() then yields nothing.
+  SMPST_FUZZ_CHECK(lines == want_lines, "framed lines differ from reference");
+  SMPST_FUZZ_CHECK(oversized == want_oversized,
+                   "oversized count differs from reference");
+  SMPST_FUZZ_CHECK(partial == want_partial,
+                   "take_partial differs from reference");
+}
+
+// ----------------------------------------------------------- wire parser ----
+//
+// parse_line must either throw WireError or return a field map; any other
+// escape (crash, non-WireError exception) is a finding.  Accepted maps are
+// round-tripped through JsonWriter/json_escape and must reparse identically
+// (restricted to lines whose fields avoid the control characters the tiny
+// JSON subset cannot re-read: json_escape renders them as \uXXXX, which
+// parse_line deliberately rejects).
+inline void run_wire_parse(const std::uint8_t* data, std::size_t size) {
+  const std::string line(reinterpret_cast<const char*>(data), size);
+  service::Fields fields;
+  try {
+    fields = service::parse_line(line);
+  } catch (const service::WireError&) {
+    return;  // rejection is a valid outcome; crashing is not
+  }
+  SMPST_FUZZ_CHECK(!fields.empty() || line.find('{') != std::string::npos,
+                   "word form accepted an empty request");
+
+  const auto roundtrippable = [](const std::string& s) {
+    for (const char c : s) {
+      if (static_cast<unsigned char>(c) < 0x20 && c != '\n' && c != '\t' &&
+          c != '\r') {
+        return false;
+      }
+    }
+    return true;
+  };
+  service::JsonWriter w;
+  bool clean = true;
+  for (const auto& [k, v] : fields) {
+    clean = clean && !k.empty() && roundtrippable(k) && roundtrippable(v);
+    w.field(k, v);
+  }
+  if (!clean) return;
+  service::Fields again;
+  try {
+    again = service::parse_line(w.str());
+  } catch (const service::WireError&) {
+    SMPST_FUZZ_CHECK(false, "JsonWriter output rejected by parse_line");
+  }
+  SMPST_FUZZ_CHECK(again == fields,
+                   "fields do not survive a JSON round trip");
+}
+
+}  // namespace smpst::fuzz

@@ -1,0 +1,13 @@
+// libFuzzer entry point for the LineCodec framing layer.  Build with
+// -DSMPST_FUZZ=ON under Clang; run as
+//   build/tests/fuzz/fuzz_line_codec tests/fuzz/corpus
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz_harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  smpst::fuzz::run_line_codec(data, size);
+  return 0;
+}

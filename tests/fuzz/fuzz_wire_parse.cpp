@@ -1,0 +1,13 @@
+// libFuzzer entry point for the wire request parser.  Build with
+// -DSMPST_FUZZ=ON under Clang; run as
+//   build/tests/fuzz/fuzz_wire_parse tests/fuzz/corpus
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz_harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  smpst::fuzz::run_wire_parse(data, size);
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Fixture: CTAD guard declarations — `LockGuard lk(m);` without explicit
+// template arguments acquires exactly like `LockGuard<Mutex> lk(m);`.
+// smpst_lint must report SL002 for each failpoint under a CTAD guard.
+#include "sched/spinlock.hpp"
+#include "support/failpoint.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace fixture {
+
+void bad_ctad_paren(smpst::SpinLock& lock) {
+  smpst::LockGuard lk(lock);
+  SMPST_FAILPOINT("fixture.ctad_paren");  // SL002
+}
+
+void bad_ctad_brace(smpst::SpinLock& lock) {
+  smpst::LockGuard lk{lock};
+  SMPST_FAILPOINT("fixture.ctad_brace");  // SL002
+}
+
+void good_after_scope(smpst::SpinLock& lock) {
+  {
+    smpst::LockGuard lk(lock);
+  }
+  SMPST_FAILPOINT("fixture.ctad_released");  // guard destroyed: no finding
+}
+
+}  // namespace fixture

@@ -15,6 +15,7 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -26,6 +27,7 @@
 #include "service/codec.hpp"
 #include "service/executor.hpp"
 #include "service/graph_registry.hpp"
+#include "service/session.hpp"
 #include "service/wire.hpp"
 #include "support/prng.hpp"
 
@@ -200,7 +202,7 @@ class ServerHarness {
 /// up as a failed read instead of a hung test.
 class TestClient {
  public:
-  explicit TestClient(std::uint16_t port) {
+  explicit TestClient(std::uint16_t port, long deadline_sec = 10) {
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd_ < 0) return;
     sockaddr_in addr{};
@@ -213,7 +215,7 @@ class TestClient {
       return;
     }
     timeval tv{};
-    tv.tv_sec = 10;
+    tv.tv_sec = deadline_sec;
     setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
   }
 
@@ -253,17 +255,23 @@ class TestClient {
       }
       char tmp[4096];
       const ssize_t n = ::recv(fd_, tmp, sizeof tmp, 0);
-      if (n <= 0) return false;
+      if (n <= 0) {
+        timed_out_ = n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK);
+        return false;
+      }
       buffer_.append(tmp, static_cast<std::size_t>(n));
     }
   }
 
   /// Reads one response line and parses it; registers a failure (and returns
-  /// an empty field map) when the connection closes first.
+  /// an empty field map) when the connection closes or the deadline expires
+  /// first.
   Fields read_response() {
     std::string line;
     if (!read_line(line)) {
-      ADD_FAILURE() << "connection closed before a response arrived";
+      ADD_FAILURE() << (timed_out_
+                            ? "receive deadline expired before a response"
+                            : "connection closed before a response arrived");
       return Fields{};
     }
     return parse_line(line);
@@ -281,6 +289,7 @@ class TestClient {
 
  private:
   int fd_ = -1;
+  bool timed_out_ = false;
   std::string buffer_;
 };
 
@@ -477,6 +486,155 @@ TEST(TcpLoopback, ShutdownCommandDrainsTheWholeServer) {
   EXPECT_EQ(c.read_response().at("draining"), "1");
   EXPECT_TRUE(c.wait_eof());
   EXPECT_TRUE(server.stop().clean);  // run() already returning; join + report
+}
+
+// ------------------------------------------------- heavy-command offload
+//
+// The TCP server enables SessionOptions::offload_heavy so load/gen/trace
+// never run on the epoll loop thread. These tests pin down the deferral
+// semantics: dependent commands pipelined behind a heavy one still execute
+// in order, other connections stay live while a heavy command runs, and the
+// session-level machinery (defer/pump, pending() accounting) holds.
+
+TEST(TcpLoopback, HeavyGenThenDependentQueryPipelinedInOneWrite) {
+  ServerHarness server;
+  TestClient c(server.port());
+  ASSERT_TRUE(c.connected());
+  // The query on the freshly generated graph is in the same TCP segment as
+  // the gen: it must defer until the offloaded gen completes, then see the
+  // graph. A second gen chained behind a dependent query exercises repeated
+  // defer/pump cycles on one connection.
+  ASSERT_TRUE(
+      c.send_all("gen name=big family=torus-rowmajor n=4096 seed=7\n"
+                 "query graph=big algo=bader-cong validate=true\n"
+                 "gen name=big2 family=random-nlogn n=1024 seed=9\n"
+                 "query graph=big2 algo=bfs\n"));
+  EXPECT_EQ(c.read_response().at("name"), "big");
+  Fields q1 = c.read_response();
+  EXPECT_EQ(q1.at("status"), "ok");
+  EXPECT_EQ(q1.at("graph"), "big");
+  EXPECT_EQ(c.read_response().at("name"), "big2");
+  Fields q2 = c.read_response();
+  EXPECT_EQ(q2.at("status"), "ok");
+  EXPECT_EQ(q2.at("graph"), "big2");
+  EXPECT_TRUE(server.stop().clean);
+}
+
+TEST(TcpLoopback, OtherConnectionsAnswerWhileAHeavyCommandRuns) {
+  ServerHarness server;
+  // Generous deadlines: the property under test is that the light client is
+  // answered while the heavy gen runs, not how fast either completes — on a
+  // loaded single-core CI box the gen alone can hold the core for seconds.
+  TestClient heavy(server.port(), 60);
+  TestClient light(server.port(), 60);
+  ASSERT_TRUE(heavy.connected());
+  ASSERT_TRUE(light.connected());
+  // Large enough that the gen takes real time on a worker; the light client
+  // must still get served meanwhile (on the second worker) — before the
+  // offload this gen would have wedged the shared loop thread.
+  ASSERT_TRUE(
+      heavy.send_all("gen name=huge family=random-nlogn n=150000 seed=1\n"));
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(light.send_all(kQuery));
+    EXPECT_EQ(light.read_response().at("status"), "ok");
+  }
+  EXPECT_EQ(heavy.read_response().at("name"), "huge");
+  EXPECT_TRUE(server.stop().clean);
+}
+
+TEST(TcpLoopback, EofBehindHeavyCommandStillAnswersEverything) {
+  ServerHarness server;
+  TestClient c(server.port());
+  ASSERT_TRUE(c.connected());
+  // gen + dependent query + quit, then immediately half-close: the EOF is
+  // deferred behind the offloaded gen and the close barrier must wait for
+  // every deferred line's response.
+  ASSERT_TRUE(
+      c.send_all("gen name=e family=torus-rowmajor n=2048 seed=2\n"
+                 "query graph=e algo=bfs\nquit\n"));
+  c.half_close();
+  EXPECT_EQ(c.read_response().at("name"), "e");
+  EXPECT_EQ(c.read_response().at("status"), "ok");
+  EXPECT_EQ(c.read_response().at("bye"), "1");
+  EXPECT_TRUE(c.wait_eof());
+  EXPECT_TRUE(server.stop().clean);
+}
+
+TEST(SessionOffload, DefersInputWhileHeavyCommandRunsAndReplaysInOrder) {
+  service::GraphRegistry registry;
+  service::QueryExecutor executor(registry,
+                                  ServerHarness::default_executor_options());
+  std::mutex out_mutex;
+  std::vector<std::string> out;
+  service::SessionOptions opts;
+  opts.offload_heavy = true;
+  auto session = service::Session::create(
+      registry, executor,
+      [&](std::string&& line) {
+        std::lock_guard<std::mutex> lk(out_mutex);
+        out.push_back(std::move(line));
+      },
+      opts);
+  session->on_line("gen name=x family=torus-rowmajor n=1024 seed=1");
+  // The reader thread returns immediately; the lines behind the gen defer.
+  session->on_line("query graph=x algo=bfs");
+  session->on_line("list");
+  EXPECT_GE(session->pending(), 3u);
+  // Emulate the front-end loop: pump deferred input whenever the offloaded
+  // command has finished, until the pipeline drains.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (session->pending() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    if (session->resume_ready()) {
+      session->pump_deferred();
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  ASSERT_TRUE(session->wait_idle(std::chrono::seconds(10)));
+  std::lock_guard<std::mutex> lk(out_mutex);
+  // gen ack, query result, list entry for x + list summary — in order.
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(parse_line(out[0]).at("name"), "x");
+  EXPECT_EQ(parse_line(out[1]).at("status"), "ok");
+  EXPECT_EQ(parse_line(out[2]).at("name"), "x");
+  EXPECT_EQ(parse_line(out[3]).at("entries"), "1");
+}
+
+TEST(SessionOffload, ShedsHeavyCommandWithTypedErrorWhenQueueIsFull) {
+  service::GraphRegistry registry;
+  registry.put("g", gen::make_family("torus-rowmajor", 64, 1));
+  service::ExecutorOptions eopts;
+  eopts.num_workers = 1;
+  eopts.threads_per_query = 1;
+  eopts.queue_capacity = 1;
+  eopts.start_paused = true;  // nothing dequeues: the queue fills for real
+  service::QueryExecutor executor(registry, eopts);
+  std::mutex out_mutex;
+  std::vector<std::string> out;
+  service::SessionOptions opts;
+  opts.offload_heavy = true;
+  auto session = service::Session::create(
+      registry, executor,
+      [&](std::string&& line) {
+        std::lock_guard<std::mutex> lk(out_mutex);
+        out.push_back(std::move(line));
+      },
+      opts);
+  // Fill the single queue slot, then the heavy command cannot be offloaded
+  // and must come back as a typed overloaded error with a retry hint.
+  auto future = executor.submit(service::SpanningTreeRequest{"g", "bfs"});
+  session->on_line("gen name=y family=torus-rowmajor n=256 seed=1");
+  {
+    std::lock_guard<std::mutex> lk(out_mutex);
+    ASSERT_EQ(out.size(), 1u);
+    const Fields f = parse_line(out[0]);
+    EXPECT_EQ(f.at("code"), "overloaded");
+    EXPECT_TRUE(f.count("retry_after_ms") != 0);
+  }
+  executor.resume();
+  (void)future.get();
 }
 
 }  // namespace

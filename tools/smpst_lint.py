@@ -74,12 +74,21 @@ ATOMIC_FLAG_DECL_RE = re.compile(r"std\s*::\s*atomic_flag\s+(?P<name>\w+)")
 
 FENCE_RE = re.compile(r"\batomic_thread_fence\s*\(")
 
+# Guard declarations, with or without explicit template arguments — CTAD
+# (`LockGuard lk(m);`) acquires exactly like `LockGuard<Mutex> lk(m);`.
 LOCK_GUARD_RE = re.compile(
-    r"\b(?:smpst\s*::\s*)?(?:LockGuard\s*<[^>]*>|"
-    r"std\s*::\s*lock_guard\s*<[^>]*>|"
-    r"std\s*::\s*unique_lock\s*<[^>]*>|"
-    r"std\s*::\s*scoped_lock\b[^;({]*)\s+\w+\s*[({]"
+    r"\b(?:smpst\s*::\s*)?(?:LockGuard|"
+    r"std\s*::\s*lock_guard|"
+    r"std\s*::\s*unique_lock|"
+    r"std\s*::\s*scoped_lock)\s*(?:<[^>]*>)?\s+\w+\s*[({]"
 )
+
+# User-defined scoped-capability RAII classes (declared with
+# SMPST_SCOPED_CAPABILITY) acquire in their constructor just like LockGuard;
+# their names are collected across the linted set so SL002/SL003 treat a
+# `WatchGuard g(x);` declaration as an acquisition.
+SCOPED_CAPABILITY_DECL_RE = re.compile(
+    r"\b(?:class|struct)\s+SMPST_SCOPED_CAPABILITY\s+(?P<name>\w+)")
 
 FAILPOINT_RE = re.compile(r"\bSMPST_FAILPOINT(?:_TRIGGERED)?\s*\(")
 
@@ -210,11 +219,26 @@ def check_memory_order(path: str, text: str) -> list[Finding]:
 
 # --------------------------------------------------------- SL002 / SL003 ----
 
-def check_failpoint_placement(path: str, text: str) -> list[Finding]:
+def check_failpoint_placement(path: str, text: str,
+                              extra_guards: frozenset[str] = frozenset()
+                              ) -> list[Finding]:
     findings: list[Finding] = []
     events: list[tuple[int, str, re.Match]] = []
+    guard_starts: set[int] = set()
     for m in LOCK_GUARD_RE.finditer(text):
         events.append((m.start(), "guard", m))
+        guard_starts.add(m.start())
+    if extra_guards:
+        alt = "|".join(sorted(re.escape(g) for g in extra_guards))
+        cap_re = re.compile(rf"\b(?:{alt})\s+\w+\s*[({{]")
+        for m in cap_re.finditer(text):
+            # Skip the class definition itself (`class ... Name {`) and any
+            # position the base regex already claimed.
+            head = text[max(0, m.start() - 64):m.start()]
+            if re.search(r"\b(?:class|struct)\s+\w*\s*$", head):
+                continue
+            if m.start() not in guard_starts:
+                events.append((m.start(), "guard", m))
     for m in FAILPOINT_RE.finditer(text):
         events.append((m.start(), "failpoint", m))
     arrive_re = re.compile(r"\b(?P<obj>\w+)\s*(?:\.|->)\s*arrive\s*\(")
@@ -255,10 +279,14 @@ def check_failpoint_placement(path: str, text: str) -> list[Finding]:
         if c == "{":
             depth += 1
         elif c == "}":
+            # A guard/window recorded at depth d stays alive until its
+            # *enclosing* scope closes (depth drops below d).  `depth <= d`
+            # would wrongly release it when a sibling nested block — or the
+            # guard's own brace-initializer `LockGuard lk{m};` — closes.
             depth -= 1
-            while guard_depths and depth <= guard_depths[-1]:
+            while guard_depths and depth < guard_depths[-1]:
                 guard_depths.pop()
-            for obj in [o for o, d in arrived.items() if depth <= d]:
+            for obj in [o for o, d in arrived.items() if depth < d]:
                 del arrived[obj]
     return findings
 
@@ -330,7 +358,8 @@ def classify(root: pathlib.Path, path: pathlib.Path,
 
 
 def lint_file(root: pathlib.Path, path: pathlib.Path,
-              forced_scope: str | None) -> list[Finding]:
+              forced_scope: str | None,
+              extra_guards: frozenset[str] = frozenset()) -> list[Finding]:
     raw = path.read_text(encoding="utf-8", errors="replace")
     text = strip_comments_and_strings(raw)
     rel = str(path)
@@ -340,9 +369,28 @@ def lint_file(root: pathlib.Path, path: pathlib.Path,
     if core_or_sched:
         findings += check_memory_order(rel, text)
         findings += check_raw_primitives(rel, text, thread_owner)
-    findings += check_failpoint_placement(rel, text)
+    findings += check_failpoint_placement(rel, text, extra_guards)
     findings += check_include_hygiene(rel, raw, text, is_src_header)
     return findings
+
+
+def collect_scoped_capabilities(targets: list[pathlib.Path]) -> frozenset[
+        str]:
+    """Names of SMPST_SCOPED_CAPABILITY RAII classes across the linted set
+    (acquisitions by such a class's constructor count as guards)."""
+    names: set[str] = set()
+    for t in targets:
+        try:
+            text = strip_comments_and_strings(
+                t.read_text(encoding="utf-8", errors="replace"))
+        except OSError:
+            continue
+        for m in SCOPED_CAPABILITY_DECL_RE.finditer(text):
+            names.add(m.group("name"))
+    # LockGuard's own declaration is SMPST_SCOPED_CAPABILITY; the base
+    # regex already handles it (including CTAD).
+    names.discard("LockGuard")
+    return frozenset(names)
 
 
 def main(argv: list[str]) -> int:
@@ -372,9 +420,10 @@ def main(argv: list[str]) -> int:
         targets = sorted(src.rglob("*.hpp")) + sorted(src.rglob("*.cpp"))
 
     forced = args.scope if args.scope != "auto" else None
+    extra_guards = collect_scoped_capabilities(targets)
     findings: list[Finding] = []
     for t in targets:
-        findings += lint_file(root, t, forced)
+        findings += lint_file(root, t, forced, extra_guards)
 
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     for f in findings:

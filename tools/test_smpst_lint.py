@@ -28,6 +28,8 @@ EXPECTED: dict[str, collections.Counter] = {
     "thread_owner_pool.cpp": collections.Counter(),
     "bad_implicit_seqcst.cpp": collections.Counter({"SL001": 5}),
     "bad_failpoint_under_lock.cpp": collections.Counter({"SL002": 2}),
+    "bad_ctad_guard.cpp": collections.Counter({"SL002": 2}),
+    "bad_scoped_capability.cpp": collections.Counter({"SL002": 1}),
     "bad_barrier_window.cpp": collections.Counter({"SL003": 1}),
     "bad_raw_mutex.cpp": collections.Counter({"SL004": 5}),
     "bad_include.hpp": collections.Counter({"SL005": 3}),
