@@ -6,7 +6,8 @@
 // Usage: perf_suite [--scale=tiny|small|medium|large] [--n=32768]
 //                   [--families=torus-rowmajor,random-nlogn,...]
 //                   [--threads=1,2,4] [--repeats=5] [--seed=...]
-//                   [--no-sv] [--no-pbfs] [--pin]
+//                   [--no-sv] [--no-pbfs] [--no-dir] [--pin]
+//                   [--no-interleave]
 //                   [--out=BENCH_smpst.json] [--trace=out.json]
 //                   [--failpoints=site=spec;...]
 //                   [--serving=net_load.json]

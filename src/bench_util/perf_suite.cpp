@@ -19,6 +19,7 @@
 #include "support/assert.hpp"
 #include "support/cpu.hpp"
 #include "support/failpoint.hpp"
+#include "support/topology.hpp"
 
 namespace smpst::bench {
 
@@ -121,13 +122,21 @@ PerfRun measure_bader_cong(const Graph& g, ThreadPool& pool, std::size_t p,
   return run;
 }
 
+/// Shared by the "parallel_bfs" (kPushOnly: the pre-hybrid behaviour) and
+/// "parallel_bfs_dir" (kAuto) columns; the pair isolates the
+/// direction-optimizing heuristic's effect. Stats collection is free for
+/// this algorithm (counters are maintained unconditionally and copied out
+/// once), so the timed runs are also the instrumented ones.
 PerfRun measure_parallel_bfs(const Graph& g, ThreadPool& pool, std::size_t p,
-                             const PerfSuiteConfig& config,
-                             double seq_median) {
+                             const PerfSuiteConfig& config, double seq_median,
+                             BfsDirection direction, const char* algo_name) {
   ParallelBfsOptions opts;
+  opts.direction = direction;
+  ParallelBfsStats stats;
+  opts.stats = &stats;
   SpanningForest forest;
   PerfRun run;
-  run.algo = "parallel_bfs";
+  run.algo = algo_name;
   run.p = p;
   run.timing = time_repeated(
       [&] { forest = parallel_bfs_spanning_tree(g, pool, opts); },
@@ -135,6 +144,8 @@ PerfRun measure_parallel_bfs(const Graph& g, ThreadPool& pool, std::size_t p,
   const auto report = validate_spanning_forest(g, forest);
   SMPST_CHECK(report.ok, report.error.c_str());
   run.speedup_vs_seq_bfs = safe_speedup(seq_median, run.timing.median_s);
+  run.pull_levels = stats.pull_levels;
+  run.direction_switches = stats.direction_switches;
   return run;
 }
 
@@ -184,7 +195,9 @@ PerfSuiteConfig perf_suite_config_from_cli(const Cli& cli) {
   cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 0x5eed));
   cfg.run_sv = !cli.get_bool("no-sv", false);
   cfg.run_parallel_bfs = !cli.get_bool("no-pbfs", false);
+  cfg.run_dir = !cli.get_bool("no-dir", false);
   cfg.pin_threads = cli.get_bool("pin", false);
+  cfg.numa_interleave = !cli.get_bool("no-interleave", false);
   cfg.trace_path = cli.get_string("trace", "");
   cfg.failpoint_spec = cli.get_string("failpoints", "");
   return cfg;
@@ -213,6 +226,8 @@ PerfSuiteResult run_perf_suite(const PerfSuiteConfig& config,
   PerfSuiteResult result;
   result.config = config;
   result.host_hardware_threads = hardware_threads();
+  const CpuTopology topo = CpuTopology::discover();
+  result.host_numa_nodes = topo.num_nodes;
   result.generated_unix_ms =
       std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::system_clock::now().time_since_epoch())
@@ -222,6 +237,18 @@ PerfSuiteResult run_perf_suite(const PerfSuiteConfig& config,
     PerfFamilyResult fam;
     fam.family = family;
     const Graph g = gen::make_family(family, config.n, config.seed);
+    if (config.numa_interleave && topo.num_nodes > 1) {
+      // The generator built the CSR single-threaded, so every page sits on
+      // the builder's node; spread the shared read-only arrays before any
+      // timing touches them. Both arrays must succeed to claim interleaved.
+      const bool ok =
+          interleave_memory(g.offsets().data(),
+                            g.offsets().size() * sizeof(EdgeId)) &&
+          interleave_memory(g.targets().data(),
+                            g.targets().size() * sizeof(VertexId));
+      result.csr_interleaved = ok;
+      if (!ok) progress << "# numa: CSR interleave refused by the kernel\n";
+    }
     const auto gstats = compute_stats(g);
     fam.n = g.num_vertices();
     fam.m = g.num_edges();
@@ -250,13 +277,26 @@ PerfSuiteResult run_perf_suite(const PerfSuiteConfig& config,
                << json_double(fam.runs.back().speedup_vs_seq_bfs) << "\n";
 
       if (config.run_parallel_bfs) {
-        fam.runs.push_back(
-            measure_parallel_bfs(g, pool, p, config, fam.seq_bfs.median_s));
+        fam.runs.push_back(measure_parallel_bfs(g, pool, p, config,
+                                                fam.seq_bfs.median_s,
+                                                BfsDirection::kPushOnly,
+                                                "parallel_bfs"));
+      }
+      if (config.run_dir) {
+        fam.runs.push_back(measure_parallel_bfs(g, pool, p, config,
+                                                fam.seq_bfs.median_s,
+                                                BfsDirection::kAuto,
+                                                "parallel_bfs_dir"));
+        progress << "#   p=" << p << " parallel_bfs_dir median="
+                 << json_double(fam.runs.back().timing.median_s)
+                 << "s pull_levels=" << fam.runs.back().pull_levels << "\n";
       }
       if (config.run_sv) {
         fam.runs.push_back(
             measure_sv(g, pool, p, config, fam.seq_bfs.median_s));
       }
+      // All regions have joined by now, so the count is exact for this pool.
+      result.pin_failures += pool.pin_failures();
     }
     result.families.push_back(std::move(fam));
   }
@@ -284,7 +324,11 @@ void write_perf_suite_json(const PerfSuiteResult& result, std::ostream& os) {
      << "  \"generated_unix_ms\": " << result.generated_unix_ms << ",\n"
      << "  \"host\": {\n"
      << "    \"hardware_threads\": " << result.host_hardware_threads << ",\n"
-     << "    \"pinned\": " << (cfg.pin_threads ? "true" : "false") << "\n"
+     << "    \"numa_nodes\": " << result.host_numa_nodes << ",\n"
+     << "    \"pinned\": " << (cfg.pin_threads ? "true" : "false") << ",\n"
+     << "    \"pin_failures\": " << result.pin_failures << ",\n"
+     << "    \"csr_interleaved\": "
+     << (result.csr_interleaved ? "true" : "false") << "\n"
      << "  },\n"
      << "  \"config\": {\n"
      << "    \"n\": " << cfg.n << ",\n"
@@ -335,7 +379,10 @@ void write_perf_suite_json(const PerfSuiteResult& result, std::ostream& os) {
          << (run.fallback_triggered ? "true" : "false") << ",\n"
          << "            \"load_imbalance\": "
          << json_double(run.load_imbalance) << ",\n"
-         << "            \"sv_iterations\": " << run.sv_iterations << "\n"
+         << "            \"sv_iterations\": " << run.sv_iterations << ",\n"
+         << "            \"pull_levels\": " << run.pull_levels << ",\n"
+         << "            \"direction_switches\": " << run.direction_switches
+         << "\n"
          << "          }\n"
          << "        }" << (ri + 1 < fam.runs.size() ? "," : "") << "\n";
     }

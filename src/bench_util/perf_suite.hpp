@@ -44,7 +44,17 @@ struct PerfSuiteConfig {
   std::uint64_t seed = 0x5eed;
   bool run_sv = true;  ///< SV is slow on degenerate inputs; can be skipped
   bool run_parallel_bfs = true;
+  /// Direction-optimizing parallel BFS column ("parallel_bfs_dir",
+  /// BfsDirection::kAuto). The plain "parallel_bfs" column stays kPushOnly so
+  /// it keeps measuring the pre-hybrid behaviour and the pair isolates the
+  /// push↔pull heuristic's effect.
+  bool run_dir = true;
   bool pin_threads = false;  ///< opt-in worker affinity (ThreadPoolOptions)
+  /// Interleave the generated CSR arrays across NUMA nodes before measuring.
+  /// The generators build single-threaded, so without this every page of a
+  /// shared read-only graph sits on the builder's node. No-op on single-node
+  /// hosts (this is why the default is on).
+  bool numa_interleave = true;
 
   /// Same semantics as PanelConfig::trace_path: non-empty enables tracing
   /// and writes a Chrome trace_event file when the suite finishes.
@@ -58,7 +68,8 @@ struct PerfSuiteConfig {
 
 /// One timed (algorithm, thread-count) cell.
 struct PerfRun {
-  std::string algo;  ///< "bader_cong" | "parallel_bfs" | "sv"
+  std::string algo;  ///< "bader_cong" | "parallel_bfs" | "parallel_bfs_dir"
+                     ///< | "sv"
   std::size_t p = 1;
   TimingStats timing;
   double speedup_vs_seq_bfs = 0.0;  ///< seq median / this median
@@ -72,6 +83,10 @@ struct PerfRun {
   bool fallback_triggered = false;
   double load_imbalance = 0.0;
   std::uint64_t sv_iterations = 0;  ///< SV only; zero elsewhere
+  // parallel_bfs columns only; zero elsewhere. pull_levels stays zero for
+  // the kPushOnly column by construction.
+  std::uint64_t pull_levels = 0;
+  std::uint64_t direction_switches = 0;
 };
 
 struct PerfFamilyResult {
@@ -85,7 +100,15 @@ struct PerfFamilyResult {
 
 struct PerfSuiteResult {
   PerfSuiteConfig config;
-  std::size_t host_hardware_threads = 0;
+  std::size_t host_hardware_threads = 0;  ///< CPU_COUNT of the allowed mask
+  std::size_t host_numa_nodes = 0;        ///< nodes among the allowed CPUs
+  /// Worker pin attempts that failed across every pool the suite created
+  /// (support/cpu.hpp pin semantics). Non-zero means some timing ran
+  /// unpinned even though --pin was requested.
+  std::uint64_t pin_failures = 0;
+  /// True when the CSR arrays were actually mbind-interleaved (multi-node
+  /// host, config.numa_interleave, and the kernel accepted).
+  bool csr_interleaved = false;
   std::int64_t generated_unix_ms = 0;
   std::vector<PerfFamilyResult> families;
 
@@ -96,9 +119,9 @@ struct PerfSuiteResult {
 };
 
 /// Reads the suite flags: --families --scale (tiny|small|medium|large, a
-/// preset for --n) --n --threads --repeats --seed --no-sv --no-pbfs --pin
-/// --trace --failpoints. `--out` is left to the caller (it names a file,
-/// not a measurement).
+/// preset for --n) --n --threads --repeats --seed --no-sv --no-pbfs
+/// --no-dir --pin --no-interleave --trace --failpoints. `--out` is left to
+/// the caller (it names a file, not a measurement).
 PerfSuiteConfig perf_suite_config_from_cli(const Cli& cli);
 
 /// Runs every (family, algorithm, p) cell, validating each algorithm's

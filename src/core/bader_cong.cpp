@@ -36,23 +36,54 @@ namespace {
 /// build. See docs/CONCURRENCY.md for the per-site safety arguments.
 struct TraversalState {
   explicit TraversalState(const Graph& graph, std::size_t p)
+      // Deliberately *uninitialized* allocations (no make_unique, which
+      // value-initializes): zero-filling n words here would first-touch every
+      // colour/parent page on the calling thread's NUMA node. The pages are
+      // faulted in by first_touch_init() instead, each from the worker that
+      // owns the shard, so on a pinned multi-node pool each node serves its
+      // own shard's traffic.
       : g(graph),
         n(graph.num_vertices()),
-        color(std::make_unique<std::uint32_t[]>(n)),
-        parent(std::make_unique<VertexId[]>(n)),
-        queues(p) {
-    // Single-threaded: the pool has not entered the traversal yet, and
-    // ThreadPool::run's region handoff publishes these plain writes.
-    for (VertexId v = 0; v < n; ++v) {
-      color[v] = 0;
-      parent[v] = kInvalidVertex;
-    }
+        color(new std::uint32_t[n]),
+        parent(new VertexId[n]),
+        queues(p) {}
+
+  /// Vertex-ownership shards: contiguous blocks, worker t owns
+  /// [shard_lo(t), shard_hi(t)). Contiguous (not strided) so a shard's pages
+  /// are touched by exactly one worker — and, via the node-grouped slot
+  /// order of CpuTopology, so neighbouring workers share a socket.
+  [[nodiscard]] VertexId shard_lo(std::size_t tid) const noexcept {
+    return static_cast<VertexId>(static_cast<std::uint64_t>(n) * tid /
+                                 queues.size());
+  }
+  [[nodiscard]] VertexId shard_hi(std::size_t tid) const noexcept {
+    return static_cast<VertexId>(static_cast<std::uint64_t>(n) * (tid + 1) /
+                                 queues.size());
+  }
+
+  /// NUMA-aware first touch: every worker initializes (and thereby places)
+  /// its own shard of the colour/parent arrays and pre-sizes its own queue.
+  /// One parallel region, run before phase 1; the region join publishes the
+  /// writes to the traversal region that follows. The benign-race wrappers
+  /// cost nothing in normal builds and keep the shard writes visible to the
+  /// same annotation audit as the traversal's accesses.
+  void first_touch_init(ThreadPool& pool) {
     // Pre-size every worker's queue for its expected share of the frontier:
     // push_bulk must never reallocate mid-traversal, because the owner holds
     // the queue's SpinLock across the insert and a reallocation stretches
     // that critical section exactly when a thief is spinning on it.
-    const std::size_t expected = static_cast<std::size_t>(n) / p + 64;
-    for (auto& q : queues) q->reserve(expected);
+    const std::size_t expected =
+        static_cast<std::size_t>(n) / queues.size() + 64;
+    pool.run([&](std::size_t tid) {
+      SMPST_TRACE_SCOPE("bc.first_touch");
+      const VertexId lo = shard_lo(tid);
+      const VertexId hi = shard_hi(tid);
+      for (VertexId v = lo; v < hi; ++v) {
+        SMPST_BENIGN_RACE_STORE(color[v], 0u);
+        SMPST_BENIGN_RACE_STORE(parent[v], kInvalidVertex);
+      }
+      queues[tid]->reserve(expected);
+    });
   }
 
   const Graph& g;
@@ -162,7 +193,7 @@ void expand_vertex(TraversalState& st, std::size_t tid, std::uint32_t label,
 
 void traversal_worker(TraversalState& st, std::size_t tid,
                       const BaderCongOptions& opts, std::size_t p,
-                      ThreadStats& ts) {
+                      const StealDomains& domains, ThreadStats& ts) {
   SMPST_TRACE_SCOPE("bc.worker");
   const auto label = static_cast<std::uint32_t>(tid + 1);
   const std::size_t steal_attempts =
@@ -225,10 +256,12 @@ void traversal_worker(TraversalState& st, std::size_t tid,
     // Victims are sampled from [0, p) \ {tid} directly (core/steal_policy.hpp)
     // so self-picks cannot burn the attempt budget — at p = 2 the old
     // [0, p)-with-continue sampling wasted half of every probe round and sent
-    // starving workers to sleep early.
+    // starving workers to sleep early. On pinned NUMA pools the first probes
+    // of each round go to same-node victims (StealDomains), keeping stolen
+    // cachelines inside one LLC before reaching across the interconnect.
     bool got = false;
     for (std::size_t a = 0; a < steal_attempts && p > 1; ++a) {
-      const std::size_t victim = sample_steal_victim(rng, p, tid);
+      const std::size_t victim = domains.sample(rng, tid, a);
       ++ts.steal_attempts;
       const std::size_t avail = st.queues[victim]->size();
       if (avail == 0) continue;
@@ -376,6 +409,15 @@ SpanningForest bader_cong_spanning_tree(const Graph& g, ThreadPool& pool,
   TraversalStats local_stats;
   local_stats.per_thread.resize(p);
 
+  // Phase 0: NUMA-aware first touch — each worker faults in its own shard of
+  // the colour/parent arrays (and its queue buffer) before any of them is
+  // read, so the pages land on the touching worker's node instead of all on
+  // the caller's.
+  st.first_touch_init(pool);
+
+  // Same-node-first steal probing when the pool's placement is known.
+  const StealDomains domains = StealDomains::for_pool(p, pool.pin_threads());
+
   // Phase 1: stub spanning tree (single processor).
   WallTimer stub_timer;
   const auto start = static_cast<VertexId>(rng.next_bounded(n));
@@ -394,7 +436,7 @@ SpanningForest bader_cong_spanning_tree(const Graph& g, ThreadPool& pool,
   {
     SMPST_TRACE_SCOPE("bc.traversal");
     pool.run([&](std::size_t tid) {
-      traversal_worker(st, tid, opts, p, local_stats.per_thread[tid]);
+      traversal_worker(st, tid, opts, p, domains, local_stats.per_thread[tid]);
     });
   }
   local_stats.traversal_seconds = trav_timer.elapsed_seconds();

@@ -1,5 +1,6 @@
 #include "core/parallel_bfs.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 
@@ -15,37 +16,70 @@ namespace smpst {
 
 namespace {
 
-/// parent is a PLAIN array (support/race.hpp): the load that pre-screens the
-/// CAS claim is the intended benign race — stale values only cost a wasted
-/// CAS or skip a vertex another thread already owns — while the claim itself
-/// goes through race_cas(), a real CAS in every build, because the
-/// exactly-one-parent invariant is load-bearing.
+/// parent is a PLAIN array (support/race.hpp). In push levels the load that
+/// pre-screens the CAS claim is the intended benign race — stale values only
+/// cost a wasted CAS or skip a vertex another thread already owns — while the
+/// claim itself goes through race_cas(), a real CAS in every build, because
+/// the exactly-one-parent invariant is load-bearing. In pull levels parent is
+/// ownership-partitioned (only the shard owner reads or writes its vertices),
+/// so there is no race at all; the accesses still go through the wrappers so
+/// the whole array carries one auditable annotation discipline.
 struct BfsState {
-  explicit BfsState(const Graph& graph, std::size_t p)
+  explicit BfsState(const Graph& graph, std::size_t p_)
+      // Uninitialized allocations on purpose (no make_unique, which would
+      // zero-fill and thereby first-touch every page on the calling thread):
+      // first_touch_init() faults each shard in from its owning worker, so a
+      // pinned multi-node pool serves each shard from local memory.
       : g(graph),
         n(graph.num_vertices()),
-        parent(std::make_unique<VertexId[]>(n)),
+        p(p_),
+        parent(new VertexId[n]),
+        in_cur_frontier(new std::uint8_t[n]),
         buffers(p),
-        barrier(p) {
-    // Single-threaded; published to workers by the pool's region handoff.
-    for (VertexId v = 0; v < n; ++v) parent[v] = kInvalidVertex;
+        barrier(p) {}
+
+  /// Contiguous vertex-ownership shards; worker t owns
+  /// [shard_lo(t), shard_hi(t)) for first touch and for pull scans.
+  [[nodiscard]] VertexId shard_lo(std::size_t tid) const noexcept {
+    return static_cast<VertexId>(static_cast<std::uint64_t>(n) * tid / p);
+  }
+  [[nodiscard]] VertexId shard_hi(std::size_t tid) const noexcept {
+    return static_cast<VertexId>(static_cast<std::uint64_t>(n) * (tid + 1) /
+                                 p);
+  }
+
+  void first_touch_init(ThreadPool& pool) {
+    pool.run([&](std::size_t tid) {
+      SMPST_TRACE_SCOPE("pbfs.first_touch");
+      const VertexId lo = shard_lo(tid);
+      const VertexId hi = shard_hi(tid);
+      for (VertexId v = lo; v < hi; ++v) {
+        SMPST_BENIGN_RACE_STORE(parent[v], kInvalidVertex);
+        in_cur_frontier[v] = 0;
+      }
+    });
   }
 
   const Graph& g;
   const VertexId n;
+  const std::size_t p;
   std::unique_ptr<VertexId[]> parent;
+  /// Frontier-membership flags consulted by pull levels. Written (phase A)
+  /// and cleared (phase C) by frontier-slice owners, read by everyone in the
+  /// scan phase between them; the in-region barriers separate the phases, so
+  /// every access is race-free.
+  std::unique_ptr<std::uint8_t[]> in_cur_frontier;
 
   std::vector<VertexId> frontier;
   std::vector<Padded<std::vector<VertexId>>> buffers;  // next-frontier pieces
   std::atomic<std::size_t> cursor{0};
-  std::atomic<bool> next_nonempty{false};
   SpinBarrier barrier;
 };
 
-/// Expands the current frontier cooperatively; returns this thread's vote on
-/// whether a next level exists.
-void expand_level(BfsState& st, std::size_t tid, std::size_t grain) {
-  SMPST_TRACE_SCOPE("pbfs.expand");
+/// Push expansion: grab frontier grains from the shared cursor, CAS-claim
+/// unvisited neighbours.
+void expand_level_push(BfsState& st, std::size_t tid, std::size_t grain) {
+  SMPST_TRACE_SCOPE("pbfs.push");
   auto& out = *st.buffers[tid];
   out.clear();
   for (;;) {
@@ -71,6 +105,71 @@ void expand_level(BfsState& st, std::size_t tid, std::size_t grain) {
   }
 }
 
+/// Pull expansion, three barrier-separated phases inside one region:
+///   A. each worker flags its index slice of the frontier vector;
+///   B. each worker scans its owned vertex shard, attaching every unvisited
+///      vertex to its first flagged neighbour (early exit);
+///   C. each worker clears the flags it set in A, leaving the array
+///      all-zero for the next pull level.
+/// No CAS anywhere: vertex v is claimed only by its shard owner, and the
+/// flags are written and read in different phases.
+void expand_level_pull(BfsState& st, std::size_t tid) {
+  SMPST_TRACE_SCOPE("pbfs.pull");
+  const std::size_t fsz = st.frontier.size();
+  const std::size_t flo = fsz * tid / st.p;
+  const std::size_t fhi = fsz * (tid + 1) / st.p;
+  for (std::size_t i = flo; i < fhi; ++i) {
+    st.in_cur_frontier[st.frontier[i]] = 1;
+  }
+  st.barrier.arrive_and_wait();
+
+  auto& out = *st.buffers[tid];
+  out.clear();
+  const VertexId lo = st.shard_lo(tid);
+  const VertexId hi = st.shard_hi(tid);
+  for (VertexId v = lo; v < hi; ++v) {
+    if (SMPST_BENIGN_RACE_LOAD(st.parent[v]) != kInvalidVertex) continue;
+    for (VertexId u : st.g.neighbors(v)) {
+      if (st.in_cur_frontier[u] != 0) {
+        SMPST_BENIGN_RACE_STORE(st.parent[v], u);
+        out.push_back(v);
+        break;
+      }
+    }
+  }
+  st.barrier.arrive_and_wait();
+
+  for (std::size_t i = flo; i < fhi; ++i) {
+    st.in_cur_frontier[st.frontier[i]] = 0;
+  }
+}
+
+/// Direction decision for the level about to be expanded. A pull level costs
+/// O(n/p) per worker (the shard scan visits every owned vertex) plus two
+/// barriers, independent of frontier size, so entering pull requires the
+/// frontier to be large on two axes: its edge count must exceed
+/// unexplored/alpha (it must dominate the remaining work) and its vertex
+/// count must reach n/beta (the scan must have a real chance of early-exiting
+/// on most vertices). Staying in pull only requires the vertex-count bar, so
+/// the entry/exit asymmetry on the edge axis is the hysteresis: a level that
+/// barely crossed the density line does not flip straight back. The absolute
+/// edge floor keeps high-diameter trickles (a chain's 2-edge frontier near
+/// exhaustion, where unexplored -> 0 makes the ratio meaningless) from ever
+/// paying a whole-shard scan.
+bool choose_pull(const ParallelBfsOptions& opts, bool was_pull,
+                 std::uint64_t frontier_vertices,
+                 std::uint64_t frontier_edges, std::uint64_t unexplored_edges,
+                 std::uint64_t n) {
+  if (opts.direction == BfsDirection::kPushOnly) return false;
+  const bool frontier_big = static_cast<double>(frontier_vertices) *
+                                opts.beta >=
+                            static_cast<double>(n);
+  if (was_pull) return frontier_big;
+  return frontier_big && frontier_edges >= opts.pull_min_frontier_edges &&
+         static_cast<double>(frontier_edges) * opts.alpha >
+             static_cast<double>(unexplored_edges);
+}
+
 }  // namespace
 
 SpanningForest parallel_bfs_spanning_tree(const Graph& g, ThreadPool& pool,
@@ -85,6 +184,7 @@ SpanningForest parallel_bfs_spanning_tree(const Graph& g, ThreadPool& pool,
   if (opts.cancel != nullptr) opts.cancel->poll();
 
   BfsState st(g, p);
+  st.first_touch_init(pool);
   ParallelBfsStats stats;
   SMPST_TRACE_SCOPE("pbfs.run");
 
@@ -93,10 +193,14 @@ SpanningForest parallel_bfs_spanning_tree(const Graph& g, ThreadPool& pool,
   // sequential baseline.
   // Between parallel regions only the calling thread touches parent, so the
   // component scan uses plain accesses.
+  std::uint64_t unexplored_edges = g.num_arcs();
   for (VertexId root = 0; root < n; ++root) {
     if (st.parent[root] != kInvalidVertex) continue;
     st.parent[root] = root;
     st.frontier.assign(1, root);
+    std::uint64_t frontier_edges = g.degree(root);
+    bool pull = false;      // every component starts in push
+    int last_dir = -1;      // direction of the previous *expanded* level
 
     while (!st.frontier.empty()) {
       if (opts.cancel != nullptr) opts.cancel->poll();
@@ -106,16 +210,37 @@ SpanningForest parallel_bfs_spanning_tree(const Graph& g, ThreadPool& pool,
       ++stats.levels;
       stats.max_frontier =
           std::max<std::uint64_t>(stats.max_frontier, st.frontier.size());
-      st.cursor.store(0, std::memory_order_relaxed);
+
+      pull = choose_pull(opts, pull, st.frontier.size(), frontier_edges,
+                         unexplored_edges, n);
+      if (last_dir >= 0 && last_dir != static_cast<int>(pull)) {
+        ++stats.direction_switches;
+      }
+      last_dir = static_cast<int>(pull);
 
       {
         SMPST_TRACE_SCOPE("pbfs.level");
-        pool.run([&](std::size_t tid) { expand_level(st, tid, grain); });
+        if (pull) {
+          ++stats.pull_levels;
+          pool.run([&](std::size_t tid) { expand_level_pull(st, tid); });
+          stats.barriers += 2;  // the two in-region phase barriers
+        } else {
+          ++stats.push_levels;
+          st.cursor.store(0, std::memory_order_relaxed);
+          pool.run(
+              [&](std::size_t tid) { expand_level_push(st, tid, grain); });
+        }
       }
       stats.barriers += 1;  // the region join acts as the level barrier
 
+      // The expanded frontier's edges are now explored; the running count is
+      // the mu term of the alpha heuristic.
+      unexplored_edges -= std::min(unexplored_edges, frontier_edges);
+
       st.frontier.clear();
+      frontier_edges = 0;
       for (auto& buf : st.buffers) {
+        for (const VertexId v : *buf) frontier_edges += g.degree(v);
         st.frontier.insert(st.frontier.end(), buf->begin(), buf->end());
       }
     }

@@ -4,13 +4,32 @@
 // design.
 //
 // All p threads cooperatively expand one BFS frontier at a time, separated by
-// barriers: each thread grabs contiguous grains of the current frontier from
-// a shared cursor, claims unvisited neighbours with a CAS (unlike the
-// traversal algorithm's benign races, level-synchronous BFS needs exact
-// frontier membership), and appends discoveries to a per-thread buffer that
-// is concatenated into the next frontier. The barrier count is O(diameter) —
-// versus the paper's O(1) — which is exactly the structural difference the
-// comparison bench (ablate_levelsync) quantifies.
+// barriers. Two expansion directions exist per level:
+//
+//   * push — each thread grabs contiguous grains of the current frontier
+//     from a shared cursor, claims unvisited neighbours with a CAS (unlike
+//     the traversal algorithm's benign races, level-synchronous BFS needs
+//     exact frontier membership), and appends discoveries to a per-thread
+//     buffer that is concatenated into the next frontier.
+//   * pull — each thread scans its *owned* contiguous vertex shard for
+//     unvisited vertices and attaches each to any neighbour flagged in the
+//     current frontier, stopping at the first hit. When the frontier is
+//     dense, this replaces |frontier-edges| scattered CAS claims with an
+//     early-exiting sequential scan — the direction-optimizing idea of
+//     Beamer et al. surveyed in "Beyond BFS" (PAPERS.md).
+//
+// The default kAuto mode switches push→pull when the frontier is large on
+// both axes — its edge count clears an absolute floor and an alpha-fraction
+// of the unexplored edges, and its vertex count reaches n/beta — and
+// pull→push when the frontier shrinks back below n/beta. Staying in pull
+// only requires the vertex-count bar, so the entry/exit asymmetry on the
+// edge axis is the hysteresis: a level that barely crossed the push→pull
+// line does not flip straight back, and the direction changes at most a
+// handful of times per component (direction_switches in the stats).
+//
+// The barrier count is O(diameter) — versus the paper's O(1) — which is
+// exactly the structural difference the comparison bench (ablate_levelsync)
+// quantifies.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +47,15 @@ struct ParallelBfsStats {
   std::uint64_t levels = 0;     ///< frontier expansions (== eccentricity + 1)
   std::uint64_t barriers = 0;   ///< barrier episodes
   std::uint64_t max_frontier = 0;
+  std::uint64_t push_levels = 0;  ///< levels expanded in push direction
+  std::uint64_t pull_levels = 0;  ///< levels expanded in pull direction
+  std::uint64_t direction_switches = 0;  ///< push↔pull transitions
+};
+
+/// Expansion direction policy for the level loop.
+enum class BfsDirection {
+  kAuto,      ///< direction-optimizing: density-driven push↔pull + hysteresis
+  kPushOnly,  ///< classic level-synchronous push (the pre-hybrid behaviour)
 };
 
 struct ParallelBfsOptions {
@@ -36,8 +64,31 @@ struct ParallelBfsOptions {
   ParallelBfsStats* stats = nullptr;
 
   /// Polled once per level on the coordinating thread (between parallel
-  /// regions, so the check is barrier-safe); expiry throws CancelledError.
+  /// regions, so the check is barrier-safe, and before the level's direction
+  /// is chosen, so push and pull levels observe it identically); expiry
+  /// throws CancelledError.
   const CancelToken* cancel = nullptr;
+
+  BfsDirection direction = BfsDirection::kAuto;
+
+  /// push→pull requires frontier_edges * alpha > unexplored_edges, i.e. the
+  /// frontier's edges must exceed 1/alpha of the unexplored edges (Beamer's
+  /// alpha; larger = pulls more eagerly). Beamer's classic 15 assumes a pull
+  /// level is nearly free; ours costs an O(n/p) shard scan plus two barriers
+  /// regardless of frontier size, so the default demands the frontier
+  /// dominate the remaining work (measured: medium-diameter families like
+  /// geo-flat peak at ~0.43 of unexplored and lose in pull, while
+  /// random-nlogn's big levels reach 0.61-1.0 and win ~2x).
+  double alpha = 2.0;
+  /// Pull also requires (entering and staying) frontier_size * beta >= n:
+  /// the whole-shard scan only pays off when a decent fraction of all
+  /// vertices can early-exit it. Larger beta = pulls on smaller frontiers.
+  double beta = 18.0;
+  /// Absolute floor on frontier_edges before pull is considered: keeps
+  /// high-diameter trickles (a chain's 2-edge frontier near exhaustion,
+  /// where unexplored_edges → 0 makes the alpha ratio meaningless) from ever
+  /// paying a whole-shard scan.
+  std::uint64_t pull_min_frontier_edges = 1024;
 };
 
 /// Spanning forest via level-synchronous parallel BFS over all components.

@@ -49,7 +49,12 @@ void ThreadPool::run(const std::function<void(std::size_t)>& body) {
 }
 
 void ThreadPool::worker_loop(std::size_t tid) {
-  if (options_.pin_threads) pin_current_thread(tid);
+  if (options_.pin_threads && !pin_current_thread(tid)) {
+    // Honest accounting instead of a silent wrap onto some other context:
+    // the worker runs unpinned and the caller can see how many did.
+    pin_failures_.fetch_add(1, std::memory_order_acq_rel);
+    SMPST_TRACE_INSTANT("pool.pin_failed");
+  }
   obs::trace::label_current_thread("pool-worker", tid);
   std::uint64_t seen_epoch = 0;
   for (;;) {

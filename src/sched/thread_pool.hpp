@@ -6,6 +6,7 @@
 // the original pthreads code held its workers for the whole program.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <exception>
 #include <functional>
@@ -17,12 +18,17 @@
 namespace smpst {
 
 struct ThreadPoolOptions {
-  /// Pin worker t to hardware context t (round-robin, best-effort). Off by
-  /// default: pinning removes migration jitter from dedicated benchmark runs
-  /// (the fig3/fig4 scaling curves), but actively hurts when several pools
-  /// share the machine — as the query service does — because every pool
-  /// would stack its worker t onto the same core. See
-  /// docs/BENCHMARKING.md ("Affinity caveats").
+  /// Pin worker t to placement slot t: the t-th CPU of the process's
+  /// *allowed* set in topology order (grouped by NUMA node, so contiguous
+  /// worker ranges share a socket — support/topology.hpp). Off by default:
+  /// pinning removes migration jitter from dedicated benchmark runs (the
+  /// fig3/fig4 scaling curves), but actively hurts when several pools share
+  /// the machine — as the query service does — because every pool would
+  /// stack its worker t onto the same context. See docs/BENCHMARKING.md
+  /// ("Affinity caveats"). Workers whose slot cannot be honoured (more
+  /// workers than allowed CPUs, or a failed affinity call) stay unpinned and
+  /// are counted in pin_failures() — never silently wrapped onto an
+  /// arbitrary CPU.
   bool pin_threads = false;
 };
 
@@ -54,6 +60,14 @@ class ThreadPool {
     return options_.pin_threads;
   }
 
+  /// Workers whose pin request could not be honoured (slot beyond the
+  /// allowed-CPU set, or the affinity syscall failed). Always 0 when
+  /// pin_threads is off. Exact once any region has joined — every worker
+  /// attempts its pin before serving its first region.
+  [[nodiscard]] std::size_t pin_failures() const noexcept {
+    return pin_failures_.load(std::memory_order_acquire);
+  }
+
  private:
   void worker_loop(std::size_t tid);
 
@@ -64,6 +78,8 @@ class ThreadPool {
   // The one translation unit in sched/ allowed to own std::thread directly:
   // every other component runs on this pool (tools/smpst_lint.py enforces it).
   std::vector<std::thread> threads_;
+
+  std::atomic<std::size_t> pin_failures_{0};
 
   Mutex region_mutex_{lockdep::rank::kPoolRegion};  ///< serializes run() callers
   Mutex mutex_{lockdep::rank::kPoolState};

@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "support/topology.hpp"
+
 #if defined(__linux__)
 #include <pthread.h>
 #include <sched.h>
@@ -10,20 +12,30 @@
 namespace smpst {
 
 std::size_t hardware_threads() noexcept {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    const int count = CPU_COUNT(&set);
+    if (count > 0) return static_cast<std::size_t>(count);
+  }
+#endif
   const unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : static_cast<std::size_t>(n);
 }
 
-bool pin_current_thread(std::size_t cpu) noexcept {
+bool pin_current_thread(std::size_t slot) noexcept {
 #if defined(__linux__)
-  const std::size_t ncpu = hardware_threads();
-  if (ncpu <= 1) return true;  // nothing to place
+  // Fresh snapshot, not the process-lifetime cache: pinning must honour the
+  // mask as it is *now* (tests narrow it at runtime; so do cgroup resizes).
+  const CpuTopology topo = CpuTopology::discover();
+  if (!topo.slot_valid(slot)) return false;  // more workers than allowed CPUs
   cpu_set_t set;
   CPU_ZERO(&set);
-  CPU_SET(static_cast<int>(cpu % ncpu), &set);
+  CPU_SET(topo.cpu_of_slot(slot), &set);
   return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
 #else
-  (void)cpu;
+  (void)slot;
   return false;
 #endif
 }

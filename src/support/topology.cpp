@@ -1,0 +1,179 @@
+#include "support/topology.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#if defined(__linux__)
+#include <sched.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace smpst {
+
+namespace {
+
+/// Parses a sysfs cpulist ("0-3,8,10-11") into CPU ids. Malformed pieces are
+/// skipped rather than failing the whole list: a partial node map degrades to
+/// the single-node fallback for the unparsed CPUs, never to an error.
+std::vector<int> parse_cpulist(const std::string& text) {
+  std::vector<int> out;
+  std::stringstream ss(text);
+  std::string piece;
+  while (std::getline(ss, piece, ',')) {
+    const std::size_t dash = piece.find('-');
+    try {
+      if (dash == std::string::npos) {
+        out.push_back(std::stoi(piece));
+      } else {
+        const int lo = std::stoi(piece.substr(0, dash));
+        const int hi = std::stoi(piece.substr(dash + 1));
+        for (int c = lo; c <= hi && c - lo < 4096; ++c) out.push_back(c);
+      }
+    } catch (...) {
+      // Skip the malformed piece.
+    }
+  }
+  return out;
+}
+
+/// node id per CPU id, read once from sysfs; -1 = unknown (treated as node
+/// 0). The hardware layout cannot change at runtime, so a process-lifetime
+/// cache is sound even though the *affinity mask* is re-read on every
+/// discover().
+const std::vector<int>& node_of_cpu_table() {
+  static const std::vector<int> table = [] {
+    std::vector<int> t;
+#if defined(__linux__)
+    std::ifstream possible("/sys/devices/system/node/possible");
+    std::string line;
+    std::vector<int> node_ids;
+    if (possible && std::getline(possible, line)) {
+      node_ids = parse_cpulist(line);
+    }
+    if (node_ids.empty()) node_ids.push_back(0);
+    for (const int node : node_ids) {
+      std::ifstream cpulist("/sys/devices/system/node/node" +
+                            std::to_string(node) + "/cpulist");
+      if (!cpulist || !std::getline(cpulist, line)) continue;
+      for (const int cpu : parse_cpulist(line)) {
+        if (cpu < 0) continue;
+        if (static_cast<std::size_t>(cpu) >= t.size()) {
+          t.resize(static_cast<std::size_t>(cpu) + 1, -1);
+        }
+        t[static_cast<std::size_t>(cpu)] = node;
+      }
+    }
+#endif
+    return t;
+  }();
+  return table;
+}
+
+CpuTopology group_by_node(std::vector<int> cpu_ids, std::vector<int> node_ids) {
+  std::vector<std::size_t> order(cpu_ids.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (node_ids[a] != node_ids[b]) {
+                       return node_ids[a] < node_ids[b];
+                     }
+                     return cpu_ids[a] < cpu_ids[b];
+                   });
+  CpuTopology topo;
+  topo.cpus.reserve(cpu_ids.size());
+  topo.nodes.reserve(cpu_ids.size());
+  for (const std::size_t i : order) {
+    topo.cpus.push_back(cpu_ids[i]);
+    topo.nodes.push_back(node_ids[i]);
+  }
+  std::vector<int> distinct = topo.nodes;
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  topo.num_nodes = std::max<std::size_t>(1, distinct.size());
+  return topo;
+}
+
+}  // namespace
+
+CpuTopology CpuTopology::discover() {
+  std::vector<int> cpu_ids;
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    for (int c = 0; c < CPU_SETSIZE; ++c) {
+      if (CPU_ISSET(c, &set)) cpu_ids.push_back(c);
+    }
+  }
+#endif
+  if (cpu_ids.empty()) {
+    // Affinity unavailable (or non-Linux): fall back to one slot per
+    // hardware context, all on node 0.
+    const unsigned hc = std::thread::hardware_concurrency();
+    for (unsigned c = 0; c < std::max(1u, hc); ++c) {
+      cpu_ids.push_back(static_cast<int>(c));
+    }
+  }
+  const auto& table = node_of_cpu_table();
+  std::vector<int> node_ids;
+  node_ids.reserve(cpu_ids.size());
+  for (const int cpu : cpu_ids) {
+    const bool known = cpu >= 0 &&
+                       static_cast<std::size_t>(cpu) < table.size() &&
+                       table[static_cast<std::size_t>(cpu)] >= 0;
+    node_ids.push_back(known ? table[static_cast<std::size_t>(cpu)] : 0);
+  }
+  return group_by_node(std::move(cpu_ids), std::move(node_ids));
+}
+
+CpuTopology CpuTopology::from_cpus(const std::vector<int>& cpu_ids,
+                                   const std::vector<int>& node_ids) {
+  std::vector<int> nodes = node_ids;
+  nodes.resize(cpu_ids.size(), 0);
+  return group_by_node(cpu_ids, std::move(nodes));
+}
+
+const CpuTopology& topology() {
+  static const CpuTopology cached = CpuTopology::discover();
+  return cached;
+}
+
+bool interleave_memory(const void* addr, std::size_t bytes) {
+  if (addr == nullptr || bytes == 0) return true;
+  const CpuTopology& topo = topology();
+  if (topo.num_nodes <= 1) return true;  // nothing to spread across
+#if defined(__linux__) && defined(SYS_mbind)
+  // Values from <linux/mempolicy.h>, declared locally so the build does not
+  // depend on kernel headers or libnuma being installed.
+  constexpr int kMpolInterleave = 3;
+  constexpr unsigned kMpolMfMove = 1u << 1;  // migrate already-faulted pages
+
+  const auto page = static_cast<std::uintptr_t>(sysconf(_SC_PAGESIZE));
+  const auto begin = reinterpret_cast<std::uintptr_t>(addr) & ~(page - 1);
+  const auto end =
+      (reinterpret_cast<std::uintptr_t>(addr) + bytes + page - 1) &
+      ~(page - 1);
+
+  int max_node = 0;
+  for (const int n : topo.nodes) max_node = std::max(max_node, n);
+  std::vector<unsigned long> mask(
+      static_cast<std::size_t>(max_node) / (8 * sizeof(unsigned long)) + 1,
+      0ul);
+  for (const int n : topo.nodes) {
+    mask[static_cast<std::size_t>(n) / (8 * sizeof(unsigned long))] |=
+        1ul << (static_cast<std::size_t>(n) % (8 * sizeof(unsigned long)));
+  }
+  return syscall(SYS_mbind, begin, end - begin, kMpolInterleave, mask.data(),
+                 static_cast<unsigned long>(max_node) + 2, kMpolMfMove) == 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace smpst

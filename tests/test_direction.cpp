@@ -1,0 +1,148 @@
+// Tests for the direction-optimizing (push↔pull) parallel BFS: the
+// density heuristic must pull on low-diameter/high-degree shapes, never pay
+// a whole-shard scan on high-diameter trickles, keep the hysteresis from
+// oscillating, honour cancellation identically in both directions, and
+// produce forests indistinguishable (validity, component partition) from
+// the push-only baseline.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/cancellation.hpp"
+#include "core/parallel_bfs.hpp"
+#include "core/validate.hpp"
+#include "gen/registry.hpp"
+#include "graph/graph.hpp"
+#include "sched/thread_pool.hpp"
+
+namespace smpst {
+namespace {
+
+ParallelBfsStats run_auto(const Graph& g, std::size_t p,
+                          SpanningForest* forest_out = nullptr) {
+  ParallelBfsOptions opts;
+  opts.num_threads = p;
+  ParallelBfsStats stats;
+  opts.stats = &stats;
+  const auto f = parallel_bfs_spanning_tree(g, opts);
+  const auto report = validate_spanning_forest(g, f);
+  EXPECT_TRUE(report) << report.error;
+  if (forest_out != nullptr) *forest_out = f;
+  return stats;
+}
+
+TEST(Direction, StarPullsOnItsDenseLevel) {
+  // Star, centre = vertex 0: the level after the centre holds every leaf,
+  // whose edges are all of the unexplored work — the densest frontier a
+  // graph can produce. The heuristic must choose pull for it.
+  const Graph g = gen::make_family("star", 4096, 1);
+  const auto stats = run_auto(g, 2);
+  EXPECT_GE(stats.pull_levels, 1u);
+  EXPECT_EQ(stats.levels, 2u);  // centre, then all leaves
+}
+
+TEST(Direction, ChainNeverPulls) {
+  // A chain's frontier is one vertex (two edges) at every level; near
+  // exhaustion unexplored_edges -> 0 makes the density ratio meaningless,
+  // which is exactly what the absolute frontier-edge floor guards. A single
+  // pull here would scan all n vertices to advance one step.
+  const Graph g = gen::make_family("chain-seq", 8192, 1);
+  const auto stats = run_auto(g, 2);
+  EXPECT_EQ(stats.pull_levels, 0u);
+  EXPECT_EQ(stats.direction_switches, 0u);
+}
+
+TEST(Direction, MediumDiameterFamiliesNeverPull) {
+  // geo-flat is the shape that mis-tuned thresholds get wrong: frontiers
+  // big enough to clear naive edge-count tests but never a large fraction
+  // of n, so every pull level pays an O(n) scan for little work. The
+  // committed perf baseline depends on these staying push-only.
+  for (const char* family : {"geo-flat", "torus-rowmajor", "2d60"}) {
+    const Graph g = gen::make_family(family, 16384, 24301);
+    const auto stats = run_auto(g, 2);
+    EXPECT_EQ(stats.pull_levels, 0u) << family;
+  }
+}
+
+TEST(Direction, EmptyGraphAndSingleVertex) {
+  const Graph empty;
+  const auto f0 = parallel_bfs_spanning_tree(empty, ParallelBfsOptions{});
+  EXPECT_TRUE(f0.parent.empty());
+
+  const Graph one = gen::make_family("star", 1, 1);
+  ParallelBfsOptions opts;
+  ParallelBfsStats stats;
+  opts.stats = &stats;
+  const auto f1 = parallel_bfs_spanning_tree(one, opts);
+  ASSERT_EQ(f1.parent.size(), 1u);
+  EXPECT_EQ(f1.parent[0], 0u);
+  EXPECT_EQ(stats.pull_levels, 0u);  // a 1-vertex frontier must never pull
+}
+
+TEST(Direction, HysteresisDoesNotOscillate) {
+  // random-nlogn has the classic BFS profile: a couple of explosive middle
+  // levels between thin head and tail. The asymmetric thresholds must
+  // produce one push->pull transition and at most one transition back —
+  // not a flip on every level.
+  const Graph g = gen::make_family("random-nlogn", 16384, 24301);
+  const auto stats = run_auto(g, 2);
+  EXPECT_GE(stats.pull_levels, 1u);  // the dense levels must actually pull
+  EXPECT_LE(stats.direction_switches, 2u);
+}
+
+TEST(Direction, PushOnlyOptionForcesPush) {
+  const Graph g = gen::make_family("star", 4096, 1);
+  ParallelBfsOptions opts;
+  opts.num_threads = 2;
+  opts.direction = BfsDirection::kPushOnly;
+  ParallelBfsStats stats;
+  opts.stats = &stats;
+  const auto f = parallel_bfs_spanning_tree(g, opts);
+  EXPECT_TRUE(validate_spanning_forest(g, f));
+  EXPECT_EQ(stats.pull_levels, 0u);
+  EXPECT_EQ(stats.push_levels, stats.levels);
+}
+
+TEST(Direction, CancelHonoredInAutoMode) {
+  // The cancel poll sits on the coordinating thread before each level's
+  // direction is chosen, so a cancelled token must abort a run that would
+  // pull exactly as it aborts a push-only run.
+  const Graph g = gen::make_family("star", 4096, 1);
+  CancelToken token;
+  token.request_cancel();
+  ParallelBfsOptions opts;
+  opts.num_threads = 2;
+  opts.cancel = &token;
+  EXPECT_THROW(parallel_bfs_spanning_tree(g, opts), CancelledError);
+}
+
+TEST(Direction, AutoMatchesPushOnlyComponentPartition) {
+  // Pull levels claim vertices by shard scan instead of CAS races, so the
+  // specific parents may differ from push's — but both must be valid
+  // forests with the identical component partition: components are
+  // discovered in vertex order, so the root set (parent[v] == v) is
+  // deterministic and direction-independent.
+  for (const char* family : {"star", "random-nlogn", "geo-flat"}) {
+    const Graph g = gen::make_family(family, 8192, 7);
+    ParallelBfsOptions push;
+    push.num_threads = 2;
+    push.direction = BfsDirection::kPushOnly;
+    const auto fp = parallel_bfs_spanning_tree(g, push);
+    ASSERT_TRUE(validate_spanning_forest(g, fp)) << family;
+
+    SpanningForest fa;
+    run_auto(g, 2, &fa);
+    ASSERT_EQ(fa.parent.size(), fp.parent.size()) << family;
+    std::set<VertexId> roots_push;
+    std::set<VertexId> roots_auto;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (fp.parent[v] == v) roots_push.insert(v);
+      if (fa.parent[v] == v) roots_auto.insert(v);
+    }
+    EXPECT_EQ(roots_push, roots_auto) << family;
+  }
+}
+
+}  // namespace
+}  // namespace smpst

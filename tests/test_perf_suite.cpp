@@ -181,8 +181,9 @@ TEST(PerfSuite, SpeedupsPositiveAndFiniteAcrossSeeds) {
     for (const auto& fam : result.families) {
       EXPECT_GT(fam.n, 0u);
       EXPECT_GT(fam.seq_bfs.median_s, 0.0);
-      // 3 thread counts x 3 algorithms (bader_cong, parallel_bfs, sv).
-      ASSERT_EQ(fam.runs.size(), 9u) << fam.family;
+      // 3 thread counts x 4 algorithms (bader_cong, parallel_bfs,
+      // parallel_bfs_dir, sv).
+      ASSERT_EQ(fam.runs.size(), 12u) << fam.family;
       for (const auto& run : fam.runs) {
         EXPECT_TRUE(run.p == 1 || run.p == 2 || run.p == 4);
         EXPECT_GT(run.speedup_vs_seq_bfs, 0.0)
@@ -210,8 +211,9 @@ TEST(PerfSuite, RejectsUnknownFamily) {
 TEST(PerfSuite, CliRoundTrip) {
   const char* argv[] = {"perf_suite",      "--scale=tiny",
                         "--threads=1,2",   "--repeats=3",
-                        "--families=ad3,chain-seq", "--no-sv", "--pin"};
-  const Cli cli(7, argv);
+                        "--families=ad3,chain-seq", "--no-sv", "--pin",
+                        "--no-dir",        "--no-interleave"};
+  const Cli cli(9, argv);
   const auto cfg = perf_suite_config_from_cli(cli);
   EXPECT_EQ(cfg.n, 4096u);
   EXPECT_EQ(cfg.threads, (std::vector<std::int64_t>{1, 2}));
@@ -219,6 +221,38 @@ TEST(PerfSuite, CliRoundTrip) {
   EXPECT_EQ(cfg.families, (std::vector<std::string>{"ad3", "chain-seq"}));
   EXPECT_FALSE(cfg.run_sv);
   EXPECT_TRUE(cfg.pin_threads);
+  EXPECT_FALSE(cfg.run_dir);
+  EXPECT_FALSE(cfg.numa_interleave);
+}
+
+// The direction-optimizing column must carry its observability fields: the
+// push-only column never pulls by construction, and both defaults are on.
+TEST(PerfSuite, DirectionColumnPresentWithStats) {
+  PerfSuiteConfig cfg;
+  cfg.families = {"random-nlogn"};
+  cfg.n = 4096;
+  cfg.threads = {2};
+  cfg.repeats = 1;
+  cfg.seed = 11;
+  std::ostringstream progress;
+  const auto result = run_perf_suite(cfg, progress);
+  ASSERT_EQ(result.families.size(), 1u);
+  bool saw_push = false;
+  bool saw_dir = false;
+  for (const auto& run : result.families[0].runs) {
+    if (run.algo == "parallel_bfs") {
+      saw_push = true;
+      EXPECT_EQ(run.pull_levels, 0u) << "push-only column pulled";
+    }
+    if (run.algo == "parallel_bfs_dir") {
+      saw_dir = true;
+      // random-nlogn at this size is low-diameter and dense enough that the
+      // heuristic must pull at least once.
+      EXPECT_GE(run.pull_levels, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_push);
+  EXPECT_TRUE(saw_dir);
 }
 
 }  // namespace

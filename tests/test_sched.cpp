@@ -6,14 +6,18 @@
 #include <limits>
 #include <new>
 #include <numeric>
+#include <set>
 #include <thread>
 #include <vector>
 
+#include "core/steal_policy.hpp"
 #include "sched/barrier.hpp"
 #include "sched/spinlock.hpp"
 #include "sched/termination.hpp"
 #include "sched/thread_pool.hpp"
 #include "sched/work_queue.hpp"
+#include "support/cpu.hpp"
+#include "support/prng.hpp"
 
 namespace smpst {
 namespace {
@@ -366,6 +370,77 @@ TEST(ThreadPool, PinnedOptionRunsEveryThread) {
   std::atomic<int> total{0};
   pool.run([&](std::size_t) { total.fetch_add(1); });
   EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ThreadPool, PinFailuresAreReportedNotSilent) {
+  // More workers than allowed CPUs: the surplus slots cannot be placed, and
+  // the old behaviour (wrap onto slot % count) hid that. The pool must run
+  // regions normally while reporting exactly how many workers are unpinned.
+  const std::size_t allowed = hardware_threads();
+  ThreadPoolOptions opts;
+  opts.pin_threads = true;
+  ThreadPool pool(allowed + 2, opts);
+  std::atomic<int> total{0};
+  pool.run([&](std::size_t) { total.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(total.load(std::memory_order_relaxed),
+            static_cast<int>(allowed) + 2);
+  // Exact once a region has joined: every worker attempts its pin before
+  // serving its first region. At least the two surplus slots must fail.
+  EXPECT_GE(pool.pin_failures(), 2u);
+}
+
+TEST(ThreadPool, UnpinnedPoolReportsZeroPinFailures) {
+  ThreadPool pool(4);
+  pool.run([](std::size_t) {});
+  EXPECT_EQ(pool.pin_failures(), 0u);
+}
+
+TEST(StealDomains, UniformSamplingNeverPicksSelfAndCoversAll) {
+  const auto d = StealDomains::uniform(4);
+  EXPECT_FALSE(d.topology_aware());
+  Xoshiro256 rng(7);
+  std::vector<int> seen(4, 0);
+  for (int i = 0; i < 400; ++i) {
+    const std::size_t v = d.sample(rng, 1, static_cast<std::size_t>(i));
+    ASSERT_LT(v, 4u);
+    ASSERT_NE(v, 1u);
+    ++seen[v];
+  }
+  EXPECT_GT(seen[0], 0);
+  EXPECT_GT(seen[2], 0);
+  EXPECT_GT(seen[3], 0);
+}
+
+TEST(StealDomains, LocalPeersComeFromSameNode) {
+  // Workers 0,1 on node 0; workers 2,3,4 on node 1.
+  const auto d = StealDomains::from_nodes({0, 0, 1, 1, 1});
+  EXPECT_TRUE(d.topology_aware());
+  EXPECT_EQ(d.local_peers(0), (std::vector<std::size_t>{1}));
+  EXPECT_EQ(d.local_peers(2), (std::vector<std::size_t>{3, 4}));
+  Xoshiro256 rng(11);
+  // The first |local| attempts of a probe round must stay on-node.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(d.sample(rng, 0, 0), 1u);
+    const std::size_t v = d.sample(rng, 2, 1);
+    EXPECT_TRUE(v == 3u || v == 4u) << v;
+  }
+  // Later attempts fall back to uniform over everyone else — remote victims
+  // stay reachable, so a thief can never starve while work exists off-node.
+  std::set<std::size_t> fallback;
+  for (int i = 0; i < 400; ++i) fallback.insert(d.sample(rng, 2, 2));
+  EXPECT_EQ(fallback, (std::set<std::size_t>{0, 1, 3, 4}));
+}
+
+TEST(StealDomains, ForPoolUnpinnedDegeneratesToUniform) {
+  // Unpinned workers float under the OS scheduler: their placement is
+  // unknowable, so no local preference may be derived.
+  EXPECT_FALSE(StealDomains::for_pool(4, /*pinned=*/false).topology_aware());
+  // Pinned on a single-node host there is likewise nothing to prefer; on a
+  // multi-node host awareness depends on which nodes the first slots hit,
+  // so only the single-node direction is asserted.
+  if (topology().num_nodes <= 1) {
+    EXPECT_FALSE(StealDomains::for_pool(4, /*pinned=*/true).topology_aware());
+  }
 }
 
 TEST(ThreadPool, DefaultIsUnpinned) {

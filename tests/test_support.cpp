@@ -1,15 +1,23 @@
-// Unit tests for the support substrate: PRNGs, timers, cache-line padding.
+// Unit tests for the support substrate: PRNGs, timers, cache-line padding,
+// CPU/NUMA topology discovery and affinity-mask-honest thread pinning.
 #include <gtest/gtest.h>
 
 #include <array>
 #include <cmath>
 #include <set>
 #include <thread>
+#include <vector>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 #include "support/cacheline.hpp"
 #include "support/cpu.hpp"
 #include "support/prng.hpp"
 #include "support/timer.hpp"
+#include "support/topology.hpp"
 
 namespace smpst {
 namespace {
@@ -117,9 +125,95 @@ TEST(Cpu, HardwareThreadsAtLeastOne) {
   EXPECT_GE(hardware_threads(), 1u);
 }
 
-TEST(Cpu, PinDoesNotCrash) {
-  pin_current_thread(0);
-  pin_current_thread(12345);
+#if defined(__linux__)
+TEST(Cpu, HardwareThreadsMatchesAllowedMask) {
+  // The contract that replaced hardware_concurrency(): under taskset or a
+  // cgroup cpuset the report must be the allowed-CPU count, not the
+  // machine's.
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  ASSERT_EQ(sched_getaffinity(0, sizeof(set), &set), 0);
+  EXPECT_EQ(hardware_threads(), static_cast<std::size_t>(CPU_COUNT(&set)));
+}
+#endif
+
+TEST(Cpu, PinBeyondAllowedSetReturnsFalse) {
+  // Honest failure instead of the old silent wrap onto cpu (slot % count):
+  // no machine has 2^20 allowed CPUs, so this slot must be refused.
+  EXPECT_FALSE(pin_current_thread(1u << 20));
+}
+
+#if defined(__linux__)
+TEST(Cpu, PinRespectsRestrictedMask) {
+  // Shrink a thread's allowed set to one CPU, as a container cpuset would;
+  // slot 0 must land on exactly that CPU and every other slot must report
+  // failure rather than escaping the mask. Runs on its own thread so the
+  // restriction cannot leak into other tests.
+  const CpuTopology before = CpuTopology::discover();
+  ASSERT_GE(before.size(), 1u);
+  const int only_cpu = before.cpu_of_slot(0);
+
+  std::thread worker([only_cpu] {
+    cpu_set_t one;
+    CPU_ZERO(&one);
+    CPU_SET(only_cpu, &one);
+    ASSERT_EQ(pthread_setaffinity_np(pthread_self(), sizeof(one), &one), 0);
+
+    // Discovery and the thread-count report must both see the 1-CPU mask.
+    const CpuTopology restricted = CpuTopology::discover();
+    EXPECT_EQ(restricted.size(), 1u);
+    EXPECT_EQ(restricted.cpu_of_slot(0), only_cpu);
+    EXPECT_EQ(hardware_threads(), 1u);
+
+    EXPECT_TRUE(pin_current_thread(0));
+    EXPECT_EQ(sched_getcpu(), only_cpu);
+    EXPECT_FALSE(pin_current_thread(1));  // beyond the allowed set: honest no
+  });
+  worker.join();
+}
+#endif
+
+TEST(Topology, DiscoverIsConsistent) {
+  const CpuTopology topo = CpuTopology::discover();
+  ASSERT_GE(topo.size(), 1u);
+  ASSERT_EQ(topo.cpus.size(), topo.nodes.size());
+  EXPECT_GE(topo.num_nodes, 1u);
+  EXPECT_EQ(topo.size(), hardware_threads());
+  // Slot order is the placement contract: grouped by node, ascending CPUs
+  // within each node, so contiguous worker ranges share a socket.
+  for (std::size_t i = 1; i < topo.size(); ++i) {
+    EXPECT_GE(topo.nodes[i], topo.nodes[i - 1]);
+    if (topo.nodes[i] == topo.nodes[i - 1]) {
+      EXPECT_GT(topo.cpus[i], topo.cpus[i - 1]);
+    }
+  }
+  EXPECT_TRUE(topo.slot_valid(0));
+  EXPECT_FALSE(topo.slot_valid(topo.size()));
+}
+
+TEST(Topology, FromCpusGroupsByNode) {
+  const CpuTopology topo =
+      CpuTopology::from_cpus({5, 1, 9, 3}, {1, 0, 1, 0});
+  ASSERT_EQ(topo.size(), 4u);
+  EXPECT_EQ(topo.num_nodes, 2u);
+  EXPECT_EQ(topo.cpus, (std::vector<int>{1, 3, 5, 9}));
+  EXPECT_EQ(topo.nodes, (std::vector<int>{0, 0, 1, 1}));
+}
+
+TEST(Topology, CachedSingletonMatchesShape) {
+  const CpuTopology& cached = topology();
+  EXPECT_GE(cached.size(), 1u);
+  EXPECT_EQ(cached.cpus.size(), cached.nodes.size());
+}
+
+TEST(Topology, InterleaveIsBestEffort) {
+  // On a single-node host this is the documented no-op; on a multi-node
+  // host the call may succeed or be refused by the kernel — either way it
+  // must not crash and must handle an empty range.
+  std::vector<char> buf(1 << 16);
+  const bool ok = interleave_memory(buf.data(), buf.size());
+  if (CpuTopology::discover().num_nodes <= 1) EXPECT_TRUE(ok);
+  EXPECT_TRUE(interleave_memory(buf.data(), 0));
 }
 
 }  // namespace

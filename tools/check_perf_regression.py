@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""check_perf_regression: gate a candidate BENCH_smpst.json against a baseline.
+
+The committed baseline (BENCH_smpst.json at the repo root) records, per
+(family, algo, p) cell, the median wall time and the speedup versus the
+sequential-BFS baseline measured *on the same machine in the same run*.
+Absolute medians are not comparable across machines, so the gate compares
+machine-normalized quantities only:
+
+  1. speedup ratio   — candidate.speedup_vs_seq_bfs must be at least
+                       (1 - tolerance) * baseline.speedup_vs_seq_bfs for
+                       every cell present in both documents.  Speedup is a
+                       within-run ratio, so a uniformly slower CI machine
+                       cancels out of both sides.
+  2. direction sanity — within the candidate alone (same machine, same
+                       run), the direction-optimizing column must not be
+                       slower than the push-only column beyond the
+                       tolerance:  median(parallel_bfs_dir) <=
+                       (1 + tolerance) * median(parallel_bfs) per
+                       (family, p).  This is the ISSUE acceptance criterion
+                       "DO no slower than push-only on every family",
+                       checked on every CI run rather than only when the
+                       baseline was minted.
+
+Config drift is a hard error, not a skipped comparison: if the candidate
+was produced with a different n, seed, family list, or thread list than the
+baseline, the ratios mean nothing and the gate refuses to pass them.
+
+Exit codes: 0 = pass, 1 = regression found, 2 = config/document mismatch.
+
+Usage:
+  check_perf_regression.py --baseline BENCH_smpst.json \
+      --candidate candidate.json [--tolerance 0.5] [--dir-tolerance 0.15]
+
+Tolerance notes: timing noise on small shared CI machines is large, so the
+speedup-ratio tolerance defaults to 0.5 (a cell must lose more than half
+its baseline speedup to fail).  The intra-candidate direction check
+compares two columns of the *same* run and is far less noisy; it gets its
+own, tighter default.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"ERROR: cannot load {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def config_key(doc: dict) -> dict:
+    cfg = doc.get("config", {})
+    return {
+        "n": cfg.get("n"),
+        "seed": cfg.get("seed"),
+        "threads": cfg.get("threads"),
+        "families": sorted(cfg.get("families", [])),
+    }
+
+
+def cells(doc: dict) -> dict:
+    """(family, algo, p) -> run dict."""
+    out = {}
+    for fam in doc.get("families", []):
+        for run in fam.get("runs", []):
+            out[(fam["family"], run["algo"], run["p"])] = run
+    return out
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--candidate", required=True)
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help="allowed fractional loss of baseline speedup per cell "
+        "(default 0.5: fail only below half the baseline speedup)",
+    )
+    ap.add_argument(
+        "--dir-tolerance",
+        type=float,
+        default=0.15,
+        help="allowed fractional slowdown of parallel_bfs_dir vs "
+        "parallel_bfs within the candidate run (default 0.15)",
+    )
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+
+    for doc, name in ((base, args.baseline), (cand, args.candidate)):
+        if doc.get("benchmark") != "smpst.perf_suite":
+            print(f"ERROR: {name} is not a perf_suite document",
+                  file=sys.stderr)
+            return 2
+
+    bkey, ckey = config_key(base), config_key(cand)
+    if bkey != ckey:
+        print("ERROR: baseline/candidate config mismatch — the speedup "
+              "ratios are not comparable:", file=sys.stderr)
+        print(f"  baseline:  {bkey}", file=sys.stderr)
+        print(f"  candidate: {ckey}", file=sys.stderr)
+        return 2
+
+    bcells, ccells = cells(base), cells(cand)
+    failures = []
+    compared = 0
+
+    # 1. speedup-ratio gate over every cell present in both documents.
+    for key, brun in sorted(bcells.items()):
+        crun = ccells.get(key)
+        if crun is None:
+            failures.append(f"{key}: cell missing from candidate")
+            continue
+        floor = (1.0 - args.tolerance) * brun["speedup_vs_seq_bfs"]
+        got = crun["speedup_vs_seq_bfs"]
+        compared += 1
+        if got < floor:
+            failures.append(
+                f"{key}: speedup {got:.3f} fell below floor {floor:.3f} "
+                f"(baseline {brun['speedup_vs_seq_bfs']:.3f}, "
+                f"tolerance {args.tolerance})")
+
+    # 2. intra-candidate direction sanity: DO must not lose to push-only.
+    dir_pairs = 0
+    for (family, algo, p), push in sorted(ccells.items()):
+        if algo != "parallel_bfs":
+            continue
+        do = ccells.get((family, "parallel_bfs_dir", p))
+        if do is None:
+            continue
+        dir_pairs += 1
+        push_med = push["timing"]["median_s"]
+        do_med = do["timing"]["median_s"]
+        ceiling = (1.0 + args.dir_tolerance) * push_med
+        if do_med > ceiling:
+            failures.append(
+                f"({family}, p={p}): parallel_bfs_dir median {do_med:.6f}s "
+                f"exceeds push-only {push_med:.6f}s by more than "
+                f"{args.dir_tolerance:.0%}")
+
+    print(f"compared {compared} baseline cells, "
+          f"{dir_pairs} direction pairs in candidate")
+    if failures:
+        print(f"FAIL: {len(failures)} regression(s):")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("PASS: no perf regression beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

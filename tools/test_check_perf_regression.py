@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Self-test for tools/check_perf_regression.py.
+
+Builds synthetic baseline/candidate BENCH_smpst.json documents in a temp
+directory and asserts the gate's three behaviours:
+
+  * identical documents pass (exit 0);
+  * an injected beyond-tolerance speedup loss fails (exit 1) and the
+    offending cell is named;
+  * a within-tolerance wobble passes;
+  * a direction column slower than push-only beyond --dir-tolerance fails;
+  * a config mismatch (different n / seed / families / threads) is a hard
+    error (exit 2), not a silent pass.
+
+This is the "gate demonstrably fails on an injected regression" acceptance
+criterion, run on every ctest invocation instead of once by hand.
+
+Exit status 0 on success, 1 with a message on any mismatch.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+CHECKER = ROOT / "tools" / "check_perf_regression.py"
+
+
+def make_doc(*, n=16384, seed=24301, dir_median=0.004):
+    """A minimal two-family perf_suite document."""
+
+    def run(algo, p, median, speedup):
+        return {
+            "algo": algo,
+            "p": p,
+            "timing": {"median_s": median, "min_s": median,
+                       "mean_s": median, "stddev_s": 0.0, "repetitions": 7},
+            "speedup_vs_seq_bfs": speedup,
+            "obs": {},
+        }
+
+    def family(name):
+        return {
+            "family": name,
+            "n": n,
+            "m": 4 * n,
+            "components": 1,
+            "seq_bfs": {"median_s": 0.005, "min_s": 0.005, "mean_s": 0.005,
+                        "stddev_s": 0.0, "repetitions": 7},
+            "runs": [
+                run("bader_cong", 1, 0.006, 0.83),
+                run("parallel_bfs", 1, 0.005, 1.0),
+                run("parallel_bfs_dir", 1, dir_median, 0.005 / dir_median),
+                run("sv", 1, 0.02, 0.25),
+            ],
+        }
+
+    return {
+        "schema_version": 2,
+        "benchmark": "smpst.perf_suite",
+        "generated_unix_ms": 0,
+        "host": {"hardware_threads": 1, "numa_nodes": 1, "pinned": False,
+                 "pin_failures": 0, "csr_interleaved": False},
+        "config": {"n": n, "repeats": 7, "seed": seed, "failpoints": "",
+                   "threads": [1], "families": ["random-nlogn", "chain-seq"]},
+        "families": [family("random-nlogn"), family("chain-seq")],
+    }
+
+
+def run_checker(tmp, baseline, candidate, *extra):
+    bpath = tmp / "baseline.json"
+    cpath = tmp / "candidate.json"
+    bpath.write_text(json.dumps(baseline))
+    cpath.write_text(json.dumps(candidate))
+    return subprocess.run(
+        [sys.executable, str(CHECKER), "--baseline", str(bpath),
+         "--candidate", str(cpath), *extra],
+        capture_output=True, text=True, check=False)
+
+
+def expect(cond, msg):
+    if not cond:
+        print(f"FAIL: {msg}")
+        sys.exit(1)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as d:
+        tmp = pathlib.Path(d)
+        base = make_doc()
+
+        # Identical documents pass.
+        proc = run_checker(tmp, base, copy.deepcopy(base))
+        expect(proc.returncode == 0,
+               f"identical docs should pass, got {proc.returncode}:\n"
+               f"{proc.stdout}{proc.stderr}")
+
+        # Injected beyond-tolerance regression fails and names the cell.
+        slow = copy.deepcopy(base)
+        cell = slow["families"][0]["runs"][0]  # random-nlogn bader_cong p=1
+        cell["speedup_vs_seq_bfs"] *= 0.3  # lost 70% > default tolerance 0.5
+        proc = run_checker(tmp, base, slow)
+        expect(proc.returncode == 1,
+               f"70% speedup loss should fail, got {proc.returncode}")
+        expect("bader_cong" in proc.stdout and "random-nlogn" in proc.stdout,
+               f"failure should name the cell:\n{proc.stdout}")
+
+        # Within-tolerance wobble passes.
+        wobble = copy.deepcopy(base)
+        wobble["families"][0]["runs"][0]["speedup_vs_seq_bfs"] *= 0.8
+        proc = run_checker(tmp, base, wobble)
+        expect(proc.returncode == 0,
+               f"20% wobble should pass, got {proc.returncode}:\n"
+               f"{proc.stdout}")
+
+        # Direction column slower than push beyond dir-tolerance fails,
+        # even when its speedup stayed inside the (looser) speedup gate.
+        dir_slow = copy.deepcopy(base)
+        for fam in dir_slow["families"]:
+            for run in fam["runs"]:
+                if run["algo"] == "parallel_bfs_dir":
+                    run["timing"]["median_s"] = 0.007  # push is 0.005
+                    run["speedup_vs_seq_bfs"] = 0.005 / 0.007
+        proc = run_checker(tmp, base, dir_slow)
+        expect(proc.returncode == 1,
+               f"DO 40% slower than push should fail, got {proc.returncode}")
+        expect("parallel_bfs_dir" in proc.stdout,
+               f"failure should name the direction pair:\n{proc.stdout}")
+
+        # Config mismatch is a hard error.
+        other = make_doc(seed=999)
+        proc = run_checker(tmp, base, other)
+        expect(proc.returncode == 2,
+               f"seed mismatch should exit 2, got {proc.returncode}")
+        expect("mismatch" in proc.stderr,
+               f"mismatch should be explained:\n{proc.stderr}")
+
+        # Missing cell in the candidate is a regression, not a skip.
+        missing = copy.deepcopy(base)
+        missing["families"][0]["runs"] = [
+            r for r in missing["families"][0]["runs"]
+            if r["algo"] != "bader_cong"
+        ]
+        proc = run_checker(tmp, base, missing)
+        expect(proc.returncode == 1,
+               f"missing cell should fail, got {proc.returncode}")
+
+    print("PASS: check_perf_regression self-test")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
