@@ -1,8 +1,10 @@
 #include "bench_util/perf_suite.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <ostream>
 #include <stdexcept>
@@ -14,6 +16,8 @@
 #include "core/validate.hpp"
 #include "gen/registry.hpp"
 #include "graph/stats.hpp"
+#include "storage/blocked_graph.hpp"
+#include "storage/csr_file.hpp"
 #include "obs/trace.hpp"
 #include "sched/thread_pool.hpp"
 #include "support/assert.hpp"
@@ -167,6 +171,58 @@ PerfRun measure_sv(const Graph& g, ThreadPool& pool, std::size_t p,
   return run;
 }
 
+/// The blocked-backend sweep for one family: serialize the CSR once, then
+/// time sequential BFS through the block cache at each budget percentage.
+/// Sequential BFS is the purest cache workload of the columns — one thread
+/// streaming adjacency in vertex order — so its slowdown isolates the
+/// storage layer from scheduling effects.
+void run_storage_sweep(const Graph& g, PerfFamilyResult& fam,
+                       const PerfSuiteConfig& config, std::ostream& progress) {
+  namespace fs = std::filesystem;
+  const fs::path dir = config.storage_dir.empty()
+                           ? fs::temp_directory_path()
+                           : fs::path(config.storage_dir);
+  const fs::path file = dir / ("smpst_perf_" + fam.family + ".csr");
+  storage::write_csr_file(g, file.string());
+  const auto header = storage::read_csr_header(file.string());
+  fam.csr_bytes = header.payload_bytes();
+
+  for (const std::int64_t pct : config.storage_budget_percents) {
+    SMPST_CHECK(pct >= 1 && pct <= 100,
+                "perf_suite: --storage-budgets entries must be in [1, 100]");
+    storage::BlockCacheOptions copts;
+    copts.block_bytes = config.storage_block_bytes;
+    copts.budget_bytes = std::max<std::size_t>(
+        copts.block_bytes,
+        static_cast<std::size_t>(fam.csr_bytes *
+                                 static_cast<std::uint64_t>(pct) / 100));
+    const storage::BlockedGraph bg(file.string(), copts);
+
+    PerfStorageRun run;
+    run.budget_fraction = static_cast<double>(pct) / 100.0;
+    run.budget_bytes = copts.budget_bytes;
+    run.block_bytes = copts.block_bytes;
+    SpanningForest forest;
+    run.timing = time_repeated([&] { forest = bfs_spanning_tree(bg); },
+                               config.repeats);
+    const auto report = validate_spanning_forest(bg, forest);
+    SMPST_CHECK(report.ok, report.error.c_str());
+    run.slowdown_vs_resident =
+        safe_speedup(run.timing.median_s, fam.seq_bfs.median_s);
+    const auto cstats = bg.cache_stats();
+    run.hits = cstats.hits;
+    run.misses = cstats.misses;
+    run.evictions = cstats.evictions;
+    run.hit_rate = cstats.hit_rate();
+    progress << "#   storage budget=" << pct
+             << "% hit_rate=" << json_double(run.hit_rate)
+             << " slowdown=" << json_double(run.slowdown_vs_resident) << "\n";
+    fam.storage.push_back(run);
+  }
+  std::error_code ec;
+  fs::remove(file, ec);  // best-effort: a stale temp file is not a failure
+}
+
 }  // namespace
 
 PerfSuiteConfig perf_suite_config_from_cli(const Cli& cli) {
@@ -200,6 +256,12 @@ PerfSuiteConfig perf_suite_config_from_cli(const Cli& cli) {
   cfg.numa_interleave = !cli.get_bool("no-interleave", false);
   cfg.trace_path = cli.get_string("trace", "");
   cfg.failpoint_spec = cli.get_string("failpoints", "");
+  cfg.storage_sweep = cli.get_bool("storage", false);
+  cfg.storage_budget_percents =
+      cli.get_int_list("storage-budgets", cfg.storage_budget_percents);
+  cfg.storage_block_bytes = static_cast<std::size_t>(cli.get_int(
+      "storage-block", static_cast<std::int64_t>(cfg.storage_block_bytes)));
+  cfg.storage_dir = cli.get_string("storage-dir", "");
   return cfg;
 }
 
@@ -298,6 +360,9 @@ PerfSuiteResult run_perf_suite(const PerfSuiteConfig& config,
       // All regions have joined by now, so the count is exact for this pool.
       result.pin_failures += pool.pin_failures();
     }
+    if (config.storage_sweep) {
+      run_storage_sweep(g, fam, config, progress);
+    }
     result.families.push_back(std::move(fam));
   }
 
@@ -386,8 +451,35 @@ void write_perf_suite_json(const PerfSuiteResult& result, std::ostream& os) {
          << "          }\n"
          << "        }" << (ri + 1 < fam.runs.size() ? "," : "") << "\n";
     }
-    os << "      ]\n"
-       << "    }" << (fi + 1 < result.families.size() ? "," : "") << "\n";
+    os << "      ]";
+    if (!fam.storage.empty()) {
+      // Additive section (schema stays v2): only emitted when the sweep ran,
+      // so the resident-only document is byte-identical to before.
+      os << ",\n"
+         << "      \"csr_bytes\": " << fam.csr_bytes << ",\n"
+         << "      \"storage\": [\n";
+      for (std::size_t si = 0; si < fam.storage.size(); ++si) {
+        const auto& srun = fam.storage[si];
+        os << "        {\n"
+           << "          \"budget_fraction\": "
+           << json_double(srun.budget_fraction) << ",\n"
+           << "          \"budget_bytes\": " << srun.budget_bytes << ",\n"
+           << "          \"block_bytes\": " << srun.block_bytes << ",\n"
+           << "          \"timing\": ";
+        write_timing(os, srun.timing, "          ");
+        os << ",\n"
+           << "          \"slowdown_vs_resident\": "
+           << json_double(srun.slowdown_vs_resident) << ",\n"
+           << "          \"hit_rate\": " << json_double(srun.hit_rate)
+           << ",\n"
+           << "          \"hits\": " << srun.hits << ",\n"
+           << "          \"misses\": " << srun.misses << ",\n"
+           << "          \"evictions\": " << srun.evictions << "\n"
+           << "        }" << (si + 1 < fam.storage.size() ? "," : "") << "\n";
+      }
+      os << "      ]";
+    }
+    os << "\n    }" << (fi + 1 < result.families.size() ? "," : "") << "\n";
   }
   os << "  ]";
   if (!result.serving_json.empty()) {

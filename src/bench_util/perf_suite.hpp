@@ -64,6 +64,18 @@ struct PerfSuiteConfig {
   /// lets the chaos options compose with measurement (e.g. measuring the
   /// perf cost of delay-injected steals). Empty = untouched.
   std::string failpoint_spec;
+
+  /// Opt-in out-of-core sweep: write each family's CSR to an SMPSTCSR file
+  /// and re-run the sequential BFS column over the blocked backend
+  /// (storage/blocked_graph.hpp) at each cache-budget percentage of the CSR
+  /// payload, reporting block-cache hit rate and slowdown versus the
+  /// in-memory sequential baseline. Off by default: it adds disk I/O to a
+  /// timing run, so the resident columns stay untouched unless asked.
+  bool storage_sweep = false;
+  std::vector<std::int64_t> storage_budget_percents = {100, 50, 10};
+  std::size_t storage_block_bytes = 1 << 16;
+  /// Directory for the temporary CSR files; empty = the system temp dir.
+  std::string storage_dir;
 };
 
 /// One timed (algorithm, thread-count) cell.
@@ -89,6 +101,23 @@ struct PerfRun {
   std::uint64_t direction_switches = 0;
 };
 
+/// One blocked-backend cell of the storage sweep: sequential BFS with the
+/// block cache capped at `budget_fraction` of the CSR payload. Cache
+/// counters are cumulative over the repeats, so the hit rate blends the cold
+/// first pass with the warmed remainder — at 100% budget it converges
+/// towards 1, at small budgets eviction keeps it low on every pass.
+struct PerfStorageRun {
+  double budget_fraction = 1.0;  ///< of the CSR payload bytes
+  std::size_t budget_bytes = 0;
+  std::size_t block_bytes = 0;
+  TimingStats timing;
+  double slowdown_vs_resident = 0.0;  ///< blocked median / resident median
+  double hit_rate = 0.0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+};
+
 struct PerfFamilyResult {
   std::string family;
   VertexId n = 0;
@@ -96,6 +125,8 @@ struct PerfFamilyResult {
   std::uint64_t components = 0;
   TimingStats seq_bfs;  ///< the denominator of every speedup in `runs`
   std::vector<PerfRun> runs;
+  std::uint64_t csr_bytes = 0;  ///< on-disk payload; non-zero iff swept
+  std::vector<PerfStorageRun> storage;  ///< empty unless storage_sweep
 };
 
 struct PerfSuiteResult {
@@ -120,8 +151,9 @@ struct PerfSuiteResult {
 
 /// Reads the suite flags: --families --scale (tiny|small|medium|large, a
 /// preset for --n) --n --threads --repeats --seed --no-sv --no-pbfs
-/// --no-dir --pin --no-interleave --trace --failpoints. `--out` is left to
-/// the caller (it names a file, not a measurement).
+/// --no-dir --pin --no-interleave --trace --failpoints --storage
+/// --storage-budgets (percent list) --storage-block --storage-dir. `--out`
+/// is left to the caller (it names a file, not a measurement).
 PerfSuiteConfig perf_suite_config_from_cli(const Cli& cli);
 
 /// Runs every (family, algorithm, p) cell, validating each algorithm's

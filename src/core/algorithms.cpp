@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "sched/thread_pool.hpp"
+#include "storage/blocked_graph.hpp"
 
 namespace smpst {
 
@@ -65,6 +66,45 @@ SpanningForest run_algorithm(const std::string& name, const Graph& g,
     ParallelBfsOptions opts;
     opts.cancel = run.cancel;
     return parallel_bfs_spanning_tree(g, pool, opts);
+  }
+  throw std::invalid_argument("unknown algorithm: " + name);
+}
+
+bool algorithm_supports_blocked(const std::string& name) {
+  return name == "bfs" || name == "bader-cong" || name == "sv" ||
+         name == "sv-lock" || name == "parallel-bfs";
+}
+
+SpanningForest run_algorithm(const std::string& name,
+                             const storage::BlockedGraph& g, ThreadPool& pool,
+                             const RunOptions& run) {
+  if (name == "bfs") return bfs_spanning_tree(g, 0, run.cancel);
+  if (name == "bader-cong") {
+    BaderCongOptions opts;
+    opts.seed = run.seed;
+    opts.cancel = run.cancel;
+    opts.stats = run.stats;
+    return bader_cong_spanning_tree(g, pool, opts);
+  }
+  if (name == "sv") {
+    SvOptions opts;
+    opts.cancel = run.cancel;
+    return sv_spanning_tree(g, pool, opts);
+  }
+  if (name == "sv-lock") {
+    SvOptions opts;
+    opts.use_locks = true;
+    opts.cancel = run.cancel;
+    return sv_spanning_tree(g, pool, opts);
+  }
+  if (name == "parallel-bfs") {
+    ParallelBfsOptions opts;
+    opts.cancel = run.cancel;
+    return parallel_bfs_spanning_tree(g, pool, opts);
+  }
+  if (is_algorithm(name)) {
+    throw std::invalid_argument("algorithm \"" + name +
+                                "\" has no blocked-backend implementation");
   }
   throw std::invalid_argument("unknown algorithm: " + name);
 }

@@ -55,4 +55,15 @@ struct RunOptions {
 SpanningForest run_algorithm(const std::string& name, const Graph& g,
                              ThreadPool& pool, const RunOptions& opts);
 
+/// Block-cached backend. Supports every spanning-tree kernel that has a
+/// blocked instantiation ("bfs", "bader-cong", "sv", "sv-lock",
+/// "parallel-bfs"); "dfs" and "hcs" throw std::invalid_argument — the
+/// service's degradation path (sequential BFS) covers blocked entries.
+SpanningForest run_algorithm(const std::string& name,
+                             const storage::BlockedGraph& g, ThreadPool& pool,
+                             const RunOptions& opts);
+
+/// True when `name` can run over a BlockedGraph.
+bool algorithm_supports_blocked(const std::string& name);
+
 }  // namespace smpst

@@ -5,6 +5,8 @@
 
 #include "core/shiloach_vishkin.hpp"
 #include "core/steal_policy.hpp"
+#include "storage/blocked_graph.hpp"
+#include "storage/graph_storage.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sched/termination.hpp"
@@ -34,8 +36,9 @@ namespace {
 /// access whose atomicity is load-bearing — the exactly-one-winner claim of a
 /// component root — goes through race_cas(), which is a real CAS in every
 /// build. See docs/CONCURRENCY.md for the per-site safety arguments.
+template <storage::GraphStorage GS>
 struct TraversalState {
-  explicit TraversalState(const Graph& graph, std::size_t p)
+  explicit TraversalState(const GS& graph, std::size_t p)
       // Deliberately *uninitialized* allocations (no make_unique, which
       // value-initializes): zero-filling n words here would first-touch every
       // colour/parent page on the calling thread's NUMA node. The pages are
@@ -86,7 +89,7 @@ struct TraversalState {
     });
   }
 
-  const Graph& g;
+  const GS& g;
   const VertexId n;
   std::unique_ptr<std::uint32_t[]> color;
   std::unique_ptr<VertexId[]> parent;
@@ -110,8 +113,9 @@ struct TraversalState {
 /// first root's component). Sleep/wake churn on graphs with thousands of tiny
 /// components is the price of that soundness; the paper's experiments assume
 /// connected inputs, where this path runs at most once.
-bool try_claim_root(TraversalState& st, std::size_t tid, std::uint32_t label,
-                    ThreadStats& ts) {
+template <storage::GraphStorage GS>
+bool try_claim_root(TraversalState<GS>& st, std::size_t tid,
+                    std::uint32_t label, ThreadStats& ts) {
   for (;;) {
     // Relaxed throughout on the cursor: it is a monotonic scan hint, and
     // claims are arbitrated by the colour CAS — a stale (smaller) value only
@@ -150,9 +154,10 @@ bool try_claim_root(TraversalState& st, std::size_t tid, std::uint32_t label,
 /// line is rarely evicted again before use.
 constexpr std::size_t kColorPrefetchDistance = 4;
 
-void expand_vertex(TraversalState& st, std::size_t tid, std::uint32_t label,
-                   VertexId v, std::vector<VertexId>& children,
-                   ThreadStats& ts) {
+template <storage::GraphStorage GS>
+void expand_vertex(TraversalState<GS>& st, std::size_t tid,
+                   std::uint32_t label, VertexId v,
+                   std::vector<VertexId>& children, ThreadStats& ts) {
   children.clear();
   const auto nbrs = st.g.neighbors(v);
   const std::size_t deg = nbrs.size();
@@ -191,7 +196,8 @@ void expand_vertex(TraversalState& st, std::size_t tid, std::uint32_t label,
   ++ts.vertices_processed;
 }
 
-void traversal_worker(TraversalState& st, std::size_t tid,
+template <storage::GraphStorage GS>
+void traversal_worker(TraversalState<GS>& st, std::size_t tid,
                       const BaderCongOptions& opts, std::size_t p,
                       const StealDomains& domains, ThreadStats& ts) {
   SMPST_TRACE_SCOPE("bc.worker");
@@ -231,8 +237,13 @@ void traversal_worker(TraversalState& st, std::size_t tid,
       // Warm the *next* frontier vertex's CSR slice while this one expands:
       // neighbors() touches the offsets line and the first targets line, both
       // cold for vertices that arrived by steal or long-ago enqueue.
-      if (next_hint != kInvalidVertex) {
-        prefetch_read(st.g.neighbors(next_hint).data());
+      // Resident backends only: on a blocked graph neighbors() is real
+      // cache/disk work, not a pointer computation, so the "hint" would cost
+      // more than the miss it hides.
+      if constexpr (storage::is_resident_v<GS>) {
+        if (next_hint != kInvalidVertex) {
+          prefetch_read(st.g.neighbors(next_hint).data());
+        }
       }
       starving_rounds = 0;
       expand_vertex(st, tid, label, v, children, ts);
@@ -310,7 +321,8 @@ void traversal_worker(TraversalState& st, std::size_t tid,
 
 /// Phase 1: random walk of `steps` steps from `start`; returns the distinct
 /// stub vertices in discovery order (first entry is the walk root).
-std::vector<VertexId> grow_stub_tree(TraversalState& st, VertexId start,
+template <storage::GraphStorage GS>
+std::vector<VertexId> grow_stub_tree(TraversalState<GS>& st, VertexId start,
                                      std::size_t steps, std::size_t p,
                                      Xoshiro256& rng) {
   // Phase 1 is single-threaded (the pool enters only for phase 2, and the
@@ -348,7 +360,8 @@ std::vector<VertexId> grow_stub_tree(TraversalState& st, VertexId start,
 /// become the initial partition for Shiloach–Vishkin, which connects them;
 /// the union of both edge sets is oriented into the final forest (the paper's
 /// "merge the grown spanning subtree into a super-vertex and start SV").
-SpanningForest finish_with_sv(TraversalState& st, ThreadPool& pool,
+template <storage::GraphStorage GS>
+SpanningForest finish_with_sv(TraversalState<GS>& st, ThreadPool& pool,
                               const BaderCongOptions& opts) {
   const VertexId n = st.n;
   std::vector<Edge> edges;
@@ -392,10 +405,9 @@ SpanningForest finish_with_sv(TraversalState& st, ThreadPool& pool,
   return orient_tree_edges(n, edges);
 }
 
-}  // namespace
-
-SpanningForest bader_cong_spanning_tree(const Graph& g, ThreadPool& pool,
-                                        const BaderCongOptions& opts) {
+template <storage::GraphStorage GS>
+SpanningForest bader_cong_impl(const GS& g, ThreadPool& pool,
+                               const BaderCongOptions& opts) {
   const VertexId n = g.num_vertices();
   const std::size_t p = pool.size();
 
@@ -403,7 +415,7 @@ SpanningForest bader_cong_spanning_tree(const Graph& g, ThreadPool& pool,
   forest.parent.assign(n, kInvalidVertex);
   if (n == 0) return forest;
 
-  TraversalState st(g, p);
+  TraversalState<GS> st(g, p);
   Xoshiro256 rng(derive_stream_seed(opts.seed, 0xabc));
 
   TraversalStats local_stats;
@@ -502,7 +514,28 @@ SpanningForest bader_cong_spanning_tree(const Graph& g, ThreadPool& pool,
   return forest;
 }
 
+}  // namespace
+
+SpanningForest bader_cong_spanning_tree(const Graph& g, ThreadPool& pool,
+                                        const BaderCongOptions& opts) {
+  return bader_cong_impl(g, pool, opts);
+}
+
+SpanningForest bader_cong_spanning_tree(const storage::BlockedGraph& g,
+                                        ThreadPool& pool,
+                                        const BaderCongOptions& opts) {
+  return bader_cong_impl(g, pool, opts);
+}
+
 SpanningForest bader_cong_spanning_tree(const Graph& g,
+                                        const BaderCongOptions& opts) {
+  const std::size_t p =
+      opts.num_threads != 0 ? opts.num_threads : hardware_threads();
+  ThreadPool pool(p);
+  return bader_cong_spanning_tree(g, pool, opts);
+}
+
+SpanningForest bader_cong_spanning_tree(const storage::BlockedGraph& g,
                                         const BaderCongOptions& opts) {
   const std::size_t p =
       opts.num_threads != 0 ? opts.num_threads : hardware_threads();

@@ -29,6 +29,10 @@
 #include "core/spanning_forest.hpp"
 #include "graph/graph.hpp"
 
+namespace smpst::storage {
+class BlockedGraph;
+}  // namespace smpst::storage
+
 namespace smpst {
 
 class ThreadPool;
@@ -81,6 +85,14 @@ SpanningForest bader_cong_spanning_tree(const Graph& g,
 /// As above but reuses a caller-owned pool (pool.size() threads; benchmark
 /// loops avoid re-spawning threads per measurement).
 SpanningForest bader_cong_spanning_tree(const Graph& g, ThreadPool& pool,
+                                        const BaderCongOptions& opts);
+
+/// Block-cached backend: the identical traversal over a disk-resident CSR
+/// (storage/blocked_graph.hpp) — same phases, same stats, same fallback.
+SpanningForest bader_cong_spanning_tree(const storage::BlockedGraph& g,
+                                        const BaderCongOptions& opts = {});
+SpanningForest bader_cong_spanning_tree(const storage::BlockedGraph& g,
+                                        ThreadPool& pool,
                                         const BaderCongOptions& opts);
 
 }  // namespace smpst

@@ -1,11 +1,19 @@
 #include "core/bfs.hpp"
 
+#include "storage/blocked_graph.hpp"
+#include "storage/graph_storage.hpp"
 #include "support/assert.hpp"
 
 namespace smpst {
 
-SpanningForest bfs_spanning_tree(const Graph& g, VertexId source,
-                                 const CancelToken* cancel) {
+namespace {
+
+// Templated over the storage backend (storage/graph_storage.hpp): the Graph
+// instantiation is byte-for-byte the pre-template sequential baseline; the
+// BlockedGraph one runs the same loop over pinned block-backed spans.
+template <storage::GraphStorage GS>
+SpanningForest bfs_spanning_tree_impl(const GS& g, VertexId source,
+                                      const CancelToken* cancel) {
   const VertexId n = g.num_vertices();
   SMPST_CHECK(source < n || n == 0, "bfs_spanning_tree: source out of range");
 
@@ -38,6 +46,18 @@ SpanningForest bfs_spanning_tree(const Graph& g, VertexId source,
     if (forest.parent[v] == kInvalidVertex) run(v);
   }
   return forest;
+}
+
+}  // namespace
+
+SpanningForest bfs_spanning_tree(const Graph& g, VertexId source,
+                                 const CancelToken* cancel) {
+  return bfs_spanning_tree_impl(g, source, cancel);
+}
+
+SpanningForest bfs_spanning_tree(const storage::BlockedGraph& g,
+                                 VertexId source, const CancelToken* cancel) {
+  return bfs_spanning_tree_impl(g, source, cancel);
 }
 
 std::vector<VertexId> bfs_levels(const Graph& g, VertexId source) {

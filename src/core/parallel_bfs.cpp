@@ -7,6 +7,8 @@
 #include "obs/trace.hpp"
 #include "sched/barrier.hpp"
 #include "sched/thread_pool.hpp"
+#include "storage/blocked_graph.hpp"
+#include "storage/graph_storage.hpp"
 #include "support/cacheline.hpp"
 #include "support/cpu.hpp"
 #include "support/failpoint.hpp"
@@ -24,8 +26,9 @@ namespace {
 /// ownership-partitioned (only the shard owner reads or writes its vertices),
 /// so there is no race at all; the accesses still go through the wrappers so
 /// the whole array carries one auditable annotation discipline.
+template <storage::GraphStorage GS>
 struct BfsState {
-  explicit BfsState(const Graph& graph, std::size_t p_)
+  explicit BfsState(const GS& graph, std::size_t p_)
       // Uninitialized allocations on purpose (no make_unique, which would
       // zero-fill and thereby first-touch every page on the calling thread):
       // first_touch_init() faults each shard in from its owning worker, so a
@@ -60,7 +63,7 @@ struct BfsState {
     });
   }
 
-  const Graph& g;
+  const GS& g;
   const VertexId n;
   const std::size_t p;
   std::unique_ptr<VertexId[]> parent;
@@ -78,7 +81,8 @@ struct BfsState {
 
 /// Push expansion: grab frontier grains from the shared cursor, CAS-claim
 /// unvisited neighbours.
-void expand_level_push(BfsState& st, std::size_t tid, std::size_t grain) {
+template <storage::GraphStorage GS>
+void expand_level_push(BfsState<GS>& st, std::size_t tid, std::size_t grain) {
   SMPST_TRACE_SCOPE("pbfs.push");
   auto& out = *st.buffers[tid];
   out.clear();
@@ -113,7 +117,8 @@ void expand_level_push(BfsState& st, std::size_t tid, std::size_t grain) {
 ///      all-zero for the next pull level.
 /// No CAS anywhere: vertex v is claimed only by its shard owner, and the
 /// flags are written and read in different phases.
-void expand_level_pull(BfsState& st, std::size_t tid) {
+template <storage::GraphStorage GS>
+void expand_level_pull(BfsState<GS>& st, std::size_t tid) {
   SMPST_TRACE_SCOPE("pbfs.pull");
   const std::size_t fsz = st.frontier.size();
   const std::size_t flo = fsz * tid / st.p;
@@ -170,10 +175,9 @@ bool choose_pull(const ParallelBfsOptions& opts, bool was_pull,
              static_cast<double>(unexplored_edges);
 }
 
-}  // namespace
-
-SpanningForest parallel_bfs_spanning_tree(const Graph& g, ThreadPool& pool,
-                                          const ParallelBfsOptions& opts) {
+template <storage::GraphStorage GS>
+SpanningForest parallel_bfs_impl(const GS& g, ThreadPool& pool,
+                                 const ParallelBfsOptions& opts) {
   const VertexId n = g.num_vertices();
   const std::size_t p = pool.size();
   const std::size_t grain = std::max<std::size_t>(1, opts.grain);
@@ -183,7 +187,7 @@ SpanningForest parallel_bfs_spanning_tree(const Graph& g, ThreadPool& pool,
   if (n == 0) return forest;
   if (opts.cancel != nullptr) opts.cancel->poll();
 
-  BfsState st(g, p);
+  BfsState<GS> st(g, p);
   st.first_touch_init(pool);
   ParallelBfsStats stats;
   SMPST_TRACE_SCOPE("pbfs.run");
@@ -253,7 +257,28 @@ SpanningForest parallel_bfs_spanning_tree(const Graph& g, ThreadPool& pool,
   return forest;
 }
 
+}  // namespace
+
+SpanningForest parallel_bfs_spanning_tree(const Graph& g, ThreadPool& pool,
+                                          const ParallelBfsOptions& opts) {
+  return parallel_bfs_impl(g, pool, opts);
+}
+
+SpanningForest parallel_bfs_spanning_tree(const storage::BlockedGraph& g,
+                                          ThreadPool& pool,
+                                          const ParallelBfsOptions& opts) {
+  return parallel_bfs_impl(g, pool, opts);
+}
+
 SpanningForest parallel_bfs_spanning_tree(const Graph& g,
+                                          const ParallelBfsOptions& opts) {
+  const std::size_t p =
+      opts.num_threads != 0 ? opts.num_threads : hardware_threads();
+  ThreadPool pool(p);
+  return parallel_bfs_spanning_tree(g, pool, opts);
+}
+
+SpanningForest parallel_bfs_spanning_tree(const storage::BlockedGraph& g,
                                           const ParallelBfsOptions& opts) {
   const std::size_t p =
       opts.num_threads != 0 ? opts.num_threads : hardware_threads();

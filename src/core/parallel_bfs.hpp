@@ -39,6 +39,10 @@
 #include "core/spanning_forest.hpp"
 #include "graph/graph.hpp"
 
+namespace smpst::storage {
+class BlockedGraph;
+}  // namespace smpst::storage
+
 namespace smpst {
 
 class ThreadPool;
@@ -92,9 +96,16 @@ struct ParallelBfsOptions {
 };
 
 /// Spanning forest via level-synchronous parallel BFS over all components.
+/// The BlockedGraph overloads run the identical level loop over the
+/// block-cached backend (storage/graph_storage.hpp).
 SpanningForest parallel_bfs_spanning_tree(const Graph& g,
                                           const ParallelBfsOptions& opts = {});
 SpanningForest parallel_bfs_spanning_tree(const Graph& g, ThreadPool& pool,
+                                          const ParallelBfsOptions& opts);
+SpanningForest parallel_bfs_spanning_tree(const storage::BlockedGraph& g,
+                                          const ParallelBfsOptions& opts = {});
+SpanningForest parallel_bfs_spanning_tree(const storage::BlockedGraph& g,
+                                          ThreadPool& pool,
                                           const ParallelBfsOptions& opts);
 
 }  // namespace smpst

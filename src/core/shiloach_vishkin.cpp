@@ -9,6 +9,8 @@
 #include "sched/barrier.hpp"
 #include "sched/spinlock.hpp"
 #include "sched/thread_pool.hpp"
+#include "storage/blocked_graph.hpp"
+#include "storage/graph_storage.hpp"
 #include "support/assert.hpp"
 #include "support/cacheline.hpp"
 #include "support/cpu.hpp"
@@ -33,7 +35,12 @@ Range chunk_of(std::size_t total, std::size_t tid, std::size_t p) {
 }
 
 struct SvState {
-  SvState(const Graph& g, std::vector<VertexId> initial, std::size_t p)
+  // The constructor is SV's ONLY graph access: it materializes the canonical
+  // edge array. Templated over the storage backend, so a blocked graph pays
+  // its cache I/O once here and the label-propagation rounds run over plain
+  // memory.
+  template <storage::GraphStorage GS>
+  SvState(const GS& g, std::vector<VertexId> initial, std::size_t p)
       : n(g.num_vertices()),
         labels(std::make_unique<std::atomic<VertexId>[]>(n)),
         winner(std::make_unique<std::atomic<EdgeId>[]>(n)),
@@ -217,11 +224,10 @@ void sv_worker_locked(SvState& st, std::size_t tid, std::size_t p,
   if (tid == 0 && collect_stats) stats.barriers = st.barrier.episodes();
 }
 
-}  // namespace
-
-std::vector<Edge> sv_tree_edges(const Graph& g, ThreadPool& pool,
-                                std::vector<VertexId> initial_labels,
-                                const SvOptions& opts) {
+template <storage::GraphStorage GS>
+std::vector<Edge> sv_tree_edges_impl(const GS& g, ThreadPool& pool,
+                                     std::vector<VertexId> initial_labels,
+                                     const SvOptions& opts) {
   const std::size_t p = pool.size();
   SvState st(g, std::move(initial_labels), p);
   if (opts.use_locks) {
@@ -254,12 +260,13 @@ std::vector<Edge> sv_tree_edges(const Graph& g, ThreadPool& pool,
   return result;
 }
 
-SpanningForest sv_spanning_tree(const Graph& g, ThreadPool& pool,
-                                const SvOptions& opts) {
+template <storage::GraphStorage GS>
+SpanningForest sv_spanning_tree_impl(const GS& g, ThreadPool& pool,
+                                     const SvOptions& opts) {
   std::vector<VertexId> identity(g.num_vertices());
   for (VertexId v = 0; v < g.num_vertices(); ++v) identity[v] = v;
 
-  const auto edges = sv_tree_edges(g, pool, std::move(identity), opts);
+  const auto edges = sv_tree_edges_impl(g, pool, std::move(identity), opts);
 
   WallTimer orient_timer;
   auto forest = orient_tree_edges(g.num_vertices(), edges);
@@ -269,7 +276,40 @@ SpanningForest sv_spanning_tree(const Graph& g, ThreadPool& pool,
   return forest;
 }
 
+}  // namespace
+
+std::vector<Edge> sv_tree_edges(const Graph& g, ThreadPool& pool,
+                                std::vector<VertexId> initial_labels,
+                                const SvOptions& opts) {
+  return sv_tree_edges_impl(g, pool, std::move(initial_labels), opts);
+}
+
+std::vector<Edge> sv_tree_edges(const storage::BlockedGraph& g,
+                                ThreadPool& pool,
+                                std::vector<VertexId> initial_labels,
+                                const SvOptions& opts) {
+  return sv_tree_edges_impl(g, pool, std::move(initial_labels), opts);
+}
+
+SpanningForest sv_spanning_tree(const Graph& g, ThreadPool& pool,
+                                const SvOptions& opts) {
+  return sv_spanning_tree_impl(g, pool, opts);
+}
+
+SpanningForest sv_spanning_tree(const storage::BlockedGraph& g,
+                                ThreadPool& pool, const SvOptions& opts) {
+  return sv_spanning_tree_impl(g, pool, opts);
+}
+
 SpanningForest sv_spanning_tree(const Graph& g, const SvOptions& opts) {
+  const std::size_t p =
+      opts.num_threads != 0 ? opts.num_threads : hardware_threads();
+  ThreadPool pool(p);
+  return sv_spanning_tree(g, pool, opts);
+}
+
+SpanningForest sv_spanning_tree(const storage::BlockedGraph& g,
+                                const SvOptions& opts) {
   const std::size_t p =
       opts.num_threads != 0 ? opts.num_threads : hardware_threads();
   ThreadPool pool(p);

@@ -24,6 +24,10 @@
 #include "core/spanning_forest.hpp"
 #include "graph/graph.hpp"
 
+namespace smpst::storage {
+class BlockedGraph;
+}  // namespace smpst::storage
+
 namespace smpst {
 
 class CancelToken;
@@ -39,10 +43,16 @@ struct SvOptions {
   const CancelToken* cancel = nullptr;
 };
 
-/// Spanning forest via parallel Shiloach–Vishkin.
+/// Spanning forest via parallel Shiloach–Vishkin. The BlockedGraph overloads
+/// pay the block-cache I/O once (edge materialization); the rounds
+/// themselves run over plain memory.
 SpanningForest sv_spanning_tree(const Graph& g, const SvOptions& opts = {});
 SpanningForest sv_spanning_tree(const Graph& g, ThreadPool& pool,
                                 const SvOptions& opts);
+SpanningForest sv_spanning_tree(const storage::BlockedGraph& g,
+                                const SvOptions& opts = {});
+SpanningForest sv_spanning_tree(const storage::BlockedGraph& g,
+                                ThreadPool& pool, const SvOptions& opts);
 
 /// Lower-level entry: runs SV from an arbitrary initial partition.
 /// `initial_labels[v]` must name the representative of v's current group and
@@ -51,6 +61,10 @@ SpanningForest sv_spanning_tree(const Graph& g, ThreadPool& pool,
 /// chosen to connect the groups — this is the merge entry point used by the
 /// traversal algorithm's starvation fallback.
 std::vector<Edge> sv_tree_edges(const Graph& g, ThreadPool& pool,
+                                std::vector<VertexId> initial_labels,
+                                const SvOptions& opts);
+std::vector<Edge> sv_tree_edges(const storage::BlockedGraph& g,
+                                ThreadPool& pool,
                                 std::vector<VertexId> initial_labels,
                                 const SvOptions& opts);
 

@@ -1,8 +1,10 @@
 #include "core/validate.hpp"
 
+#include <algorithm>
 #include <sstream>
 
-#include "graph/stats.hpp"
+#include "storage/blocked_graph.hpp"
+#include "storage/graph_storage.hpp"
 
 namespace smpst {
 
@@ -15,16 +17,44 @@ ValidationReport fail(std::string msg) {
   return r;
 }
 
-}  // namespace
+/// Connected-component count via BFS over the storage interface — the same
+/// labelling graph/stats.hpp computes for Graph, written against neighbors()
+/// only so the blocked backend validates with the identical oracle.
+template <storage::GraphStorage GS>
+VertexId count_components(const GS& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<bool> seen(n, false);
+  std::vector<VertexId> queue;
+  VertexId components = 0;
+  for (VertexId s = 0; s < n; ++s) {
+    if (seen[s]) continue;
+    ++components;
+    seen[s] = true;
+    queue.clear();
+    queue.push_back(s);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const VertexId v = queue[head];
+      for (VertexId w : g.neighbors(v)) {
+        if (!seen[w]) {
+          seen[w] = true;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  return components;
+}
 
-ValidationReport validate_spanning_forest(const Graph& g,
-                                          const SpanningForest& forest) {
+template <storage::GraphStorage GS>
+ValidationReport validate_impl(const GS& g, const SpanningForest& forest) {
   const VertexId n = g.num_vertices();
   if (forest.parent.size() != n) {
     return fail("forest size does not match graph");
   }
 
-  // 1 + 2: range and edge-membership checks.
+  // 1 + 2: range and edge-membership checks. Membership is a binary search
+  // over the sorted neighbour slice — Graph::has_edge does exactly this, and
+  // phrasing it through neighbors() makes it backend-generic.
   for (VertexId v = 0; v < n; ++v) {
     const VertexId p = forest.parent[v];
     if (p >= n) {
@@ -32,10 +62,13 @@ ValidationReport validate_spanning_forest(const Graph& g,
       os << "vertex " << v << " has out-of-range parent " << p;
       return fail(os.str());
     }
-    if (p != v && !g.has_edge(v, p)) {
-      std::ostringstream os;
-      os << "tree edge {" << v << ", " << p << "} is not a graph edge";
-      return fail(os.str());
+    if (p != v) {
+      const auto nbrs = g.neighbors(v);
+      if (!std::binary_search(nbrs.begin(), nbrs.end(), p)) {
+        std::ostringstream os;
+        os << "tree edge {" << v << ", " << p << "} is not a graph edge";
+        return fail(os.str());
+      }
     }
   }
 
@@ -72,7 +105,7 @@ ValidationReport validate_spanning_forest(const Graph& g,
   ValidationReport r;
   r.num_trees = forest.num_trees();
   r.tree_edges = forest.num_tree_edges();
-  const auto labels = component_labels(g, &r.graph_components);
+  r.graph_components = count_components(g);
   if (r.num_trees != r.graph_components) {
     std::ostringstream os;
     os << "forest has " << r.num_trees << " trees but graph has "
@@ -90,6 +123,18 @@ ValidationReport validate_spanning_forest(const Graph& g,
     }
   }
   return r;
+}
+
+}  // namespace
+
+ValidationReport validate_spanning_forest(const Graph& g,
+                                          const SpanningForest& forest) {
+  return validate_impl(g, forest);
+}
+
+ValidationReport validate_spanning_forest(const storage::BlockedGraph& g,
+                                          const SpanningForest& forest) {
+  return validate_impl(g, forest);
 }
 
 }  // namespace smpst

@@ -8,6 +8,10 @@
 #include "core/spanning_forest.hpp"
 #include "graph/graph.hpp"
 
+namespace smpst::storage {
+class BlockedGraph;
+}  // namespace smpst::storage
+
 namespace smpst {
 
 struct ValidationReport {
@@ -29,6 +33,8 @@ struct ValidationReport {
 ///     both endpoints of every graph edge land in the same tree
 ///     (i.e. each tree spans its entire component).
 ValidationReport validate_spanning_forest(const Graph& g,
+                                          const SpanningForest& forest);
+ValidationReport validate_spanning_forest(const storage::BlockedGraph& g,
                                           const SpanningForest& forest);
 
 }  // namespace smpst

@@ -43,6 +43,12 @@ Graph GraphBuilder::build(EdgeList list, const Options& opts) {
               targets.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]));
   }
 
+  // The counting sort sizes both vectors exactly, but shrink anyway so the
+  // capacity-based Graph::memory_bytes() contract (registry budgets charge
+  // committed heap, not payload) holds even if the construction above ever
+  // grows a vector incrementally.
+  offsets.shrink_to_fit();
+  targets.shrink_to_fit();
   return Graph(std::move(offsets), std::move(targets));
 }
 

@@ -10,4 +10,18 @@ bool Graph::has_edge(VertexId u, VertexId v) const noexcept {
   return std::binary_search(nbrs.begin(), nbrs.end(), v);
 }
 
+Graph Graph::from_csr(std::vector<EdgeId> offsets,
+                      std::vector<VertexId> targets) {
+  if (offsets.empty()) {
+    SMPST_CHECK(targets.empty(), "CSR targets without an offsets array");
+    return Graph();
+  }
+  SMPST_CHECK(offsets.front() == 0, "CSR offsets must start at 0");
+  SMPST_CHECK(offsets.back() == targets.size(),
+              "CSR offsets.back() must equal targets.size()");
+  SMPST_CHECK(std::is_sorted(offsets.begin(), offsets.end()),
+              "CSR offsets must be monotone");
+  return Graph(std::move(offsets), std::move(targets));
+}
+
 }  // namespace smpst

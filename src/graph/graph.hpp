@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "graph/types.hpp"
+#include "support/assert.hpp"
 
 namespace smpst {
 
@@ -31,11 +32,13 @@ class Graph {
   [[nodiscard]] EdgeId num_arcs() const noexcept { return targets_.size(); }
 
   [[nodiscard]] EdgeId degree(VertexId v) const noexcept {
+    SMPST_ASSERT(static_cast<std::size_t>(v) + 1 < offsets_.size());
     return offsets_[v + 1] - offsets_[v];
   }
 
   /// Contiguous, sorted neighbour slice of v.
   [[nodiscard]] std::span<const VertexId> neighbors(VertexId v) const noexcept {
+    SMPST_ASSERT(static_cast<std::size_t>(v) + 1 < offsets_.size());
     return {targets_.data() + offsets_[v],
             targets_.data() + offsets_[v + 1]};
   }
@@ -51,11 +54,22 @@ class Graph {
     return targets_;
   }
 
-  /// Heap bytes held by the CSR arrays.
+  /// Heap bytes held by the CSR arrays. Capacity-based: the registry budget
+  /// must charge what the allocator actually committed, not just the used
+  /// prefix — a vector carrying reserve() slack would otherwise let the
+  /// budget be silently exceeded. GraphBuilder::build shrinks to fit, so for
+  /// built graphs this equals the payload size.
   [[nodiscard]] std::size_t memory_bytes() const noexcept {
-    return offsets_.size() * sizeof(EdgeId) +
-           targets_.size() * sizeof(VertexId);
+    return offsets_.capacity() * sizeof(EdgeId) +
+           targets_.capacity() * sizeof(VertexId);
   }
+
+  /// Adopts pre-built CSR arrays (offsets monotone, offsets.front() == 0,
+  /// offsets.back() == targets.size(), each slice sorted). Vector capacities
+  /// are preserved as given — memory_bytes() reflects them. Used by the
+  /// storage loaders and by tests that need capacity != size.
+  static Graph from_csr(std::vector<EdgeId> offsets,
+                        std::vector<VertexId> targets);
 
   friend bool operator==(const Graph&, const Graph&) = default;
 

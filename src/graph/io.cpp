@@ -4,6 +4,7 @@
 #include <array>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
@@ -67,6 +68,15 @@ void write_edge_list_binary(const EdgeList& list, std::ostream& os) {
   os.write(reinterpret_cast<const char*>(&m), sizeof(m));
   static_assert(sizeof(Edge) == 2 * sizeof(VertexId),
                 "Edge must be two packed u32s for binary I/O");
+  // Checked multiply, mirroring the chunked reader: m * sizeof(Edge) must not
+  // wrap before the streamsize cast (a wrapped count would silently write a
+  // short payload under a header that promises m edges).
+  constexpr std::uint64_t kMaxStreamBytes = static_cast<std::uint64_t>(
+      std::numeric_limits<std::streamsize>::max());
+  if (m > kMaxStreamBytes / sizeof(Edge)) {
+    fail("edge list too large for binary serialization: " + std::to_string(m) +
+         " edges");
+  }
   os.write(reinterpret_cast<const char*>(list.edges().data()),
            static_cast<std::streamsize>(m * sizeof(Edge)));
 }

@@ -9,6 +9,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sched/thread_pool.hpp"
+#include "storage/blocked_graph.hpp"
 #include "support/cpu.hpp"
 #include "support/failpoint.hpp"
 #include "support/timer.hpp"
@@ -500,8 +501,9 @@ QueryResult QueryExecutor::execute(Item& item, ThreadPool& pool,
   };
 
   // Re-roots and (if requested or in paranoid mode) validates the forest the
-  // attempt produced; an invalid forest counts as a failed attempt.
-  auto finalize = [&](const Graph& g) {
+  // attempt produced; an invalid forest counts as a failed attempt. Generic
+  // over the storage backend: `g` is a Graph or a storage::BlockedGraph.
+  auto finalize = [&](const auto& g) {
     if (req.root != kInvalidVertex) reroot(r.forest, req.root);
     if (req.validate || opts_.paranoid_validate) {
       SMPST_TRACE_SCOPE("query.validate");
@@ -544,13 +546,16 @@ QueryResult QueryExecutor::execute(Item& item, ThreadPool& pool,
     r.attempts = static_cast<std::uint32_t>(attempt + 1);
     try {
       SMPST_FAILPOINT("service.executor.execute");
-      const std::shared_ptr<const Graph> graph = registry_.get(req.graph);
-      if (graph == nullptr) {
+      const GraphRegistry::GraphHandle graph = registry_.get_any(req.graph);
+      if (!graph) {
         r.exec_ms = exec_timer.elapsed_millis();
         return finish(QueryStatus::kNotFound,
                       "graph not in registry: " + req.graph);
       }
-      if (req.root != kInvalidVertex && req.root >= graph->num_vertices()) {
+      const VertexId n = graph.resident != nullptr
+                             ? graph.resident->num_vertices()
+                             : graph.blocked->num_vertices();
+      if (req.root != kInvalidVertex && req.root >= n) {
         r.exec_ms = exec_timer.elapsed_millis();
         return finish(QueryStatus::kInvalidArgument,
                       "root vertex out of range");
@@ -559,11 +564,22 @@ QueryResult QueryExecutor::execute(Item& item, ThreadPool& pool,
       run.seed = req.seed;
       run.cancel = &token;
       run.stats = req.want_stats ? &r.stats : nullptr;
-      {
-        SMPST_TRACE_SCOPE("query.compute");
-        r.forest = run_algorithm(req.algorithm, *graph, pool, run);
+      // One body for both backends; a blocked entry asked for a kernel with
+      // no blocked instantiation (dfs, hcs) throws std::invalid_argument
+      // here, burns the attempts fast, and lands in the degradation chain
+      // below — which serves it with the blocked sequential BFS.
+      auto attempt_on = [&](const auto& g) {
+        {
+          SMPST_TRACE_SCOPE("query.compute");
+          r.forest = run_algorithm(req.algorithm, g, pool, run);
+        }
+        finalize(g);
+      };
+      if (graph.resident != nullptr) {
+        attempt_on(*graph.resident);
+      } else {
+        attempt_on(*graph.blocked);
       }
-      finalize(*graph);
       success = true;
     } catch (const CancelledError&) {
       r.exec_ms = exec_timer.elapsed_millis();
@@ -583,17 +599,28 @@ QueryResult QueryExecutor::execute(Item& item, ThreadPool& pool,
   if (!success && opts_.degrade_to_sequential &&
       !is_sequential(req.algorithm)) {
     try {
-      const std::shared_ptr<const Graph> graph = registry_.get(req.graph);
-      if (graph != nullptr &&
-          (req.root == kInvalidVertex || req.root < graph->num_vertices())) {
+      const GraphRegistry::GraphHandle graph = registry_.get_any(req.graph);
+      const VertexId n = graph.resident != nullptr
+                             ? graph.resident->num_vertices()
+                         : graph.blocked != nullptr
+                             ? graph.blocked->num_vertices()
+                             : 0;
+      if (graph && (req.root == kInvalidVertex || req.root < n)) {
         RunOptions run;
         run.seed = req.seed;
         run.cancel = &token;
-        {
-          SMPST_TRACE_SCOPE("query.compute");
-          r.forest = run_algorithm("bfs", *graph, pool, run);
+        auto degrade_on = [&](const auto& g) {
+          {
+            SMPST_TRACE_SCOPE("query.compute");
+            r.forest = run_algorithm("bfs", g, pool, run);
+          }
+          finalize(g);
+        };
+        if (graph.resident != nullptr) {
+          degrade_on(*graph.resident);
+        } else {
+          degrade_on(*graph.blocked);
         }
-        finalize(*graph);
         r.degraded = true;
         degraded_.fetch_add(1, std::memory_order_relaxed);
         success = true;

@@ -5,22 +5,45 @@
 
 #include "gen/registry.hpp"
 #include "graph/io.hpp"
+#include "storage/blocked_graph.hpp"
 #include "support/failpoint.hpp"
 
 namespace smpst::service {
+
+void GraphRegistry::insert_locked(const std::string& name, Entry entry) {
+  auto [it, inserted] = entries_.try_emplace(name);
+  if (!inserted) resident_bytes_ -= it->second.bytes;
+  entry.last_use = ++tick_;
+  resident_bytes_ += entry.bytes;
+  it->second = std::move(entry);
+  ++insertions_;
+  enforce_budget_locked(name);
+}
 
 std::shared_ptr<const Graph> GraphRegistry::put(const std::string& name,
                                                 Graph g) {
   SMPST_FAILPOINT("service.registry.put");
   auto stored = std::make_shared<const Graph>(std::move(g));
+  Entry entry;
+  entry.graph = stored;
+  entry.bytes = stored->memory_bytes();
   LockGuard<Mutex> lk(mutex_);
-  auto [it, inserted] = entries_.try_emplace(name);
-  if (!inserted) resident_bytes_ -= it->second.graph->memory_bytes();
-  it->second.graph = stored;
-  it->second.last_use = ++tick_;
-  resident_bytes_ += stored->memory_bytes();
-  ++insertions_;
-  enforce_budget_locked(name);
+  insert_locked(name, std::move(entry));
+  return stored;
+}
+
+std::shared_ptr<const storage::BlockedGraph> GraphRegistry::open_blocked(
+    const std::string& name, const std::string& path,
+    const storage::BlockCacheOptions& cache_opts) {
+  // Open outside the lock: header validation and cache setup touch the disk.
+  auto stored = std::make_shared<const storage::BlockedGraph>(path, cache_opts);
+  Entry entry;
+  entry.blocked = stored;
+  // The charge is the cache budget plus metadata — NOT the CSR payload. This
+  // is what lets a graph bigger than the registry budget stay registered.
+  entry.bytes = stored->memory_bytes();
+  LockGuard<Mutex> lk(mutex_);
+  insert_locked(name, std::move(entry));
   return stored;
 }
 
@@ -28,13 +51,26 @@ std::shared_ptr<const Graph> GraphRegistry::get(const std::string& name) {
   SMPST_FAILPOINT("service.registry.get");
   LockGuard<Mutex> lk(mutex_);
   const auto it = entries_.find(name);
-  if (it == entries_.end()) {
+  if (it == entries_.end() || it->second.graph == nullptr) {
     ++misses_;
     return nullptr;
   }
   ++hits_;
   it->second.last_use = ++tick_;
   return it->second.graph;
+}
+
+GraphRegistry::GraphHandle GraphRegistry::get_any(const std::string& name) {
+  SMPST_FAILPOINT("service.registry.get");
+  LockGuard<Mutex> lk(mutex_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    ++misses_;
+    return {};
+  }
+  ++hits_;
+  it->second.last_use = ++tick_;
+  return {it->second.graph, it->second.blocked};
 }
 
 std::shared_ptr<const Graph> GraphRegistry::load_file(const std::string& name,
@@ -54,7 +90,7 @@ bool GraphRegistry::evict(const std::string& name) {
   LockGuard<Mutex> lk(mutex_);
   const auto it = entries_.find(name);
   if (it == entries_.end()) return false;
-  resident_bytes_ -= it->second.graph->memory_bytes();
+  resident_bytes_ -= it->second.bytes;
   entries_.erase(it);
   ++evictions_;
   return true;
@@ -65,10 +101,18 @@ std::vector<GraphRegistry::EntryInfo> GraphRegistry::list() const {
   std::vector<std::pair<std::uint64_t, EntryInfo>> with_tick;
   with_tick.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) {
-    with_tick.push_back({entry.last_use,
-                         {name, entry.graph->memory_bytes(),
-                          entry.graph->num_vertices(),
-                          entry.graph->num_edges()}});
+    EntryInfo info;
+    info.name = name;
+    info.bytes = entry.bytes;
+    if (entry.graph != nullptr) {
+      info.vertices = entry.graph->num_vertices();
+      info.edges = entry.graph->num_edges();
+    } else {
+      info.vertices = entry.blocked->num_vertices();
+      info.edges = entry.blocked->num_edges();
+      info.blocked = true;
+    }
+    with_tick.push_back({entry.last_use, std::move(info)});
   }
   std::sort(with_tick.begin(), with_tick.end(),
             [](const auto& a, const auto& b) { return a.first > b.first; });
@@ -102,7 +146,7 @@ void GraphRegistry::enforce_budget_locked(const std::string& keep) {
       }
     }
     if (victim == entries_.end()) return;
-    resident_bytes_ -= victim->second.graph->memory_bytes();
+    resident_bytes_ -= victim->second.bytes;
     entries_.erase(victim);
     ++evictions_;
   }

@@ -7,6 +7,12 @@
 // use tick, triggered when resident bytes exceed the configured budget; the
 // most recently inserted entry is never evicted, so a single over-budget
 // graph can still be served.
+//
+// Entries come in two flavors. A *resident* entry owns the full in-memory
+// CSR and is charged its committed heap (Graph::memory_bytes). A *blocked*
+// entry (storage/blocked_graph.hpp) keeps the CSR on disk behind a block
+// cache and is charged only its cache budget plus metadata — which is the
+// point: a graph far larger than the registry budget can still be served.
 #pragma once
 
 #include <cstdint>
@@ -16,7 +22,12 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "storage/block_cache.hpp"
 #include "support/thread_annotations.hpp"
+
+namespace smpst::storage {
+class BlockedGraph;
+}  // namespace smpst::storage
 
 namespace smpst::service {
 
@@ -29,9 +40,23 @@ class GraphRegistry {
 
   struct EntryInfo {
     std::string name;
-    std::size_t bytes = 0;
+    std::size_t bytes = 0;  ///< registry charge, not CSR size for blocked
     VertexId vertices = 0;
     EdgeId edges = 0;
+    bool blocked = false;
+  };
+
+  /// Backend-agnostic lookup result: exactly one pointer is set for a
+  /// registered name (resident for in-memory entries, blocked for on-disk
+  /// ones); both null on miss. Holding either keeps the graph alive across
+  /// eviction, same as the shared_ptr contract of get().
+  struct GraphHandle {
+    std::shared_ptr<const Graph> resident;
+    std::shared_ptr<const storage::BlockedGraph> blocked;
+
+    explicit operator bool() const noexcept {
+      return resident != nullptr || blocked != nullptr;
+    }
   };
 
   struct Stats {
@@ -60,8 +85,20 @@ class GraphRegistry {
   /// while over budget. Returns the stored pointer.
   std::shared_ptr<const Graph> put(const std::string& name, Graph g);
 
-  /// Looks up `name`, refreshing its recency. nullptr on miss.
+  /// Looks up `name`, refreshing its recency. nullptr on miss. Resident
+  /// entries only: a blocked entry answers nullptr here (counted as a miss) —
+  /// callers able to serve both backends use get_any().
   std::shared_ptr<const Graph> get(const std::string& name);
+
+  /// Backend-agnostic lookup, refreshing recency. Empty handle on miss.
+  GraphHandle get_any(const std::string& name);
+
+  /// Opens an on-disk CSR file (storage::write_csr_file format) as a blocked
+  /// entry under `name`, charged at its cache budget rather than full CSR
+  /// size. Throws storage::StorageError on a malformed or unreadable file.
+  std::shared_ptr<const storage::BlockedGraph> open_blocked(
+      const std::string& name, const std::string& path,
+      const storage::BlockCacheOptions& cache_opts = {});
 
   /// Loads a graph from disk (graph/io formats, chosen by extension) and
   /// registers it under `name`. Throws std::runtime_error on I/O failure.
@@ -85,10 +122,14 @@ class GraphRegistry {
 
  private:
   struct Entry {
-    std::shared_ptr<const Graph> graph;
+    std::shared_ptr<const Graph> graph;  ///< resident backend (may be null)
+    std::shared_ptr<const storage::BlockedGraph> blocked;  ///< disk backend
+    std::size_t bytes = 0;  ///< charge at insert time (stable per entry)
     std::uint64_t last_use = 0;
   };
 
+  void insert_locked(const std::string& name, Entry entry)
+      SMPST_REQUIRES(mutex_);
   void enforce_budget_locked(const std::string& keep) SMPST_REQUIRES(mutex_);
 
   const Options opts_;

@@ -7,6 +7,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "service/wire.hpp"
+#include "storage/blocked_graph.hpp"
 #include "support/failpoint.hpp"
 
 namespace smpst::service {
@@ -92,11 +93,14 @@ std::string describe(const GraphRegistry::EntryInfo& e) {
   w.field("vertices", static_cast<std::uint64_t>(e.vertices));
   w.field("edges", e.edges);
   w.field("bytes", static_cast<std::uint64_t>(e.bytes));
+  // Additive: resident entries keep the seed wire shape exactly.
+  if (e.blocked) w.field("blocked", true);
   return w.str();
 }
 
 bool is_registry_mutation(const std::string& cmd) {
-  return cmd == "load" || cmd == "gen" || cmd == "evict";
+  return cmd == "load" || cmd == "loadblocked" || cmd == "gen" ||
+         cmd == "evict";
 }
 
 // Commands that block or burn CPU for unbounded time: graph load (disk
@@ -104,7 +108,8 @@ bool is_registry_mutation(const std::string& cmd) {
 // these must leave the reader thread — the TCP server's epoll loop must
 // never wait on a disk.
 bool is_heavy(const std::string& cmd) {
-  return cmd == "load" || cmd == "gen" || cmd == "trace";
+  return cmd == "load" || cmd == "loadblocked" || cmd == "gen" ||
+         cmd == "trace";
 }
 
 }  // namespace
@@ -559,6 +564,38 @@ std::vector<std::string> Session::run_sync(const std::string& cmd,
     w.field("vertices", static_cast<std::uint64_t>(graph->num_vertices()));
     w.field("edges", graph->num_edges());
     w.field("bytes", static_cast<std::uint64_t>(graph->memory_bytes()));
+    lines.push_back(w.str());
+  } else if (cmd == "loadblocked") {
+    // Registers an on-disk CSR (tools/csrpack output) behind the block
+    // cache; the registry charge is the cache budget, not the CSR size.
+    const std::string name = require(f, "name");
+    storage::BlockCacheOptions copts;
+    const std::int64_t budget = get_int(f, "budget", 0);
+    if (budget > 0) copts.budget_bytes = static_cast<std::size_t>(budget);
+    const std::int64_t block = get_int(f, "block", 0);
+    if (block > 0) copts.block_bytes = static_cast<std::size_t>(block);
+    const std::int64_t shards = get_int(f, "shards", 0);
+    if (shards > 0) copts.shards = static_cast<std::size_t>(shards);
+    const std::string policy = get(f, "policy", "");
+    std::shared_ptr<const storage::BlockedGraph> graph;
+    try {
+      if (!policy.empty()) {
+        copts.policy = storage::parse_eviction_policy(policy);
+      }
+      graph = registry_.open_blocked(name, require(f, "path"), copts);
+    } catch (const storage::StorageError& e) {
+      // A malformed file, bad cache knob, or unreadable path is the client's
+      // input, not a server fault: surface it as kBadRequest.
+      throw std::invalid_argument(e.what());
+    }
+    JsonWriter w;
+    w.field("ok", true);
+    w.field("name", name);
+    w.field("vertices", static_cast<std::uint64_t>(graph->num_vertices()));
+    w.field("edges", graph->num_edges());
+    w.field("bytes", static_cast<std::uint64_t>(graph->memory_bytes()));
+    w.field("csr_bytes", static_cast<std::uint64_t>(graph->csr_bytes()));
+    w.field("blocked", true);
     lines.push_back(w.str());
   } else if (cmd == "stats") {
     lines.push_back(render_stats(executor_.stats()));

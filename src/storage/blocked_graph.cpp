@@ -1,0 +1,97 @@
+#include "storage/blocked_graph.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/assert.hpp"
+
+namespace smpst::storage {
+
+static_assert(GraphStorage<BlockedGraph>,
+              "BlockedGraph must satisfy the kernel storage concept");
+
+BlockedGraph::BlockedGraph(const std::string& path,
+                           const BlockCacheOptions& opts)
+    : path_(path),
+      header_(read_csr_header(path)),
+      cache_(path, header_.file_bytes, opts) {}
+
+EdgeId BlockedGraph::offset_at(std::uint64_t i) const {
+  const std::size_t bb = cache_.block_bytes();
+  const std::uint64_t pos = header_.offsets_pos + i * sizeof(EdgeId);
+  // Blocks are >= 64 bytes and the header is 64 bytes, so an 8-byte offset
+  // entry is 8-aligned within the file and never straddles a block.
+  const std::uint64_t blk = pos / bb;
+  const std::byte* frame = cache_.pin(blk);
+  EdgeId out = 0;
+  std::memcpy(&out, frame + (pos - blk * bb), sizeof(out));
+  cache_.unpin(blk);
+  return out;
+}
+
+EdgeId BlockedGraph::degree(VertexId v) const {
+  SMPST_ASSERT(static_cast<std::uint64_t>(v) < header_.num_vertices);
+  const std::size_t bb = cache_.block_bytes();
+  const std::uint64_t pos =
+      header_.offsets_pos + static_cast<std::uint64_t>(v) * sizeof(EdgeId);
+  const std::uint64_t blk = pos / bb;
+  if ((pos + sizeof(EdgeId)) / bb == blk) {
+    // Both bounding offsets live in one block: single pin.
+    const std::byte* frame = cache_.pin(blk);
+    EdgeId lo = 0;
+    EdgeId hi = 0;
+    std::memcpy(&lo, frame + (pos - blk * bb), sizeof(lo));
+    std::memcpy(&hi, frame + (pos - blk * bb) + sizeof(EdgeId), sizeof(hi));
+    cache_.unpin(blk);
+    return hi - lo;
+  }
+  return offset_at(v + 1) - offset_at(v);
+}
+
+NeighborSpan BlockedGraph::neighbors(VertexId v) const {
+  SMPST_ASSERT(static_cast<std::uint64_t>(v) < header_.num_vertices);
+  const EdgeId lo = offset_at(v);
+  const EdgeId hi = offset_at(static_cast<std::uint64_t>(v) + 1);
+  NeighborSpan span;
+  if (lo == hi) return span;
+
+  const std::size_t bb = cache_.block_bytes();
+  const std::uint64_t byte_lo = header_.targets_pos + lo * sizeof(VertexId);
+  const std::uint64_t byte_hi = header_.targets_pos + hi * sizeof(VertexId);
+  const std::uint64_t blk_lo = byte_lo / bb;
+  const std::uint64_t blk_hi = (byte_hi - 1) / bb;
+  if (blk_lo == blk_hi) {
+    // Zero-copy: point into the pinned frame. The 4-byte targets are
+    // 4-aligned within the block (targets_pos is 8-aligned), so the cast
+    // pointer is properly aligned for VertexId loads.
+    const std::byte* frame = cache_.pin(blk_lo);
+    span.cache_ = &cache_;
+    span.block_ = blk_lo;
+    span.data_ =
+        reinterpret_cast<const VertexId*>(frame + (byte_lo - blk_lo * bb));
+    span.size_ = static_cast<std::size_t>(hi - lo);
+    return span;
+  }
+
+  // Slice crosses blocks: copy block-by-block holding one pin at a time, so
+  // a minimal cache (two frames per shard) still makes progress.
+  span.owned_.resize(static_cast<std::size_t>(hi - lo));
+  auto* dst = reinterpret_cast<std::byte*>(span.owned_.data());
+  std::uint64_t cur = byte_lo;
+  while (cur < byte_hi) {
+    const std::uint64_t blk = cur / bb;
+    const std::uint64_t take =
+        std::min<std::uint64_t>(byte_hi, (blk + 1) * bb) - cur;
+    const std::byte* frame = cache_.pin(blk);
+    std::memcpy(dst, frame + (cur - blk * bb),
+                static_cast<std::size_t>(take));
+    cache_.unpin(blk);
+    dst += take;
+    cur += take;
+  }
+  span.data_ = span.owned_.data();
+  span.size_ = span.owned_.size();
+  return span;
+}
+
+}  // namespace smpst::storage

@@ -1,0 +1,60 @@
+// On-disk CSR graph format ("SMPSTCSR"), the persistent twin of
+// graph/io.hpp's edge-list formats.
+//
+// Layout (all integers little-endian, the only byte order the toolchain
+// targets):
+//
+//   byte 0   magic "SMPSTCSR" (8 bytes)
+//   byte 8   u32 version (currently 1)
+//   byte 12  u32 reserved (zero)
+//   byte 16  u64 num_vertices (n)
+//   byte 24  u64 num_arcs    (2m — both directions, like the in-memory CSR)
+//   byte 32  u64 offsets_pos (== kCsrHeaderBytes)
+//   byte 40  u64 targets_pos (== kCsrHeaderBytes + 8 * (n + 1))
+//   byte 48  zero padding to 64
+//   ...      (n + 1) u64 offsets, then num_arcs u32 targets
+//
+// The 64-byte header plus a power-of-two block size >= 64 gives the block
+// cache a free alignment guarantee: every block boundary is 8-byte aligned,
+// so no u64 offset or u32 target ever straddles two blocks and a scalar read
+// pins exactly one block.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "storage/graph_storage.hpp"
+
+namespace smpst::storage {
+
+inline constexpr std::uint64_t kCsrHeaderBytes = 64;
+inline constexpr std::uint32_t kCsrFormatVersion = 1;
+
+struct CsrFileHeader {
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_arcs = 0;
+  std::uint64_t offsets_pos = 0;
+  std::uint64_t targets_pos = 0;
+  /// Total file size the header implies: targets_pos + 4 * num_arcs.
+  std::uint64_t file_bytes = 0;
+  /// CSR payload bytes (offsets + targets arrays, excluding the header) —
+  /// the figure cache-budget fractions are computed against.
+  [[nodiscard]] std::uint64_t payload_bytes() const noexcept {
+    return file_bytes - kCsrHeaderBytes;
+  }
+};
+
+/// Serializes a built graph. Throws StorageError on I/O failure.
+void write_csr_file(const Graph& g, const std::string& path);
+
+/// Reads and validates the 64-byte header (magic, version, positions
+/// consistent, sizes overflow-checked against the actual file size).
+/// Throws StorageError on any mismatch.
+CsrFileHeader read_csr_header(const std::string& path);
+
+/// Loads the whole file back into an in-memory Graph (round-trip tests and
+/// tooling; the block-cached path is storage::BlockedGraph).
+Graph read_csr_file(const std::string& path);
+
+}  // namespace smpst::storage

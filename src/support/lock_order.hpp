@@ -55,6 +55,7 @@ inline constexpr Rank kExecutorDrain{42, "service.executor.drain"};
 inline constexpr Rank kExecutorSlotWatch{43, "service.executor.slot_watch"};
 inline constexpr Rank kBoundedQueue{50, "service.bounded_queue"};
 inline constexpr Rank kGraphRegistry{55, "service.graph_registry"};
+inline constexpr Rank kStorageCacheShard{57, "storage.block_cache.shard"};
 inline constexpr Rank kPoolState{60, "sched.pool.state"};
 inline constexpr Rank kBarrier{64, "sched.barrier"};
 inline constexpr Rank kIdleGate{66, "sched.idle_gate"};

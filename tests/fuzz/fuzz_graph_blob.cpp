@@ -1,0 +1,10 @@
+// libFuzzer entry point for the graph deserializers (graph/io.hpp). Build
+// with -DSMPST_FUZZ=ON under Clang; the shared body also runs in fuzz_smoke
+// on every configuration.
+#include "fuzz_harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  smpst::fuzz::run_graph_blob(data, size);
+  return 0;
+}

@@ -16,9 +16,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "graph/edge_list.hpp"
+#include "graph/io.hpp"
 #include "service/codec.hpp"
 #include "service/wire.hpp"
 
@@ -158,6 +161,33 @@ inline void run_wire_parse(const std::uint8_t* data, std::size_t size) {
   }
   SMPST_FUZZ_CHECK(again == fields,
                    "fields do not survive a JSON round trip");
+}
+
+// ---------------------------------------------------------- graph loader ----
+//
+// Drives both edge-list deserializers (graph/io.hpp) over the raw bytes.
+// Each must either parse fully — yielding an edge list whose endpoints are
+// all in range — or throw io::ParseError; any other escape (a crash, an
+// allocator blow-up from trusting a hostile header's edge count, a
+// non-ParseError exception) is a finding. The binary format's header carries
+// untrusted 64-bit n and m fields, which is exactly where the m*sizeof(Edge)
+// overflow class lives.
+inline void run_graph_blob(const std::uint8_t* data, std::size_t size) {
+  const std::string bytes(reinterpret_cast<const char*>(data), size);
+  for (const bool binary : {true, false}) {
+    std::istringstream is(bytes);
+    try {
+      const EdgeList list = binary ? io::read_edge_list_binary(is)
+                                   : io::read_edge_list_text(is);
+      for (const Edge& e : list.edges()) {
+        SMPST_FUZZ_CHECK(e.u < list.num_vertices() &&
+                             e.v < list.num_vertices(),
+                         "loader accepted an out-of-range endpoint");
+      }
+    } catch (const io::ParseError&) {
+      // Rejection is a valid outcome; crashing is not.
+    }
+  }
 }
 
 }  // namespace smpst::fuzz

@@ -26,6 +26,7 @@ struct Target {
 constexpr Target kTargets[] = {
     {"line_codec", smpst::fuzz::run_line_codec},
     {"wire_parse", smpst::fuzz::run_wire_parse},
+    {"graph_blob", smpst::fuzz::run_graph_blob},
 };
 
 std::vector<std::uint8_t> read_file(const std::filesystem::path& p) {

@@ -93,6 +93,48 @@ TEST(Graph, MemoryBytesPositive) {
   EXPECT_GT(triangle_plus_pendant().memory_bytes(), 0u);
 }
 
+// memory_bytes must report committed heap (capacity), not logical size —
+// anything that budgets by it (the service registry) would otherwise
+// under-account a graph whose vectors carry growth slack.
+TEST(Graph, MemoryBytesCountsCapacityNotSize) {
+  std::vector<EdgeId> offsets = {0, 1, 2};
+  std::vector<VertexId> targets = {1, 0};
+  offsets.reserve(1024);
+  targets.reserve(4096);
+  const std::size_t committed = offsets.capacity() * sizeof(EdgeId) +
+                                targets.capacity() * sizeof(VertexId);
+  const Graph g = Graph::from_csr(std::move(offsets), std::move(targets));
+  EXPECT_EQ(g.memory_bytes(), committed);
+  EXPECT_GE(g.memory_bytes(), 1024 * sizeof(EdgeId) + 4096 * sizeof(VertexId));
+}
+
+// The builder trims its arrays, so built graphs carry no slack: the exact
+// accounting also means the reported bytes equal the minimal CSR footprint.
+TEST(GraphBuilder, BuiltCsrCarriesNoCapacitySlack) {
+  const Graph g = triangle_plus_pendant();
+  const std::size_t minimal =
+      (static_cast<std::size_t>(g.num_vertices()) + 1) * sizeof(EdgeId) +
+      static_cast<std::size_t>(g.num_arcs()) * sizeof(VertexId);
+  EXPECT_EQ(g.memory_bytes(), minimal);
+}
+
+TEST(Graph, FromCsrRejectsMalformedOffsets) {
+  // Non-monotone offsets and a back() that disagrees with targets.size()
+  // must both be refused — these are the invariants every traversal assumes.
+  EXPECT_DEATH(Graph::from_csr({0, 2, 1, 2}, {1, 0}), "monotone");
+  EXPECT_DEATH(Graph::from_csr({0, 1, 2}, {1, 0, 0}), "targets");
+}
+
+#ifndef NDEBUG
+// Debug builds bound-check accessors; an out-of-range vertex id is a caller
+// bug and must abort loudly instead of reading a stale offset pair.
+TEST(GraphDeathTest, DegreeAndNeighborsRejectOutOfRangeVertex) {
+  const Graph g = triangle_plus_pendant();
+  EXPECT_DEATH((void)g.degree(4), "");
+  EXPECT_DEATH((void)g.neighbors(99), "");
+}
+#endif
+
 TEST(GraphIo, TextRoundTrip) {
   EdgeList list(5);
   list.add_edge(0, 1);

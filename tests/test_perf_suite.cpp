@@ -223,6 +223,68 @@ TEST(PerfSuite, CliRoundTrip) {
   EXPECT_TRUE(cfg.pin_threads);
   EXPECT_FALSE(cfg.run_dir);
   EXPECT_FALSE(cfg.numa_interleave);
+  EXPECT_FALSE(cfg.storage_sweep);  // opt-in: off unless --storage
+}
+
+TEST(PerfSuite, StorageSweepCliFlags) {
+  const char* argv[] = {"perf_suite", "--storage",
+                        "--storage-budgets=100,25",
+                        "--storage-block=4096"};
+  const Cli cli(4, argv);
+  const auto cfg = perf_suite_config_from_cli(cli);
+  EXPECT_TRUE(cfg.storage_sweep);
+  EXPECT_EQ(cfg.storage_budget_percents,
+            (std::vector<std::int64_t>{100, 25}));
+  EXPECT_EQ(cfg.storage_block_bytes, 4096u);
+}
+
+// The blocked-backend sweep: one PerfStorageRun per budget percentage, all
+// slowdowns finite and positive, the 100% run at least as cache-friendly as
+// the starved run, and the emitted JSON (with the additive "storage"
+// section) still strictly valid.
+TEST(PerfSuite, StorageSweepReportsHitRatePerBudget) {
+  PerfSuiteConfig cfg;
+  cfg.families = {"random-nlogn"};
+  cfg.n = 2048;
+  cfg.threads = {1};
+  cfg.repeats = 2;
+  cfg.seed = 5;
+  cfg.run_sv = false;
+  cfg.run_parallel_bfs = false;
+  cfg.run_dir = false;
+  cfg.storage_sweep = true;
+  cfg.storage_budget_percents = {100, 10};
+  cfg.storage_block_bytes = 1 << 10;  // small blocks so 10% actually evicts
+  std::ostringstream progress;
+  const auto result = run_perf_suite(cfg, progress);
+
+  ASSERT_EQ(result.families.size(), 1u);
+  const auto& fam = result.families[0];
+  EXPECT_GT(fam.csr_bytes, 0u);
+  ASSERT_EQ(fam.storage.size(), 2u);
+  const auto& full = fam.storage[0];
+  const auto& starved = fam.storage[1];
+  EXPECT_DOUBLE_EQ(full.budget_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(starved.budget_fraction, 0.1);
+  EXPECT_LT(starved.budget_bytes, full.budget_bytes);
+  for (const auto& srun : fam.storage) {
+    EXPECT_GT(srun.slowdown_vs_resident, 0.0);
+    EXPECT_TRUE(std::isfinite(srun.slowdown_vs_resident));
+    EXPECT_GT(srun.hits + srun.misses, 0u);
+    EXPECT_GE(srun.hit_rate, 0.0);
+    EXPECT_LE(srun.hit_rate, 1.0);
+  }
+  // At full budget nothing is ever evicted; the starved cache must evict.
+  EXPECT_EQ(full.evictions, 0u);
+  EXPECT_GT(starved.evictions, 0u);
+  EXPECT_GE(full.hit_rate, starved.hit_rate);
+
+  std::ostringstream json;
+  write_perf_suite_json(result, json);
+  const std::string doc = json.str();
+  EXPECT_TRUE(JsonChecker(doc).valid()) << doc;
+  EXPECT_NE(doc.find("\"storage\": ["), std::string::npos);
+  EXPECT_NE(doc.find("\"hit_rate\""), std::string::npos);
 }
 
 // The direction-optimizing column must carry its observability fields: the

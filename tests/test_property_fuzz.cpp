@@ -8,12 +8,16 @@
 #include <map>
 #include <set>
 
+#include <filesystem>
+
 #include "core/algorithms.hpp"
 #include "gen/registry.hpp"
 #include "graph/builder.hpp"
 #include "graph/transform.hpp"
 #include "sched/thread_pool.hpp"
 #include "sched/work_queue.hpp"
+#include "storage/blocked_graph.hpp"
+#include "storage/csr_file.hpp"
 #include "support/prng.hpp"
 
 namespace smpst {
@@ -122,6 +126,56 @@ TEST(Fuzz, RandomPipelinesAlwaysValidate) {
     ASSERT_TRUE(report) << "round " << round << ": " << fam.name << " + "
                         << algo.name << (preprocess ? " + deg2" : "") << ": "
                         << report.error;
+  }
+}
+
+// Property: the blocked (out-of-core) backend is an exact stand-in for the
+// in-memory CSR. For every random (family, size, block size, cache budget)
+// draw, each blocked-capable algorithm at one thread must produce the
+// *identical* parent array over both backends given the same seed — cache
+// geometry (tiny blocks, heavy eviction, multi-block neighbour copies) must
+// never leak into the result. At four threads, where schedules diverge, the
+// blocked forest must still validate.
+TEST(Fuzz, BlockedBackendForestsMatchResident) {
+  Xoshiro256 rng(0xb10c);
+  ThreadPool seq(1);
+  ThreadPool par(4);
+  const auto& fams = gen::families();
+  for (int round = 0; round < 8; ++round) {
+    const auto& fam = fams[rng.next_bounded(fams.size())];
+    const auto n = static_cast<VertexId>(64 + rng.next_bounded(600));
+    const Graph g = gen::make_family(fam.name, n, rng.next());
+
+    const auto path = std::filesystem::path(::testing::TempDir()) /
+                      ("smpst_fuzz_blocked_" + std::to_string(round) + ".csr");
+    storage::write_csr_file(g, path.string());
+    storage::BlockCacheOptions copts;
+    copts.block_bytes = std::size_t{64} << rng.next_bounded(4);  // 64..512
+    copts.budget_bytes = copts.block_bytes * (4 + rng.next_bounded(28));
+    copts.shards = 1 + rng.next_bounded(4);
+    copts.policy = rng.next_bernoulli(0.5) ? storage::EvictionPolicy::kClock
+                                           : storage::EvictionPolicy::kLru;
+    const storage::BlockedGraph bg(path.string(), copts);
+
+    RunOptions run;
+    run.seed = rng.next();
+    for (const char* algo :
+         {"bfs", "bader-cong", "sv", "sv-lock", "parallel-bfs"}) {
+      ASSERT_TRUE(algorithm_supports_blocked(algo));
+      const SpanningForest want = run_algorithm(algo, g, seq, run);
+      const SpanningForest got = run_algorithm(algo, bg, seq, run);
+      ASSERT_EQ(got.parent, want.parent)
+          << "round " << round << ": " << fam.name << " + " << algo
+          << " (block=" << copts.block_bytes
+          << " budget=" << copts.budget_bytes << ")";
+
+      const SpanningForest wide = run_algorithm(algo, bg, par, run);
+      const auto report = validate_spanning_forest(bg, wide);
+      ASSERT_TRUE(report.ok) << "round " << round << ": " << fam.name
+                             << " + " << algo << " p=4: " << report.error;
+    }
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
   }
 }
 

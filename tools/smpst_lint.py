@@ -345,7 +345,7 @@ def classify(root: pathlib.Path, path: pathlib.Path,
     except ValueError:
         rel = path.as_posix()
     core_or_sched = ("src/core/" in f"/{rel}" or "src/sched/" in f"/{rel}"
-                     or "src/obs/" in f"/{rel}")
+                     or "src/obs/" in f"/{rel}" or "src/storage/" in f"/{rel}")
     if forced_scope in ("core", "sched"):
         core_or_sched = True
     thread_owner = bool(re.search(r"sched/thread_pool\.(hpp|cpp)$", rel))
